@@ -1,0 +1,228 @@
+// Benchmarks regenerating the paper's evaluation (Section 5), one family per
+// table/figure, at bench-friendly scale; `go run ./cmd/experiments` produces
+// the full-scale tables. Custom metrics report the figures' y-axes:
+// nulls/op for Figures 7a/7c/7d, loss%/op for Figure 7b, and riskeval-ms/op
+// (the dominant component of Figure 7e/7f) for the timing figures.
+package vadasa
+
+import (
+	"fmt"
+	"testing"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/cluster"
+	"vadasa/internal/datalog"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+// benchScale shrinks the paper's dataset sizes for the bench suite.
+const benchScale = 2500
+
+func benchDataset(dist synth.Dist, seed int64) *mdb.Dataset {
+	return synth.Generate(synth.Config{Tuples: benchScale, QIs: 4, Dist: dist, Seed: seed})
+}
+
+func runCycle(b *testing.B, d *mdb.Dataset, assessor risk.Assessor, sem mdb.Semantics) *anon.Result {
+	b.Helper()
+	res, err := anon.Run(d, anon.Config{
+		Assessor:   assessor,
+		Threshold:  0.5,
+		Anonymizer: anon.LocalSuppression{Choice: anon.AttrMostSelective},
+		Semantics:  sem,
+		Order:      anon.OrderLessSignificantFirst,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig7aNullsByK: nulls injected by k-anonymity threshold, per
+// distribution family (Figure 7a) — the loss%/op metric doubles as
+// Figure 7b.
+func BenchmarkFig7aNullsByK(b *testing.B) {
+	dists := []struct {
+		name string
+		dist synth.Dist
+		seed int64
+	}{{"W", synth.DistW, 3}, {"U", synth.DistU, 4}, {"V", synth.DistV, 5}}
+	for _, dc := range dists {
+		d := benchDataset(dc.dist, dc.seed)
+		for k := 2; k <= 5; k++ {
+			b.Run(fmt.Sprintf("%s/k=%d", dc.name, k), func(b *testing.B) {
+				var res *anon.Result
+				for i := 0; i < b.N; i++ {
+					res = runCycle(b, d, risk.KAnonymity{K: k}, mdb.MaybeMatch)
+				}
+				b.ReportMetric(float64(res.NullsInjected), "nulls/op")
+				b.ReportMetric(100*res.InfoLoss, "loss%/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7cSemantics: maybe-match vs standard labelled-null semantics
+// (Figure 7c) — the standard semantics proliferates nulls.
+func BenchmarkFig7cSemantics(b *testing.B) {
+	d := benchDataset(synth.DistU, 4)
+	for _, sem := range []mdb.Semantics{mdb.MaybeMatch, mdb.StandardNulls} {
+		b.Run(sem.String(), func(b *testing.B) {
+			var res *anon.Result
+			for i := 0; i < b.N; i++ {
+				res = runCycle(b, d, risk.KAnonymity{K: 2}, sem)
+			}
+			b.ReportMetric(float64(res.NullsInjected), "nulls/op")
+		})
+	}
+}
+
+// BenchmarkFig7dRelationships: nulls injected as control relationships grow
+// (Figure 7d).
+func BenchmarkFig7dRelationships(b *testing.B) {
+	d := benchDataset(synth.DistU, 4)
+	var ids []string
+	for _, r := range d.Rows {
+		ids = append(ids, r.Values[0].Constant())
+	}
+	for _, nRels := range []int{0, 10, 20, 30, 40} {
+		b.Run(fmt.Sprintf("rels=%d", nRels), func(b *testing.B) {
+			assessor := risk.Assessor(risk.KAnonymity{K: 2})
+			if nRels > 0 {
+				g := cluster.NewGraph()
+				if err := cluster.StarOwnerships(g, ids, nRels, 4, 7); err != nil {
+					b.Fatal(err)
+				}
+				assessor = cluster.Assessor{Base: assessor, Graph: g}
+			}
+			var res *anon.Result
+			for i := 0; i < b.N; i++ {
+				res = runCycle(b, d, assessor, mdb.MaybeMatch)
+			}
+			b.ReportMetric(float64(res.NullsInjected), "nulls/op")
+		})
+	}
+}
+
+// BenchmarkFig7eBySize: full-cycle time by dataset size and risk technique
+// (Figure 7e); the riskeval-ms metric is the dotted line.
+func BenchmarkFig7eBySize(b *testing.B) {
+	for _, tuples := range []int{600, 1250, 2500, 5000} {
+		d := synth.Generate(synth.Config{Tuples: tuples, QIs: 4, Dist: synth.DistU, Seed: 4})
+		for _, a := range []risk.Assessor{
+			risk.IndividualRisk{Estimator: risk.MonteCarlo, Samples: 200, Seed: 1},
+			risk.KAnonymity{K: 2},
+			risk.SUDA{Threshold: 3},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", tuples, a.Name()), func(b *testing.B) {
+				var res *anon.Result
+				for i := 0; i < b.N; i++ {
+					res = runCycle(b, d, a, mdb.MaybeMatch)
+				}
+				b.ReportMetric(float64(res.RiskEvalTime.Milliseconds()), "riskeval-ms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7fByQIs: full-cycle time by number of quasi-identifiers
+// (Figure 7f).
+func BenchmarkFig7fByQIs(b *testing.B) {
+	for _, qis := range []int{4, 5, 6, 8, 9} {
+		d := synth.Generate(synth.Config{Tuples: benchScale, QIs: qis, Dist: synth.DistW, Seed: 6})
+		for _, a := range []risk.Assessor{
+			risk.IndividualRisk{Estimator: risk.MonteCarlo, Samples: 200, Seed: 1},
+			risk.KAnonymity{K: 2},
+			risk.SUDA{Threshold: 3},
+		} {
+			b.Run(fmt.Sprintf("q=%d/%s", qis, a.Name()), func(b *testing.B) {
+				var res *anon.Result
+				for i := 0; i < b.N; i++ {
+					res = runCycle(b, d, a, mdb.MaybeMatch)
+				}
+				b.ReportMetric(float64(res.RiskEvalTime.Milliseconds()), "riskeval-ms/op")
+			})
+		}
+	}
+}
+
+// Substrate micro-benchmarks.
+
+// BenchmarkGrouping measures the maybe-match grouping engine every risk
+// measure sits on.
+func BenchmarkGrouping(b *testing.B) {
+	d := benchDataset(synth.DistU, 4)
+	// Inject a few nulls to exercise the null-row path.
+	for i := 0; i < 20; i++ {
+		d.Rows[i*7].Values[1+(i%4)] = d.Nulls.Fresh()
+	}
+	qi := d.QuasiIdentifiers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mdb.ComputeGroups(d, qi, mdb.MaybeMatch)
+	}
+}
+
+// BenchmarkSUDAMSUs measures minimal-sample-unique enumeration.
+func BenchmarkSUDAMSUs(b *testing.B) {
+	d := synth.Generate(synth.Config{Tuples: benchScale, QIs: 6, Dist: synth.DistW, Seed: 9})
+	qi := d.QuasiIdentifiers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		risk.MSUs(d, qi, 3, mdb.MaybeMatch)
+	}
+}
+
+// BenchmarkIndividualRisk compares the three posterior estimators.
+func BenchmarkIndividualRisk(b *testing.B) {
+	d := benchDataset(synth.DistU, 4)
+	for _, est := range []risk.Estimator{risk.Ratio, risk.PosteriorSeries, risk.MonteCarlo} {
+		b.Run(est.String(), func(b *testing.B) {
+			a := risk.IndividualRisk{Estimator: est, Samples: 200, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Assess(d, mdb.MaybeMatch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReasoningEngine measures the Datalog± substrate on a recursive
+// program with aggregation (the company-control rules).
+func BenchmarkReasoningEngine(b *testing.B) {
+	prog := datalog.MustParse(`
+		ctr(X,X) :- own(X,Y,W).
+		rel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
+		ctr(X,Y) :- rel(X,Y).
+	`)
+	edb := datalog.NewDatabase()
+	// A chain of holdings with side ownership.
+	for i := 0; i < 100; i++ {
+		edb.Add("own",
+			datalog.Str(fmt.Sprintf("c%d", i)),
+			datalog.Str(fmt.Sprintf("c%d", i+1)),
+			datalog.Num(0.6))
+		edb.Add("own",
+			datalog.Str(fmt.Sprintf("c%d", i)),
+			datalog.Str(fmt.Sprintf("c%d", (i+50)%101)),
+			datalog.Num(0.3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datalog.Run(prog, edb, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnonymizationCycle measures the end-to-end cycle at a fixed
+// setting (the headline workload).
+func BenchmarkAnonymizationCycle(b *testing.B) {
+	d := benchDataset(synth.DistV, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCycle(b, d, risk.KAnonymity{K: 3}, mdb.MaybeMatch)
+	}
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper's evaluation tables: the
+// Figure 6 dataset inventory and every series of Figures 7a–7f.
+//
+// Usage:
+//
+//	experiments [-fig all|6|7a|7b|7c|7d|7e|7f] [-scale 1.0]
+//
+// scale shrinks the dataset sizes proportionally (e.g. -scale 0.1 for a
+// quick smoke run); 1.0 reproduces the paper's 6k–100k tuple sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vadasa/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 6, 7a, 7b, 7c, 7d, 7e, 7f")
+	scale := flag.Float64("scale", 1.0, "dataset size scale factor (1.0 = paper sizes)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	ran := false
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran = true
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("6", func() error {
+		experiments.RenderFig6(os.Stdout, experiments.Fig6(*scale))
+		return nil
+	})
+	var fig7a []experiments.CycleStats
+	run("7a", func() error {
+		var err error
+		fig7a, err = experiments.Fig7a(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7a(os.Stdout, fig7a)
+		return nil
+	})
+	run("7b", func() error {
+		if fig7a == nil {
+			var err error
+			fig7a, err = experiments.Fig7a(*scale)
+			if err != nil {
+				return err
+			}
+		}
+		experiments.RenderFig7b(os.Stdout, fig7a)
+		return nil
+	})
+	run("7c", func() error {
+		stats, err := experiments.Fig7c(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7c(os.Stdout, stats)
+		return nil
+	})
+	run("7d", func() error {
+		stats, err := experiments.Fig7d(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7d(os.Stdout, stats)
+		return nil
+	})
+	run("7e", func() error {
+		stats, err := experiments.Fig7e(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7e(os.Stdout, stats)
+		return nil
+	})
+	run("7f", func() error {
+		stats, err := experiments.Fig7f(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7f(os.Stdout, stats)
+		return nil
+	})
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

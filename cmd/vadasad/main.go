@@ -1,0 +1,59 @@
+// Command vadasad serves the Vada-SA framework over HTTP: the shape a
+// Research Data Center deployment takes, where analysts and upstream
+// pipelines submit microdata for categorization, risk assessment and
+// anonymization without linking the Go library.
+//
+//	vadasad [-addr :8321] [-kb kb.json]
+//
+// Endpoints (all POST bodies are CSV with a header row; attribute categories
+// are inferred from the header names and can be overridden with the id/qi/
+// weight query parameters, comma-separated):
+//
+//	GET  /healthz              liveness
+//	GET  /measures             registered risk measures
+//	POST /categorize           attribute categorization report (JSON)
+//	POST /assess?measure=&k=   risk summary + risky tuple ids (JSON)
+//	POST /anonymize?measure=&k=&threshold=&recode=
+//	                           anonymized CSV + decision log (JSON)
+//
+// The server is stateless across requests; the knowledge base is loaded at
+// startup.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"vadasa"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	kbPath := flag.String("kb", "", "knowledge-base JSON to load at startup")
+	flag.Parse()
+
+	newFramework := func() (*vadasa.Framework, error) {
+		f := vadasa.New()
+		if *kbPath != "" {
+			file, err := os.Open(*kbPath)
+			if err != nil {
+				return nil, err
+			}
+			defer file.Close()
+			if err := f.LoadKB(file); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	}
+	// Fail fast on a broken KB.
+	if _, err := newFramework(); err != nil {
+		log.Fatalf("vadasad: %v", err)
+	}
+
+	srv := &server{newFramework: newFramework}
+	log.Printf("vadasad listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}

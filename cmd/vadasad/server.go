@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"vadasa"
+)
+
+// server carries the handler state. A fresh framework per request keeps
+// requests isolated (categorization registers datasets in the dictionary).
+type server struct {
+	newFramework func() (*vadasa.Framework, error)
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /measures", s.handleMeasures)
+	mux.HandleFunc("POST /categorize", s.handleCategorize)
+	mux.HandleFunc("POST /assess", s.handleAssess)
+	mux.HandleFunc("POST /anonymize", s.handleAnonymize)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	f, err := s.newFramework()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"measures": f.MeasureNames()})
+}
+
+// loadDataset reads the request body as CSV and categorizes attributes,
+// honouring the id/qi/weight query overrides.
+func (s *server) loadDataset(r *http.Request) (*vadasa.Framework, *vadasa.Dataset, *vadasa.CategorizationResult, error) {
+	f, err := s.newFramework()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil, nil, nil, fmt.Errorf("empty body; POST a CSV with a header row")
+	}
+	header, _, ok := strings.Cut(string(body), "\n")
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("body has no data rows")
+	}
+	names := strings.Split(strings.TrimRight(header, "\r"), ",")
+
+	overrides := map[string]vadasa.Category{}
+	for _, n := range splitParam(r, "id") {
+		overrides[n] = vadasa.Identifier
+	}
+	for _, n := range splitParam(r, "qi") {
+		overrides[n] = vadasa.QuasiIdentifier
+	}
+	for _, n := range splitParam(r, "weight") {
+		overrides[n] = vadasa.Weight
+	}
+	for _, n := range splitParam(r, "plain") {
+		overrides[n] = vadasa.NonIdentifying
+	}
+
+	attrs := make([]vadasa.Attribute, len(names))
+	var toInfer []string
+	for i, n := range names {
+		attrs[i] = vadasa.Attribute{Name: n, Category: vadasa.NonIdentifying}
+		if c, ok := overrides[n]; ok {
+			attrs[i].Category = c
+		} else {
+			toInfer = append(toInfer, n)
+		}
+	}
+	tmp := vadasa.NewDataset("request", toAttrs(toInfer))
+	report, err := f.Register(tmp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := range attrs {
+		if c, ok := report.Categories[attrs[i].Name]; ok {
+			if _, manual := overrides[attrs[i].Name]; !manual {
+				attrs[i].Category = c
+			}
+		}
+	}
+	d, err := vadasa.ReadCSV(bytes.NewReader(body), "request", attrs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return f, d, report, nil
+}
+
+func toAttrs(names []string) []vadasa.Attribute {
+	attrs := make([]vadasa.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = vadasa.Attribute{Name: n}
+	}
+	return attrs
+}
+
+func splitParam(r *http.Request, key string) []string {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (s *server) handleCategorize(w http.ResponseWriter, r *http.Request) {
+	_, d, report, err := s.loadDataset(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type attrOut struct {
+		Name        string `json:"name"`
+		Category    string `json:"category"`
+		Explanation string `json:"explanation,omitempty"`
+	}
+	out := struct {
+		Attributes []attrOut `json:"attributes"`
+		Conflicts  []string  `json:"conflicts,omitempty"`
+		Unknown    []string  `json:"unknown,omitempty"`
+	}{}
+	for _, a := range d.Attrs {
+		out.Attributes = append(out.Attributes, attrOut{
+			Name:        a.Name,
+			Category:    a.Category.String(),
+			Explanation: report.Explanations[a.Name],
+		})
+	}
+	for _, c := range report.Conflicts {
+		out.Conflicts = append(out.Conflicts, c.String())
+	}
+	out.Unknown = report.Unknown
+	writeJSON(w, http.StatusOK, out)
+}
+
+// measureFromQuery builds the risk measure from query parameters.
+func measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
+	name := r.URL.Query().Get("measure")
+	if name == "" {
+		name = "k-anonymity"
+	}
+	k, err := intParam(r, "k", 2)
+	if err != nil {
+		return nil, err
+	}
+	msu, err := intParam(r, "msu", 3)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "re-identification":
+		return vadasa.ReIdentification{}, nil
+	case "k-anonymity":
+		return vadasa.KAnonymity{K: k}, nil
+	case "individual-risk":
+		return vadasa.IndividualRisk{Estimator: vadasa.PosteriorEstimator}, nil
+	case "suda":
+		return vadasa.SUDA{Threshold: msu}, nil
+	case "l-diversity":
+		sens := r.URL.Query().Get("sensitive")
+		if sens == "" {
+			return nil, fmt.Errorf("l-diversity needs the sensitive query parameter")
+		}
+		return vadasa.LDiversity{L: k, Sensitive: sens}, nil
+	case "t-closeness":
+		sens := r.URL.Query().Get("sensitive")
+		if sens == "" {
+			return nil, fmt.Errorf("t-closeness needs the sensitive query parameter")
+		}
+		tv, err := floatParam(r, "t", 0.3)
+		if err != nil {
+			return nil, err
+		}
+		return vadasa.TCloseness{T: tv, Sensitive: sens}, nil
+	default:
+		return nil, fmt.Errorf("unknown measure %q", name)
+	}
+}
+
+func intParam(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", key, v)
+	}
+	return n, nil
+}
+
+func floatParam(r *http.Request, key string, def float64) (float64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", key, v)
+	}
+	return f, nil
+}
+
+func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	f, d, _, err := s.loadDataset(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := measureFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	threshold, err := floatParam(r, "threshold", 0.5)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	risks, err := f.AssessRisk(d, m)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	summary := vadasa.SummarizeRisks(risks, threshold)
+	var risky []int
+	for i, rr := range risks {
+		if rr > threshold {
+			risky = append(risky, d.Rows[i].ID)
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Measure string             `json:"measure"`
+		Tuples  int                `json:"tuples"`
+		Summary vadasa.RiskSummary `json:"summary"`
+		Risky   []int              `json:"riskyTupleIds"`
+	}{m.Name(), len(d.Rows), summary, risky})
+}
+
+func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	f, d, _, err := s.loadDataset(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := measureFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	threshold, err := floatParam(r, "threshold", 0.5)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := f.Anonymize(d, vadasa.CycleOptions{
+		Measure:     m,
+		Threshold:   threshold,
+		UseRecoding: r.URL.Query().Get("recode") == "true",
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var csvBuf bytes.Buffer
+	if err := vadasa.WriteCSV(&csvBuf, res.Dataset); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var decisions []string
+	for _, dec := range res.Decisions {
+		decisions = append(decisions, dec.String())
+	}
+	rep, err := vadasa.CompareUtility(d, res.Dataset)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		CSV             string   `json:"csv"`
+		Iterations      int      `json:"iterations"`
+		NullsInjected   int      `json:"nullsInjected"`
+		InfoLoss        float64  `json:"infoLoss"`
+		Residual        []int    `json:"residualTupleIds"`
+		Decisions       []string `json:"decisions"`
+		SuppressionRate float64  `json:"suppressionRate"`
+		MinGroupSize    int      `json:"minGroupSizeAfter"`
+	}{
+		csvBuf.String(), res.Iterations, res.NullsInjected, res.InfoLoss,
+		res.Residual, decisions, rep.SuppressionRate, rep.MinGroupSizeAfter,
+	})
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	f, d, _, err := s.loadDataset(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := measureFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tuple, err := intParam(r, "tuple", 0)
+	if err != nil || tuple == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("the tuple query parameter is required"))
+		return
+	}
+	ex, err := f.ExplainRisk(d, m, tuple)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"explanation": ex})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vadasa"
+)
+
+func testServer() http.Handler {
+	s := &server{newFramework: func() (*vadasa.Framework, error) {
+		return vadasa.New(), nil
+	}}
+	return s.routes()
+}
+
+func figure1CSV(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := vadasa.WriteCSV(&buf, vadasa.InflationGrowth()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func do(t *testing.T, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	rec := do(t, testServer(), "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestMeasures(t *testing.T) {
+	rec := do(t, testServer(), "GET", "/measures", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Measures []string `json:"measures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Measures) < 4 {
+		t.Fatalf("measures = %v", out.Measures)
+	}
+}
+
+func TestCategorizeEndpoint(t *testing.T) {
+	rec := do(t, testServer(), "POST", "/categorize", figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Attributes []struct {
+			Name     string `json:"name"`
+			Category string `json:"category"`
+		} `json:"attributes"`
+		Unknown []string `json:"unknown"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, a := range out.Attributes {
+		byName[a.Name] = a.Category
+	}
+	if byName["Id"] != "Identifier" || byName["Area"] != "Quasi-identifier" ||
+		byName["Weight"] != "Sampling Weight" {
+		t.Fatalf("categories = %v", byName)
+	}
+}
+
+func TestAssessEndpoint(t *testing.T) {
+	rec := do(t, testServer(), "POST", "/assess?measure=k-anonymity&k=2", figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Measure string `json:"measure"`
+		Tuples  int    `json:"tuples"`
+		Summary struct {
+			OverThreshold int `json:"OverThreshold"`
+		} `json:"summary"`
+		Risky []int `json:"riskyTupleIds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples != 20 {
+		t.Fatalf("tuples = %d", out.Tuples)
+	}
+	// Every Figure 1 combination is unique: all 20 tuples risky at k=2.
+	if len(out.Risky) != 20 || out.Summary.OverThreshold != 20 {
+		t.Fatalf("risky = %d, summary %d", len(out.Risky), out.Summary.OverThreshold)
+	}
+}
+
+func TestAssessManualOverrides(t *testing.T) {
+	// Forcing everything but Area to non-identifying: group by Area only.
+	rec := do(t, testServer(),
+		"POST", "/assess?measure=k-anonymity&k=2&qi=Area&id=Id,Sector,Employees,ResidentialRevenue,ExportRevenue,ExportToDE,Growth6mos&weight=Weight",
+		figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Risky []int `json:"riskyTupleIds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Areas: North x7, South x5, Center x8 — nothing unique.
+	if len(out.Risky) != 0 {
+		t.Fatalf("risky = %v, want none", out.Risky)
+	}
+}
+
+func TestAnonymizeEndpoint(t *testing.T) {
+	// Pin the fixture's categorization: ExportToDE and Growth6mos are
+	// non-identifying in Figure 1's schema, while name inference would
+	// make them quasi-identifiers (the Figure 4 dictionary view).
+	rec := do(t, testServer(),
+		"POST", "/anonymize?measure=k-anonymity&k=2&threshold=0.5&plain=ExportToDE,Growth6mos&qi=ExportRevenue", figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		CSV           string   `json:"csv"`
+		NullsInjected int      `json:"nullsInjected"`
+		Residual      []int    `json:"residualTupleIds"`
+		Decisions     []string `json:"decisions"`
+		MinGroupSize  int      `json:"minGroupSizeAfter"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.NullsInjected == 0 || len(out.Decisions) != out.NullsInjected {
+		t.Fatalf("nulls %d, decisions %d", out.NullsInjected, len(out.Decisions))
+	}
+	if len(out.Residual) != 0 {
+		t.Fatalf("residual = %v", out.Residual)
+	}
+	if out.MinGroupSize < 2 {
+		t.Fatalf("min group size = %d", out.MinGroupSize)
+	}
+	if !strings.Contains(out.CSV, "⊥") {
+		t.Fatal("anonymized CSV has no labelled nulls")
+	}
+	// The anonymized CSV must parse back against the same schema.
+	d, err := vadasa.ReadCSV(strings.NewReader(out.CSV), "back", vadasa.InflationGrowth().Attrs)
+	if err != nil {
+		t.Fatalf("re-reading anonymized CSV: %v", err)
+	}
+	if got := vadasa.VerifyKAnonymity(d, 2, vadasa.MaybeMatch); len(got) != 0 {
+		t.Fatalf("returned dataset not 2-anonymous: %v", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := testServer()
+	cases := []struct {
+		method, target, body string
+		wantStatus           int
+	}{
+		{"POST", "/assess", "", http.StatusBadRequest},
+		{"POST", "/assess?measure=bogus", figure1CSV(t), http.StatusBadRequest},
+		{"POST", "/assess?k=notanumber", figure1CSV(t), http.StatusBadRequest},
+		{"POST", "/anonymize?threshold=wat", figure1CSV(t), http.StatusBadRequest},
+		{"POST", "/assess?measure=l-diversity", figure1CSV(t), http.StatusBadRequest},
+		{"POST", "/categorize", "HeaderOnly", http.StatusBadRequest},
+		{"GET", "/nope", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		rec := do(t, h, c.method, c.target, c.body)
+		if rec.Code != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d (%s)",
+				c.method, c.target, rec.Code, c.wantStatus, rec.Body)
+		}
+	}
+}
+
+func TestLDiversityEndpoint(t *testing.T) {
+	rec := do(t, testServer(),
+		"POST", "/assess?measure=l-diversity&k=2&sensitive=Growth6mos", figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	rec := do(t, testServer(),
+		"POST", "/explain?measure=k-anonymity&k=2&tuple=4", figure1CSV(t))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Explanation string `json:"explanation"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Explanation, "riskout(4,") {
+		t.Fatalf("explanation = %q", out.Explanation)
+	}
+	// Missing tuple parameter.
+	rec = do(t, testServer(), "POST", "/explain?measure=k-anonymity", figure1CSV(t))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing tuple: status = %d", rec.Code)
+	}
+}

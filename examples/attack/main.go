@@ -1,0 +1,74 @@
+// Attack-model walkthrough (Section 2.2 / Figure 2): build an identity
+// oracle — the external population an attacker cross-links against — attack
+// the raw microdata, verify that the expected success tracks the
+// re-identification risk estimate, then anonymize and attack again.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vadasa"
+)
+
+func main() {
+	f := vadasa.New()
+	d := vadasa.Generate(vadasa.GeneratorConfig{
+		Tuples: 2000, QIs: 4, Dist: vadasa.DistU, Seed: 11,
+	})
+
+	oracle, truth, err := vadasa.BuildOracle(d, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identity oracle: %d population records for %d tuples\n",
+		len(oracle.Records), len(d.Rows))
+
+	before, err := oracle.Run(d, truth, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The expected attack success per tuple equals 1/|block|; the
+	// re-identification risk 1/ΣW estimates exactly that (Section 2.2).
+	risks, err := f.AssessRisk(d, vadasa.ReIdentification{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for i, out := range before.PerRow {
+		if diff := math.Abs(out.Expected - risks[i]); diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	fmt.Printf("max |attack success − estimated risk| over all tuples: %.4f\n", maxDiff)
+
+	res, err := f.Anonymize(d, vadasa.CycleOptions{
+		Measure: vadasa.KAnonymity{K: 3}, Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := oracle.Run(res.Dataset, truth, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The interesting tuples are the vulnerable ones: tiny blocks before
+	// anonymization.
+	var vulnBefore, vulnAfter, vulnCount float64
+	for i, out := range before.PerRow {
+		if out.Expected >= 0.5 {
+			vulnCount++
+			vulnBefore += float64(out.BlockSize)
+			vulnAfter += float64(after.PerRow[i].BlockSize)
+		}
+	}
+	fmt.Printf("\n%-28s %18s %18s\n", "", "before anonymize", "after anonymize")
+	fmt.Printf("%-28s %18.2f %18.2f\n", "expected successes", before.ExpectedSuccesses, after.ExpectedSuccesses)
+	fmt.Printf("%-28s %18d %18d\n", "sampled successes", before.SampledSuccesses, after.SampledSuccesses)
+	fmt.Printf("%-28s %18.1f %18.1f\n", "block size (vulnerable)", vulnBefore/vulnCount, vulnAfter/vulnCount)
+	fmt.Printf("\n%d nulls injected; blocking a vulnerable tuple is now ~%.0fx more expensive\n",
+		res.NullsInjected, vulnAfter/math.Max(vulnBefore, 1))
+}

@@ -1,0 +1,81 @@
+// Inflation & Growth survey walkthrough: the Research Data Center scenario
+// of Section 2. A microdata DB arrives with uncategorized attributes; the
+// framework infers categories from the experience base (Figure 4 /
+// Algorithm 1), compares the four risk measures of Section 4.2, and
+// anonymizes with global recoding over the Italian geography followed by
+// local suppression (Figures 5a/5b).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vadasa"
+)
+
+func main() {
+	f := vadasa.New()
+	d := vadasa.InflationGrowth()
+	// Simulate an uncategorized arrival: wipe the declared categories.
+	for i := range d.Attrs {
+		d.Attrs[i].Category = vadasa.NonIdentifying
+	}
+
+	report, err := f.Register(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("attribute categorization (Algorithm 1):")
+	for _, a := range d.Attrs {
+		fmt.Printf("  %-20s %-18s %s\n", a.Name, a.Category, report.Explanations[a.Name])
+	}
+	for _, c := range report.Conflicts {
+		fmt.Println("  conflict:", c)
+	}
+	for _, u := range report.Unknown {
+		fmt.Println("  unknown (ask an expert):", u)
+	}
+
+	fmt.Println("\nrisk measures side by side (per tuple):")
+	measures := []vadasa.RiskMeasure{
+		vadasa.ReIdentification{},
+		vadasa.KAnonymity{K: 2},
+		vadasa.IndividualRisk{Estimator: vadasa.PosteriorEstimator},
+		vadasa.SUDA{Threshold: 3},
+	}
+	all := make([][]float64, len(measures))
+	for m, measure := range measures {
+		rs, err := f.AssessRisk(d, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all[m] = rs
+	}
+	fmt.Printf("  %-6s %14s %12s %12s %8s\n", "tuple", "re-ident", "k-anon(2)", "individual", "suda")
+	for i := range d.Rows {
+		fmt.Printf("  %-6d %14.4f %12.0f %12.4f %8.0f\n",
+			d.Rows[i].ID, all[0][i], all[1][i], all[2][i], all[3][i])
+	}
+
+	// Anonymize: the Area values in the paper's Figure 5 roll up the
+	// Italian geography; suppression handles the rest.
+	res, err := f.Anonymize(d, vadasa.CycleOptions{
+		Measure:     vadasa.KAnonymity{K: 2},
+		Threshold:   0.5,
+		UseRecoding: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanonymized in %d iterations; %d decisions, %d residual tuples\n",
+		res.Iterations, len(res.Decisions), len(res.Residual))
+	for _, dec := range res.Decisions {
+		fmt.Println("  ", dec)
+	}
+
+	fmt.Println("\nanonymized microdata DB (CSV):")
+	if err := vadasa.WriteCSV(os.Stdout, res.Dataset); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Business-knowledge walkthrough (Section 4.4 / Algorithm 9): disclosure
+// risk propagates along company-control relationships — re-identifying one
+// company of a group makes its affiliates easy to re-identify, so the whole
+// cluster shares the combined risk 1 − Π(1 − ρ). The control relation itself
+// is derived by the reasoning engine from the declarative ownership rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vadasa"
+)
+
+func main() {
+	f := vadasa.New()
+	d := vadasa.Generate(vadasa.GeneratorConfig{
+		Tuples: 2000, QIs: 4, Dist: vadasa.DistW, Seed: 3,
+	})
+
+	// Without business knowledge.
+	plain, err := f.Anonymize(d, vadasa.CycleOptions{
+		Measure: vadasa.KAnonymity{K: 2}, Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The company-control rules of Section 4.4, evaluated declaratively:
+	// X controls Y with >50% direct ownership, or when the companies X
+	// already controls jointly own >50% of Y.
+	program := vadasa.MustParseProgram(`
+		ctr(X,X) :- own(X,Y,W).
+		rel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
+		ctr(X,Y) :- rel(X,Y).
+	`)
+	edb := vadasa.NewFactDB()
+	// A holding chain among the first few companies plus a joint control.
+	id := func(i int) string { return d.Rows[i].Values[0].Constant() }
+	edges := []struct {
+		x, y int
+		w    float64
+	}{
+		{0, 1, 0.6}, {1, 2, 0.7}, {0, 3, 0.3}, {2, 3, 0.3}, {3, 4, 0.9},
+	}
+	for _, e := range edges {
+		edb.Add("own", vadasa.StrVal(id(e.x)), vadasa.StrVal(id(e.y)), vadasa.NumVal(e.w))
+	}
+	derived, err := vadasa.Reason(program, edb, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derived control relationships (reasoning):")
+	for _, fact := range derived.Facts("rel") {
+		fmt.Printf("  %s controls %s\n", fact[0], fact[1])
+	}
+	// Explain one derivation end to end.
+	if rels := derived.Facts("rel"); len(rels) > 0 {
+		last := rels[len(rels)-1]
+		ex, err := derived.Explain("rel", last[0], last[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nwhy does the last control relationship hold?")
+		fmt.Print(ex)
+	}
+
+	// Feed the same ownership into the framework: risk now propagates.
+	for _, e := range edges {
+		if err := f.Ownership().AddOwnership(id(e.x), id(e.y), e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	enhanced, err := f.Anonymize(d, vadasa.CycleOptions{
+		Measure: vadasa.KAnonymity{K: 2}, Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nwithout business knowledge: %d risky tuples, %d nulls injected\n",
+		plain.EverRisky, plain.NullsInjected)
+	fmt.Printf("with control propagation:   %d risky tuples, %d nulls injected\n",
+		enhanced.EverRisky, enhanced.NullsInjected)
+}

@@ -1,0 +1,343 @@
+package vadasa
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/categorize"
+	"vadasa/internal/cluster"
+	"vadasa/internal/datalog"
+	"vadasa/internal/hierarchy"
+	"vadasa/internal/mdb"
+	"vadasa/internal/programs"
+	"vadasa/internal/risk"
+)
+
+// Framework is the Vada-SA session object: it owns the metadata dictionary,
+// the experience base and similarity functions for attribute categorization,
+// the domain-hierarchy knowledge base, the company-ownership graph, and the
+// plug-in registry of risk measures. All of it together is the enterprise
+// Knowledge Base of Section 4; datasets registered with the framework go
+// through categorization exactly as new microdata DBs do at the Research
+// Data Center.
+type Framework struct {
+	dict       *mdb.Dictionary
+	experience []categorize.Entry
+	sims       []categorize.Similarity
+	hier       *hierarchy.Hierarchy
+	ownership  *cluster.Graph
+	measures   map[string]func() RiskMeasure
+}
+
+// New returns a framework preloaded with the default experience base, the
+// standard similarity functions, the Italian-geography hierarchy, and the
+// off-the-shelf risk measures of Section 4.2 registered under their names.
+func New() *Framework {
+	f := &Framework{
+		dict:       mdb.NewDictionary(),
+		experience: categorize.DefaultExperience(),
+		sims: []categorize.Similarity{
+			categorize.Exact{},
+			categorize.Normalized{},
+			categorize.TokenOverlap{Min: 0.5},
+		},
+		hier:      hierarchy.ItalianGeography(),
+		ownership: cluster.NewGraph(),
+		measures:  make(map[string]func() RiskMeasure),
+	}
+	f.RegisterMeasure("re-identification", func() RiskMeasure { return ReIdentification{} })
+	f.RegisterMeasure("k-anonymity", func() RiskMeasure { return KAnonymity{K: 2} })
+	f.RegisterMeasure("individual-risk", func() RiskMeasure {
+		return IndividualRisk{Estimator: PosteriorEstimator}
+	})
+	f.RegisterMeasure("suda", func() RiskMeasure { return SUDA{Threshold: 3} })
+	return f
+}
+
+// Dictionary exposes the metadata dictionary.
+func (f *Framework) Dictionary() *Dictionary { return f.dict }
+
+// Hierarchy exposes the domain-hierarchy knowledge base (extend it with
+// business knowledge before anonymizing with global recoding).
+func (f *Framework) Hierarchy() *Hierarchy { return f.hier }
+
+// Ownership exposes the company-ownership graph used by cluster risk.
+func (f *Framework) Ownership() *OwnershipGraph { return f.ownership }
+
+// AddExperience extends the categorization experience base — the expert
+// knowledge of Algorithm 1.
+func (f *Framework) AddExperience(entries ...ExperienceEntry) {
+	f.experience = append(f.experience, entries...)
+}
+
+// SetSimilarities replaces the pluggable similarity functions.
+func (f *Framework) SetSimilarities(sims ...Similarity) {
+	f.sims = append([]categorize.Similarity(nil), sims...)
+}
+
+// RegisterMeasure installs a named risk-measure factory — the plug-in
+// mechanism of Section 4.2 that lets business users select implementations
+// at runtime.
+func (f *Framework) RegisterMeasure(name string, factory func() RiskMeasure) {
+	f.measures[name] = factory
+}
+
+// Measure instantiates a registered risk measure by name.
+func (f *Framework) Measure(name string) (RiskMeasure, error) {
+	factory, ok := f.measures[name]
+	if !ok {
+		return nil, fmt.Errorf("vadasa: unknown risk measure %q (have %v)", name, f.MeasureNames())
+	}
+	return factory(), nil
+}
+
+// MeasureNames lists the registered risk measures, sorted.
+func (f *Framework) MeasureNames() []string {
+	out := make([]string, 0, len(f.measures))
+	for n := range f.measures {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds a microdata DB to the metadata dictionary, runs attribute
+// categorization (Algorithm 1) over its attribute names, and applies the
+// inferred categories to both the dictionary and the dataset. Attributes
+// already categorized on the dataset act as additional experience; conflicts
+// and unknowns are returned for human inspection and leave the dataset's
+// declared categories untouched.
+func (f *Framework) Register(d *Dataset) (*CategorizationResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.dict.RegisterDataset(d); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		names[i] = a.Name
+	}
+	c := &categorize.Categorizer{
+		Experience:  f.experience,
+		Sims:        f.sims,
+		Consolidate: true,
+	}
+	res := c.Categorize(names)
+	for attr, cat := range res.Categories {
+		if err := f.dict.SetCategory(d.Name, attr, cat); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.dict.Apply(d); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// AssessRisk estimates per-tuple disclosure risk under maybe-match
+// semantics. Cluster propagation is applied automatically when the
+// ownership graph is non-empty (the enhanced cycle of Algorithm 9).
+func (f *Framework) AssessRisk(d *Dataset, measure RiskMeasure) ([]float64, error) {
+	return f.assessor(measure).Assess(d, MaybeMatch)
+}
+
+func (f *Framework) assessor(measure RiskMeasure) RiskMeasure {
+	if f.ownership.EdgeCount() > 0 {
+		return ClusterRisk{Base: measure, Graph: f.ownership}
+	}
+	return measure
+}
+
+// ExplainRisk explains why a tuple carries its disclosure risk. For the
+// frequency-based measures (re-identification, k-anonymity, individual risk)
+// the explanation is the derivation tree of the corresponding declarative
+// program evaluated by the reasoning engine — the standard-entailment
+// explainability the paper guarantees; for SUDA it lists the tuple's minimal
+// sample uniques. The whole dataset is re-reasoned over, so this is an
+// interactive-inspection tool, not a bulk API.
+//
+// Attribute-restricted measures (Attrs set) are not supported: the
+// explanation always covers all quasi-identifiers.
+func (f *Framework) ExplainRisk(d *Dataset, measure RiskMeasure, rowID int) (string, error) {
+	qi := d.QuasiIdentifiers()
+	if len(qi) == 0 {
+		return "", fmt.Errorf("vadasa: dataset %q has no quasi-identifiers", d.Name)
+	}
+	found := false
+	for _, r := range d.Rows {
+		if r.ID == rowID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("vadasa: dataset %q has no tuple with id %d", d.Name, rowID)
+	}
+
+	var prog *Program
+	switch m := measure.(type) {
+	case ReIdentification:
+		if len(m.Attrs) > 0 {
+			return "", fmt.Errorf("vadasa: ExplainRisk does not support attribute-restricted measures")
+		}
+		prog = programs.ReIdentification(len(qi))
+	case KAnonymity:
+		if len(m.Attrs) > 0 {
+			return "", fmt.Errorf("vadasa: ExplainRisk does not support attribute-restricted measures")
+		}
+		prog = programs.KAnonymity(len(qi), m.K)
+	case IndividualRisk:
+		if len(m.Attrs) > 0 {
+			return "", fmt.Errorf("vadasa: ExplainRisk does not support attribute-restricted measures")
+		}
+		prog = programs.IndividualRisk(len(qi))
+	case SUDA:
+		return f.explainSUDA(d, m, rowID)
+	default:
+		return "", fmt.Errorf("vadasa: no explanation support for measure %q", measure.Name())
+	}
+
+	edb := datalog.NewDatabase()
+	programs.TupleFacts(edb, d)
+	res, err := datalog.Run(prog, edb, nil)
+	if err != nil {
+		return "", fmt.Errorf("vadasa: explaining risk: %w", err)
+	}
+	for _, fact := range res.Facts("riskout") {
+		if int(fact[0].NumVal()) != rowID {
+			continue
+		}
+		return res.Explain("riskout", fact...)
+	}
+	return "", fmt.Errorf("vadasa: no risk derived for tuple %d", rowID)
+}
+
+func (f *Framework) explainSUDA(d *Dataset, m SUDA, rowID int) (string, error) {
+	if len(m.Attrs) > 0 {
+		return "", fmt.Errorf("vadasa: ExplainRisk does not support attribute-restricted measures")
+	}
+	qi := d.QuasiIdentifiers()
+	maxK := m.MaxK
+	if maxK == 0 {
+		maxK = m.Threshold
+	}
+	msus := risk.MSUs(d, qi, maxK, mdb.MaybeMatch)
+	rowIdx := -1
+	for i, r := range d.Rows {
+		if r.ID == rowID {
+			rowIdx = i
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SUDA on tuple %d (MSU size threshold %d, combinations up to size %d):\n",
+		rowID, m.Threshold, maxK)
+	ms := msus[rowIdx]
+	if len(ms) == 0 {
+		b.WriteString("  no minimal sample uniques: the tuple is not dangerous\n")
+		return b.String(), nil
+	}
+	dangerous := false
+	for _, mask := range ms {
+		var names []string
+		for i := range qi {
+			if mask&(1<<uint(i)) != 0 {
+				names = append(names, d.Attrs[qi[i]].Name)
+			}
+		}
+		size := bits.OnesCount32(mask)
+		verdict := "safe (size >= threshold)"
+		if size < m.Threshold {
+			verdict = "dangerous (size < threshold)"
+			dangerous = true
+		}
+		fmt.Fprintf(&b, "  minimal sample unique {%s}: size %d — %s\n",
+			strings.Join(names, ", "), size, verdict)
+	}
+	if dangerous {
+		fmt.Fprintf(&b, "  => risk 1: too few attributes disclose this tuple\n")
+	} else {
+		fmt.Fprintf(&b, "  => risk 0: every minimal sample unique needs %d+ attributes\n", m.Threshold)
+	}
+	return b.String(), nil
+}
+
+// CycleOptions parameterizes Anonymize. Zero values select the paper's
+// defaults: local suppression with the most-selective-first attribute
+// choice, the less-significant-first tuple order, maybe-match semantics.
+type CycleOptions struct {
+	// Measure estimates tuple risk (required).
+	Measure RiskMeasure
+	// Threshold is T of Algorithm 2.
+	Threshold float64
+	// Method overrides the anonymization method.
+	Method Anonymizer
+	// Semantics overrides the labelled-null semantics (default MaybeMatch).
+	Semantics Semantics
+	// Order overrides the risky-tuple processing order.
+	Order TupleOrder
+	// UseRecoding prepends hierarchy-based global recoding to the default
+	// suppression method.
+	UseRecoding bool
+}
+
+// Anonymize runs the anonymization cycle of Algorithm 2 on a copy of d and
+// returns the anonymized dataset together with the full decision log.
+func (f *Framework) Anonymize(d *Dataset, opts CycleOptions) (*CycleResult, error) {
+	if opts.Measure == nil {
+		return nil, fmt.Errorf("vadasa: CycleOptions.Measure is required")
+	}
+	method := opts.Method
+	if method == nil {
+		suppress := LocalSuppression{Choice: AttrMostSelective}
+		if opts.UseRecoding {
+			method = Composite{
+				GlobalRecoding{KB: f.hier, Choice: AttrMostSelective},
+				suppress,
+			}
+		} else {
+			method = suppress
+		}
+	}
+	return anon.Run(d, anon.Config{
+		Assessor:   f.assessor(opts.Measure),
+		Threshold:  opts.Threshold,
+		Anonymizer: method,
+		Semantics:  opts.Semantics,
+		Order:      opts.Order,
+	})
+}
+
+// MeasureSummary pairs a registered measure's name with its risk summary.
+type MeasureSummary struct {
+	Name    string
+	Summary RiskSummary
+	Err     error
+}
+
+// AssessAllRegistered runs every registered risk measure over the dataset
+// and summarizes each against the threshold — the multi-angle confidentiality
+// scorecard an analyst reviews before deciding how to anonymize. Measures
+// that cannot run on this dataset report their error instead of aborting the
+// scorecard.
+func (f *Framework) AssessAllRegistered(d *Dataset, threshold float64) []MeasureSummary {
+	out := make([]MeasureSummary, 0, len(f.measures))
+	for _, name := range f.MeasureNames() {
+		m, err := f.Measure(name)
+		if err != nil {
+			out = append(out, MeasureSummary{Name: name, Err: err})
+			continue
+		}
+		risks, err := f.AssessRisk(d, m)
+		if err != nil {
+			out = append(out, MeasureSummary{Name: name, Err: err})
+			continue
+		}
+		out = append(out, MeasureSummary{Name: name, Summary: SummarizeRisks(risks, threshold)})
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module vadasa
+
+go 1.22

@@ -1,0 +1,259 @@
+package anon
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+)
+
+// TupleOrder selects which risky tuples are anonymized first (the first
+// runtime question of Section 4.4).
+type TupleOrder int
+
+// Tuple-ordering heuristics.
+const (
+	// OrderLessSignificantFirst is the paper's default routing strategy:
+	// tuples with lower sampling weight carry less statistical
+	// significance and are anonymized first.
+	OrderLessSignificantFirst TupleOrder = iota
+	// OrderByRiskDesc anonymizes the riskiest tuples first.
+	OrderByRiskDesc
+	// OrderByID processes tuples in dataset order (no routing strategy).
+	OrderByID
+)
+
+// String implements fmt.Stringer.
+func (o TupleOrder) String() string {
+	switch o {
+	case OrderLessSignificantFirst:
+		return "less-significant-first"
+	case OrderByRiskDesc:
+		return "most-risky-first"
+	case OrderByID:
+		return "dataset-order"
+	default:
+		return fmt.Sprintf("TupleOrder(%d)", int(o))
+	}
+}
+
+// Config parameterizes the anonymization cycle.
+type Config struct {
+	// Assessor estimates per-tuple disclosure risk (plug-in #risk).
+	Assessor risk.Assessor
+	// Threshold is T of Algorithm 2: tuples with risk > T are anonymized.
+	Threshold float64
+	// Anonymizer applies the per-tuple steps (plug-in #anonymize).
+	Anonymizer Anonymizer
+	// Semantics selects the labelled-null comparison semantics; the
+	// maybe-match default is what makes suppression effective.
+	Semantics mdb.Semantics
+	// Order is the risky-tuple processing order.
+	Order TupleOrder
+	// MaxIterations caps the cycle (default 10000).
+	MaxIterations int
+	// BatchFraction bounds how many of the currently risky tuples are
+	// anonymized before risk is re-evaluated, as a fraction of the risky
+	// set (default 0.25, minimum batch 32). Smaller batches approximate
+	// the paper's incremental monotonic-aggregation semantics more
+	// closely: a suppression can rescue similar risky tuples, so fewer
+	// values are removed overall — at the price of more risk evaluations.
+	// Set to 1 to anonymize every risky tuple each iteration.
+	BatchFraction float64
+}
+
+// Result is the outcome of an anonymization cycle.
+type Result struct {
+	// Dataset is the anonymized copy; the input dataset is not modified.
+	Dataset *mdb.Dataset
+	// Decisions is the full, ordered explanation log.
+	Decisions []Decision
+	// Iterations is the number of risk-evaluate/anonymize rounds run.
+	Iterations int
+	// InitialRisky and EverRisky count the tuples over threshold at the
+	// start and at any point of the cycle.
+	InitialRisky, EverRisky int
+	// Residual lists the row IDs still over threshold when the cycle
+	// stopped because no anonymization step could help them further.
+	Residual []int
+	// NullsInjected counts the labelled nulls added by the cycle —
+	// the metric of Figures 7a, 7c and 7d.
+	NullsInjected int
+	// InfoLoss is the information-loss estimate of Section 5.1: injected
+	// nulls over the maximum number of quasi-identifier values of risky
+	// tuples that could theoretically be removed.
+	InfoLoss float64
+	// RiskEvalTime and AnonTime split the elapsed time between the risk
+	// estimation component and the anonymization steps (Figure 7e's
+	// dotted vs solid lines).
+	RiskEvalTime, AnonTime time.Duration
+}
+
+// Run executes the anonymization cycle of Algorithm 2 on a copy of d:
+// iteratively estimate the disclosure risk of every tuple and apply one
+// minimal anonymization step to each tuple over threshold, until every tuple
+// passes (Tuple_A) or no step can improve the stragglers.
+func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
+	if cfg.Assessor == nil {
+		return nil, fmt.Errorf("anon: Config.Assessor is required")
+	}
+	if cfg.Anonymizer == nil {
+		return nil, fmt.Errorf("anon: Config.Anonymizer is required")
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("anon: threshold %g outside [0,1]", cfg.Threshold)
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 10_000
+	}
+
+	work := d.Clone()
+	qi := work.QuasiIdentifiers()
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("anon: dataset %q has no quasi-identifiers", d.Name)
+	}
+	res := &Result{Dataset: work}
+	nullsBefore := work.NullCount()
+	exhausted := make(map[int]bool)
+	everRisky := make(map[int]bool)
+
+	var risks []float64
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return nil, fmt.Errorf("anon: cycle did not converge within %d iterations", maxIter)
+		}
+		t0 := time.Now()
+		var err error
+		risks, err = cfg.Assessor.Assess(work, cfg.Semantics)
+		res.RiskEvalTime += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("anon: risk assessment: %w", err)
+		}
+
+		var risky []int
+		for row, r := range risks {
+			if r > cfg.Threshold {
+				if !everRisky[row] {
+					everRisky[row] = true
+					if iter == 0 {
+						res.InitialRisky++
+					}
+				}
+				if !exhausted[row] {
+					risky = append(risky, row)
+				}
+			}
+		}
+		if len(risky) == 0 {
+			res.Iterations = iter
+			break
+		}
+		orderRisky(work, risks, risky, cfg.Order)
+		frac := cfg.BatchFraction
+		if frac <= 0 {
+			frac = 0.25
+		}
+		if frac < 1 {
+			limit := int(frac * float64(len(risky)))
+			if limit < 32 {
+				limit = 32
+			}
+			if limit < len(risky) {
+				risky = risky[:limit]
+			}
+		}
+
+		t0 = time.Now()
+		ctx := NewContext(work, qi)
+		for _, row := range risky {
+			decisions, ok := cfg.Anonymizer.Step(ctx, row)
+			if !ok {
+				// Nothing more can be done for this tuple; it is
+				// excluded from future batches and ends up in the
+				// residual report. Other risky tuples still get their
+				// turn in later iterations.
+				exhausted[row] = true
+				continue
+			}
+			for i := range decisions {
+				decisions[i].Iteration = iter + 1
+				decisions[i].Risk = risks[row]
+			}
+			res.Decisions = append(res.Decisions, decisions...)
+		}
+		res.AnonTime += time.Since(t0)
+	}
+
+	// Final pass for the residual report (risks holds the last assessment;
+	// re-assess only if anonymization happened after it).
+	t0 := time.Now()
+	final, err := cfg.Assessor.Assess(work, cfg.Semantics)
+	res.RiskEvalTime += time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("anon: final risk assessment: %w", err)
+	}
+	for row, r := range final {
+		if r > cfg.Threshold {
+			res.Residual = append(res.Residual, work.Rows[row].ID)
+		}
+	}
+
+	res.EverRisky = len(everRisky)
+	res.NullsInjected = work.NullCount() - nullsBefore
+	if denom := res.EverRisky * len(qi); denom > 0 {
+		res.InfoLoss = float64(res.NullsInjected) / float64(denom)
+	}
+	return res, nil
+}
+
+func orderRisky(d *mdb.Dataset, risks []float64, risky []int, order TupleOrder) {
+	switch order {
+	case OrderLessSignificantFirst:
+		sort.SliceStable(risky, func(i, j int) bool {
+			a, b := d.Rows[risky[i]], d.Rows[risky[j]]
+			if a.Weight != b.Weight {
+				return a.Weight < b.Weight
+			}
+			return a.ID < b.ID
+		})
+	case OrderByRiskDesc:
+		sort.SliceStable(risky, func(i, j int) bool {
+			if risks[risky[i]] != risks[risky[j]] {
+				return risks[risky[i]] > risks[risky[j]]
+			}
+			return d.Rows[risky[i]].ID < d.Rows[risky[j]].ID
+		})
+	case OrderByID:
+		sort.SliceStable(risky, func(i, j int) bool {
+			return d.Rows[risky[i]].ID < d.Rows[risky[j]].ID
+		})
+	}
+}
+
+// ExplainTuple returns the decisions that touched one tuple, in order — the
+// per-respondent view an auditor asks for ("why was company X's sector
+// removed?").
+func (r *Result) ExplainTuple(rowID int) []Decision {
+	var out []Decision
+	for _, d := range r.Decisions {
+		if d.RowID == rowID {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NullsByAttribute breaks the injected nulls down per attribute — which
+// columns paid for confidentiality.
+func (r *Result) NullsByAttribute() map[string]int {
+	out := make(map[string]int)
+	for _, d := range r.Decisions {
+		if d.Method == "local-suppression" {
+			out[d.Attr]++
+		}
+	}
+	return out
+}

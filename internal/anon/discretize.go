@@ -1,0 +1,72 @@
+package anon
+
+import (
+	"fmt"
+	"strconv"
+
+	"vadasa/internal/hierarchy"
+	"vadasa/internal/mdb"
+)
+
+// Discretize replaces the numeric constants of an attribute with level-0
+// interval labels over the given cut points, and installs the matching
+// interval ladder into the knowledge base so global recoding can coarsen the
+// attribute further. It is the bridge that brings continuous attributes —
+// revenues, growth rates — into the categorical machinery of Section 4.3,
+// the way ARX and sdcMicro build value generalization hierarchies.
+//
+// Labelled nulls are left untouched; non-numeric or out-of-range constants
+// are an error, since silently passing them through would leave selective
+// raw values in the data.
+func Discretize(d *mdb.Dataset, attr string, cuts []float64, kb *hierarchy.Hierarchy) error {
+	idx := d.AttrIndex(attr)
+	if idx < 0 {
+		return fmt.Errorf("anon: dataset %q has no attribute %q", d.Name, attr)
+	}
+	if kb != nil {
+		if err := kb.BuildIntervalLadder(attr, cuts); err != nil {
+			return err
+		}
+	}
+	for _, r := range d.Rows {
+		v := r.Values[idx]
+		if v.IsNull() {
+			continue
+		}
+		num, err := strconv.ParseFloat(v.Constant(), 64)
+		if err != nil {
+			return fmt.Errorf("anon: row %d: attribute %q value %q is not numeric",
+				r.ID, attr, v.Constant())
+		}
+		label, ok := hierarchy.MapToInterval(num, cuts)
+		if !ok {
+			return fmt.Errorf("anon: row %d: attribute %q value %g outside [%g, %g]",
+				r.ID, attr, num, cuts[0], cuts[len(cuts)-1])
+		}
+		r.Values[idx] = mdb.Const(label)
+	}
+	return nil
+}
+
+// VerifyKAnonymity checks the cycle's advertised post-condition directly:
+// it returns the IDs of tuples whose maybe-match frequency over the
+// quasi-identifiers is below k. An empty result certifies the dataset
+// k-anonymous under the given null semantics — the independent check a data
+// officer runs before release.
+func VerifyKAnonymity(d *mdb.Dataset, k int, sem mdb.Semantics) []int {
+	qi := d.QuasiIdentifiers()
+	if len(qi) == 0 {
+		ids := make([]int, len(d.Rows))
+		for i, r := range d.Rows {
+			ids[i] = r.ID
+		}
+		return ids
+	}
+	var violating []int
+	for i, f := range mdb.Frequencies(d, qi, sem) {
+		if f < k {
+			violating = append(violating, d.Rows[i].ID)
+		}
+	}
+	return violating
+}

@@ -1,0 +1,144 @@
+package anon
+
+import (
+	"math/rand"
+	"testing"
+
+	"vadasa/internal/hierarchy"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+// randomConfig builds a cycle configuration sweeping the heuristic space.
+func randomConfig(rng *rand.Rand, k int) Config {
+	choices := []AttrChoice{AttrMostSelective, AttrLeastSelective, AttrSchemaOrder, AttrMaxGain}
+	orders := []TupleOrder{OrderLessSignificantFirst, OrderByRiskDesc, OrderByID}
+	fracs := []float64{0, 0.1, 0.5, 1}
+	var method Anonymizer = LocalSuppression{Choice: choices[rng.Intn(len(choices))]}
+	if rng.Intn(3) == 0 {
+		method = Composite{
+			GlobalRecoding{KB: hierarchy.ItalianGeography(), Choice: choices[rng.Intn(len(choices))]},
+			method,
+		}
+	}
+	return Config{
+		Assessor:      risk.KAnonymity{K: k},
+		Threshold:     0.5,
+		Anonymizer:    method,
+		Semantics:     mdb.MaybeMatch,
+		Order:         orders[rng.Intn(len(orders))],
+		BatchFraction: fracs[rng.Intn(len(fracs))],
+	}
+}
+
+// Post-condition: whatever heuristics are chosen, a converged k-anonymity
+// cycle leaves every tuple with maybe-match frequency >= k, or reports it as
+// residual. Suppression-only runs must also match NullsInjected against the
+// decision log.
+func TestCyclePostConditionAcrossHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 12; trial++ {
+		k := 2 + rng.Intn(3)
+		d := synth.Generate(synth.Config{
+			Tuples: 400 + rng.Intn(400), QIs: 3 + rng.Intn(2),
+			Dist: synth.Dist(rng.Intn(3)), Seed: int64(trial),
+		})
+		cfg := randomConfig(rng, k)
+		res, err := Run(d, cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		residual := make(map[int]bool, len(res.Residual))
+		for _, id := range res.Residual {
+			residual[id] = true
+		}
+		freqs := mdb.Frequencies(res.Dataset, res.Dataset.QuasiIdentifiers(), mdb.MaybeMatch)
+		for i, f := range freqs {
+			if f < k && !residual[res.Dataset.Rows[i].ID] {
+				t.Fatalf("trial %d: row %d freq %d < %d and not residual (order %v, method %s)",
+					trial, i, f, k, cfg.Order, cfg.Anonymizer.Name())
+			}
+		}
+		// Suppression decisions must account for every injected null.
+		suppressions := 0
+		for _, dec := range res.Decisions {
+			if dec.Method == "local-suppression" {
+				suppressions++
+			}
+		}
+		if suppressions != res.NullsInjected {
+			t.Fatalf("trial %d: %d suppression decisions, %d nulls injected",
+				trial, suppressions, res.NullsInjected)
+		}
+		// The input dataset is never touched.
+		if d.NullCount() != 0 {
+			t.Fatalf("trial %d: input dataset mutated", trial)
+		}
+	}
+}
+
+// Risk scores never leave [0,1] for any shipped measure on random datasets,
+// with and without nulls.
+func TestRiskRangeAcrossMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		d := synth.Generate(synth.Config{
+			Tuples: 300, QIs: 4, Dist: synth.Dist(rng.Intn(3)), Seed: int64(100 + trial),
+		})
+		// Inject some nulls.
+		qi := d.QuasiIdentifiers()
+		for i := 0; i < trial*3; i++ {
+			d.Rows[rng.Intn(len(d.Rows))].Values[qi[rng.Intn(len(qi))]] = d.Nulls.Fresh()
+		}
+		measures := []risk.Assessor{
+			risk.ReIdentification{},
+			risk.KAnonymity{K: 3},
+			risk.IndividualRisk{Estimator: risk.Ratio},
+			risk.IndividualRisk{Estimator: risk.PosteriorSeries},
+			risk.IndividualRisk{Estimator: risk.MonteCarlo, Samples: 20, Seed: 1},
+			risk.SUDA{Threshold: 3},
+		}
+		for _, m := range measures {
+			for _, sem := range []mdb.Semantics{mdb.MaybeMatch, mdb.StandardNulls} {
+				rs, err := m.Assess(d, sem)
+				if err != nil {
+					t.Fatalf("trial %d %s/%v: %v", trial, m.Name(), sem, err)
+				}
+				for i, r := range rs {
+					if r < 0 || r > 1 {
+						t.Fatalf("trial %d %s/%v row %d: risk %g outside [0,1]",
+							trial, m.Name(), sem, i, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Suppressing a value never increases any tuple's re-identification risk
+// (the monotonicity the cycle depends on).
+func TestSuppressionNeverRaisesReIdentRisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		d := synth.Generate(synth.Config{
+			Tuples: 200, QIs: 4, Dist: synth.DistV, Seed: int64(trial),
+		})
+		before, err := risk.ReIdentification{}.Assess(d, mdb.MaybeMatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi := d.QuasiIdentifiers()
+		row := rng.Intn(len(d.Rows))
+		d.Rows[row].Values[qi[rng.Intn(len(qi))]] = d.Nulls.Fresh()
+		after, err := risk.ReIdentification{}.Assess(d, mdb.MaybeMatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range before {
+			if after[i] > before[i]+1e-12 {
+				t.Fatalf("trial %d: row %d risk rose %g -> %g", trial, i, before[i], after[i])
+			}
+		}
+	}
+}

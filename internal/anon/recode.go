@@ -1,0 +1,96 @@
+package anon
+
+import (
+	"vadasa/internal/hierarchy"
+	"vadasa/internal/mdb"
+)
+
+// GlobalRecoding is Algorithm 8: the value of a quasi-identifier is replaced
+// by its direct super-value in the domain hierarchy (e.g. Milano -> North).
+// In Global mode — the default, and what Figure 5b shows — the roll-up is
+// applied to every tuple carrying the value, decreasing the granularity of
+// the whole column consistently; in per-tuple mode only the risky tuple is
+// recoded, as in the literal reading of Algorithm 8.
+type GlobalRecoding struct {
+	KB     *hierarchy.Hierarchy
+	Choice AttrChoice
+	// PerTuple restricts the recoding to the risky tuple.
+	PerTuple bool
+}
+
+// Name implements Anonymizer.
+func (GlobalRecoding) Name() string { return "global-recoding" }
+
+// Step implements Anonymizer.
+func (g GlobalRecoding) Step(ctx *Context, row int) ([]Decision, bool) {
+	if g.KB == nil {
+		return nil, false
+	}
+	d := ctx.Dataset
+	r := d.Rows[row]
+	var candidates []int
+	for _, a := range ctx.QI {
+		v := r.Values[a]
+		if v.IsNull() {
+			continue
+		}
+		if _, ok := g.KB.RollUp(d.Attrs[a].Name, v.Constant()); ok {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	attr := chooseAttr(ctx, row, candidates, g.Choice)[0]
+	old := r.Values[attr]
+	parent, _ := g.KB.RollUp(d.Attrs[attr].Name, old.Constant())
+	newVal := mdb.Const(parent)
+
+	affected := 0
+	if g.PerTuple {
+		r.Values[attr] = newVal
+		affected = 1
+	} else {
+		for _, other := range d.Rows {
+			if other.Values[attr] == old {
+				other.Values[attr] = newVal
+				affected++
+			}
+		}
+	}
+	return []Decision{{
+		RowID:        r.ID,
+		Attr:         d.Attrs[attr].Name,
+		Old:          old,
+		New:          newVal,
+		Method:       g.Name(),
+		AffectedRows: affected,
+	}}, true
+}
+
+// Composite tries a sequence of anonymizers in order, using the first that
+// can still act on the tuple — e.g. recode up the hierarchy while possible,
+// then fall back to suppression.
+type Composite []Anonymizer
+
+// Name implements Anonymizer.
+func (c Composite) Name() string {
+	name := "composite("
+	for i, a := range c {
+		if i > 0 {
+			name += ","
+		}
+		name += a.Name()
+	}
+	return name + ")"
+}
+
+// Step implements Anonymizer.
+func (c Composite) Step(ctx *Context, row int) ([]Decision, bool) {
+	for _, a := range c {
+		if ds, ok := a.Step(ctx, row); ok {
+			return ds, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,39 @@
+package anon
+
+// LocalSuppression is Algorithm 7: a quasi-identifier value of the risky
+// tuple is replaced by a fresh labelled null. Under the maybe-match
+// semantics of Section 4.3 the null matches any value, so the tuple joins
+// every compatible aggregation group and its frequency rises.
+type LocalSuppression struct {
+	Choice AttrChoice
+}
+
+// Name implements Anonymizer.
+func (LocalSuppression) Name() string { return "local-suppression" }
+
+// Step implements Anonymizer.
+func (s LocalSuppression) Step(ctx *Context, row int) ([]Decision, bool) {
+	d := ctx.Dataset
+	r := d.Rows[row]
+	var candidates []int
+	for _, a := range ctx.QI {
+		if !r.Values[a].IsNull() {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	attr := chooseAttr(ctx, row, candidates, s.Choice)[0]
+	old := r.Values[attr]
+	null := d.Nulls.Fresh()
+	r.Values[attr] = null
+	return []Decision{{
+		RowID:        r.ID,
+		Attr:         d.Attrs[attr].Name,
+		Old:          old,
+		New:          null,
+		Method:       s.Name(),
+		AffectedRows: 1,
+	}}, true
+}

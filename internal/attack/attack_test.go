@@ -1,0 +1,261 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+func TestBuildOracle(t *testing.T) {
+	d := synth.InflationGrowth()
+	o, truth, err := Build(d, 1000)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(o.QIs) != 5 {
+		t.Fatalf("oracle QIs = %v", o.QIs)
+	}
+	// Total records = sum of weights (all under the cap).
+	wantRecords := 0
+	for _, r := range d.Rows {
+		wantRecords += int(r.Weight)
+	}
+	if len(o.Records) != wantRecords {
+		t.Fatalf("oracle has %d records, want %d", len(o.Records), wantRecords)
+	}
+	if len(truth) != 20 {
+		t.Fatalf("truth has %d entries", len(truth))
+	}
+	if truth[4] != "E4-0" {
+		t.Fatalf("truth[4] = %q", truth[4])
+	}
+}
+
+func TestBuildRejectsNulls(t *testing.T) {
+	d := synth.Figure5()
+	d.Rows[0].Values[1] = d.Nulls.Fresh()
+	if _, _, err := Build(d, 10); err == nil {
+		t.Fatal("oracle built from anonymized data")
+	}
+}
+
+func TestBuildRejectsNoQIs(t *testing.T) {
+	d := mdb.NewDataset("x", []mdb.Attribute{{Name: "A", Category: mdb.NonIdentifying}})
+	if _, _, err := Build(d, 10); err == nil {
+		t.Fatal("oracle built without quasi-identifiers")
+	}
+}
+
+func TestBuildCapsPerRow(t *testing.T) {
+	d := synth.InflationGrowth()
+	o, _, err := Build(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Records) != 5*len(d.Rows) {
+		t.Fatalf("capped oracle has %d records, want %d", len(o.Records), 5*len(d.Rows))
+	}
+}
+
+// Expected attack success must equal the re-identification risk when the
+// oracle is built from exact weights: block size = group weight sum.
+func TestExpectedSuccessMatchesReIdentificationRisk(t *testing.T) {
+	d := synth.InflationGrowth()
+	o, truth, err := Build(d, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(d, truth, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	risks, err := risk.ReIdentification{}.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.PerRow {
+		if math.Abs(out.Expected-risks[i]) > 1e-9 {
+			t.Errorf("tuple %d: expected attack success %g, re-identification risk %g",
+				out.RowID, out.Expected, risks[i])
+		}
+	}
+}
+
+func TestAnonymizationDefeatsAttack(t *testing.T) {
+	d := synth.Generate(synth.Config{Tuples: 800, QIs: 4, Dist: synth.DistV, Seed: 13})
+	o, truth, err := Build(d, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := o.Run(d, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := anon.Run(d, anon.Config{
+		Assessor:   risk.KAnonymity{K: 3},
+		Threshold:  0.5,
+		Anonymizer: anon.LocalSuppression{Choice: anon.AttrMostSelective},
+		Semantics:  mdb.MaybeMatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := o.Run(cyc.Dataset, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ExpectedSuccesses >= before.ExpectedSuccesses {
+		t.Fatalf("anonymization did not reduce expected successes: %g -> %g",
+			before.ExpectedSuccesses, after.ExpectedSuccesses)
+	}
+	if after.MeanBlockSize <= before.MeanBlockSize {
+		t.Fatalf("anonymization did not grow blocks: %g -> %g",
+			before.MeanBlockSize, after.MeanBlockSize)
+	}
+	// Per-row: no tuple becomes easier to attack.
+	for i := range before.PerRow {
+		if after.PerRow[i].Expected > before.PerRow[i].Expected+1e-12 {
+			t.Fatalf("tuple %d got easier to attack: %g -> %g",
+				before.PerRow[i].RowID, before.PerRow[i].Expected, after.PerRow[i].Expected)
+		}
+	}
+}
+
+func TestBlockWithNullMatchesEverythingCompatible(t *testing.T) {
+	d := synth.Figure5()
+	o, _, err := Build(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := d.QuasiIdentifiers()
+	values := make([]mdb.Value, len(qi))
+	for j, i := range qi {
+		values[j] = d.Rows[0].Values[i]
+	}
+	if got := len(o.Block(values)); got != 1 {
+		t.Fatalf("exact block size = %d, want 1", got)
+	}
+	values[1] = mdb.Null(1) // suppress Sector
+	if got := len(o.Block(values)); got != 5 {
+		t.Fatalf("null block size = %d, want 5 (all Roma/1000+/0-30)", got)
+	}
+	// All nulls: whole oracle.
+	for j := range values {
+		values[j] = mdb.Null(uint64(j + 1))
+	}
+	if got := len(o.Block(values)); got != len(o.Records) {
+		t.Fatalf("all-null block size = %d, want %d", got, len(o.Records))
+	}
+}
+
+func TestRunValidatesSchema(t *testing.T) {
+	d := synth.Figure5()
+	o, truth, err := Build(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := synth.InflationGrowth()
+	if _, err := o.Run(other, truth, 1); err == nil {
+		t.Fatal("mismatched schema accepted")
+	}
+}
+
+func TestSampledGuessesDeterministicPerSeed(t *testing.T) {
+	d := synth.Generate(synth.Config{Tuples: 300, QIs: 4, Dist: synth.DistU, Seed: 3})
+	o, truth, err := Build(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := o.Run(d, truth, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := o.Run(d, truth, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SampledSuccesses != r2.SampledSuccesses {
+		t.Fatal("same seed produced different sampled outcomes")
+	}
+}
+
+// The matching attacker (Figure 2 step 2) must beat uniform guessing when an
+// informative auxiliary signal is published, and anonymization must still
+// beat the matcher down.
+func TestMatchingAttackerBeatsUniform(t *testing.T) {
+	d := synth.InflationGrowth()
+	o, truth, err := BuildWithOptions(d, BuildOptions{
+		MaxPerRow:  1000,
+		SignalAttr: "Growth6mos",
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatalf("BuildWithOptions: %v", err)
+	}
+	if o.SignalAttr != "Growth6mos" {
+		t.Fatal("signal attribute not recorded")
+	}
+	res, err := o.Run(d, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple's combination is unique in Figure 1, so the block holds
+	// the respondent plus weight-1 lookalikes. The exact-signal matcher
+	// should re-identify far more tuples than the uniform guesser's
+	// expectation (~0.2 tuples).
+	if res.MatchedSuccesses < 10 {
+		t.Fatalf("matching attacker got %d of %d; want most tuples", res.MatchedSuccesses, len(d.Rows))
+	}
+	if float64(res.MatchedSuccesses) <= res.ExpectedSuccesses {
+		t.Fatalf("matcher (%d) not better than uniform expectation (%.2f)",
+			res.MatchedSuccesses, res.ExpectedSuccesses)
+	}
+
+	// Anonymize and re-attack: matching success must drop.
+	cyc, err := anon.Run(d, anon.Config{
+		Assessor:   risk.KAnonymity{K: 3},
+		Threshold:  0.5,
+		Anonymizer: anon.LocalSuppression{Choice: anon.AttrMaxGain},
+		Semantics:  mdb.MaybeMatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := o.Run(cyc.Dataset, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MatchedSuccesses >= res.MatchedSuccesses {
+		t.Fatalf("anonymization did not hurt the matcher: %d -> %d",
+			res.MatchedSuccesses, after.MatchedSuccesses)
+	}
+}
+
+func TestBuildWithOptionsValidation(t *testing.T) {
+	d := synth.InflationGrowth()
+	if _, _, err := BuildWithOptions(d, BuildOptions{SignalAttr: "Nope"}); err == nil {
+		t.Error("unknown signal attribute accepted")
+	}
+	if _, _, err := BuildWithOptions(d, BuildOptions{SignalAttr: "Sector"}); err == nil {
+		t.Error("non-numeric signal attribute accepted")
+	}
+}
+
+func TestOracleWithoutSignalHasNoMatches(t *testing.T) {
+	d := synth.Figure5()
+	o, truth, err := Build(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(d, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchedSuccesses != 0 {
+		t.Fatalf("matched successes without signals: %d", res.MatchedSuccesses)
+	}
+}

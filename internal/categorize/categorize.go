@@ -1,0 +1,164 @@
+package categorize
+
+import (
+	"fmt"
+	"sort"
+
+	"vadasa/internal/mdb"
+)
+
+// Entry is one item of the experience base (ExpBase of Algorithm 1): a known
+// attribute name and its category.
+type Entry struct {
+	Attr     string
+	Category mdb.Category
+}
+
+// Conflict reports that an attribute inherited two different categories —
+// the violation of the EGD in Rule 4 of Algorithm 1, which Vada-SA hands to
+// a human rather than resolving automatically.
+type Conflict struct {
+	Attr string
+	// Candidates maps each inherited category to one explanation.
+	Candidates map[mdb.Category]string
+}
+
+func (c Conflict) String() string {
+	cats := make([]string, 0, len(c.Candidates))
+	for cat := range c.Candidates {
+		cats = append(cats, cat.String())
+	}
+	sort.Strings(cats)
+	return fmt.Sprintf("attribute %q inherits conflicting categories %v", c.Attr, cats)
+}
+
+// Result is the outcome of a categorization run.
+type Result struct {
+	// Categories holds the single category inferred per attribute.
+	Categories map[string]mdb.Category
+	// Explanations records, per categorized attribute, which experience
+	// entry and similarity function motivated the decision.
+	Explanations map[string]string
+	// Conflicts lists attributes with contradictory inheritances; they
+	// are left uncategorized for manual inspection.
+	Conflicts []Conflict
+	// Unknown lists attributes no experience entry is similar to — the
+	// labelled-null placeholders of Rule 1, awaiting expert input.
+	Unknown []string
+}
+
+// Categorizer runs Algorithm 1 over an experience base with pluggable
+// similarity functions.
+type Categorizer struct {
+	Experience []Entry
+	Sims       []Similarity
+	// Consolidate enables Rule 3: inferred categories are fed back into
+	// the experience base so later attributes can chain on them.
+	Consolidate bool
+}
+
+// Categorize infers a category for each attribute name.
+func (c *Categorizer) Categorize(attrs []string) *Result {
+	sims := c.Sims
+	if len(sims) == 0 {
+		sims = []Similarity{Exact{}}
+	}
+	res := &Result{
+		Categories:   make(map[string]mdb.Category),
+		Explanations: make(map[string]string),
+	}
+	exp := append([]Entry(nil), c.Experience...)
+	conflicted := make(map[string]map[mdb.Category]string)
+
+	pending := append([]string(nil), attrs...)
+	for {
+		var next []string
+		progress := false
+		for _, attr := range pending {
+			candidates := make(map[mdb.Category]string)
+			for _, e := range exp {
+				for _, sim := range sims {
+					if sim.Similar(attr, e.Attr) {
+						if _, ok := candidates[e.Category]; !ok {
+							candidates[e.Category] = fmt.Sprintf(
+								"%q ~ %q via %s", attr, e.Attr, sim.Name())
+						}
+						break
+					}
+				}
+			}
+			switch len(candidates) {
+			case 0:
+				next = append(next, attr)
+			case 1:
+				for cat, why := range candidates {
+					res.Categories[attr] = cat
+					res.Explanations[attr] = why
+					if c.Consolidate {
+						exp = append(exp, Entry{Attr: attr, Category: cat})
+					}
+				}
+				progress = true
+			default:
+				conflicted[attr] = candidates
+				progress = true
+			}
+		}
+		pending = next
+		if !progress || len(pending) == 0 {
+			break
+		}
+	}
+
+	res.Unknown = pending
+	sort.Strings(res.Unknown)
+	names := make([]string, 0, len(conflicted))
+	for attr := range conflicted {
+		names = append(names, attr)
+	}
+	sort.Strings(names)
+	for _, attr := range names {
+		res.Conflicts = append(res.Conflicts, Conflict{Attr: attr, Candidates: conflicted[attr]})
+	}
+	return res
+}
+
+// Apply writes the inferred categories into a dictionary for the given
+// microdata DB, skipping conflicted and unknown attributes.
+func (r *Result) Apply(dict *mdb.Dictionary, db string) error {
+	for attr, cat := range r.Categories {
+		if err := dict.SetCategory(db, attr, cat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultExperience is a starter experience base reflecting the Bank of
+// Italy naming conventions used throughout the paper's examples.
+func DefaultExperience() []Entry {
+	return []Entry{
+		{"id", mdb.Identifier},
+		{"company id", mdb.Identifier},
+		{"fiscal code", mdb.Identifier},
+		{"ssn", mdb.Identifier},
+		{"vat number", mdb.Identifier},
+		{"geographic area", mdb.QuasiIdentifier},
+		{"region", mdb.QuasiIdentifier},
+		{"city", mdb.QuasiIdentifier},
+		{"product sector", mdb.QuasiIdentifier},
+		{"employees", mdb.QuasiIdentifier},
+		{"residential revenue", mdb.QuasiIdentifier},
+		{"occupation", mdb.QuasiIdentifier},
+		{"age class", mdb.QuasiIdentifier},
+		{"legal form", mdb.QuasiIdentifier},
+		{"founded era", mdb.QuasiIdentifier},
+		{"export to DE", mdb.QuasiIdentifier},
+		{"growth 6 mos", mdb.QuasiIdentifier},
+		{"export revenue", mdb.NonIdentifying},
+		{"notes", mdb.NonIdentifying},
+		{"internal system id", mdb.NonIdentifying},
+		{"weight", mdb.Weight},
+		{"sampling weight", mdb.Weight},
+	}
+}

@@ -1,0 +1,245 @@
+// Package categorize implements the attribute-categorization reasoning of
+// Algorithm 1: attributes of a new microdata DB inherit the category
+// (identifier, quasi-identifier, non-identifying, weight) of sufficiently
+// similar attributes in an experience base, recursively feeding confirmed
+// decisions back so later attributes can chain on earlier ones. Conflicting
+// inheritances — the EGD of Rule 4 — are surfaced for human inspection
+// instead of being silently resolved.
+package categorize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Similarity is the pluggable ∼ relation of Algorithm 1, Rule 2.
+type Similarity interface {
+	Name() string
+	Similar(a, b string) bool
+}
+
+// Exact matches identical names.
+type Exact struct{}
+
+// Name implements Similarity.
+func (Exact) Name() string { return "exact" }
+
+// Similar implements Similarity.
+func (Exact) Similar(a, b string) bool { return a == b }
+
+// Normalized matches names that are equal after lower-casing and dropping
+// spaces, underscores and punctuation: "Sampling Weight" ~ "sampling_weight".
+type Normalized struct{}
+
+// Name implements Similarity.
+func (Normalized) Name() string { return "normalized" }
+
+// Similar implements Similarity.
+func (Normalized) Similar(a, b string) bool { return normalize(a) == normalize(b) }
+
+func normalize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}
+
+// EditDistance matches names whose normalized forms are within Max
+// Levenshtein edits: "Employes" ~ "Employees".
+type EditDistance struct {
+	Max int
+}
+
+// Name implements Similarity.
+func (EditDistance) Name() string { return "edit-distance" }
+
+// Similar implements Similarity.
+func (e EditDistance) Similar(a, b string) bool {
+	return levenshtein(normalize(a), normalize(b)) <= e.Max
+}
+
+func levenshtein(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// TokenOverlap matches names whose token sets have a Jaccard similarity of
+// at least Min. Tokens are split on case changes, digits and punctuation, so
+// "ExportToDE" ~ "export to de".
+type TokenOverlap struct {
+	Min float64
+}
+
+// Name implements Similarity.
+func (TokenOverlap) Name() string { return "token-overlap" }
+
+// Similar implements Similarity.
+func (t TokenOverlap) Similar(a, b string) bool {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return false
+	}
+	sa := make(map[string]bool, len(ta))
+	for _, tok := range ta {
+		sa[tok] = true
+	}
+	inter, union := 0, len(sa)
+	seen := make(map[string]bool, len(tb))
+	for _, tok := range tb {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		if sa[tok] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter)/float64(union) >= t.Min
+}
+
+// Tokens splits an attribute name into lower-case tokens at case changes,
+// digit boundaries and non-alphanumeric characters.
+func Tokens(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			if i > 0 && unicode.IsUpper(r) && unicode.IsLower(runes[i-1]) {
+				flush()
+			}
+			if i > 0 && unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Abbreviation matches names whose tokens abbreviate one another in order:
+// every token of the shorter name must be an abbreviation — a subsequence
+// anchored at the first letter — of the corresponding token of the longer
+// one, so "Res. Rev." ~ "Residential Revenue" and "Grwth" ~ "Growth", the
+// survey-header style of the paper's Figure 1.
+type Abbreviation struct{}
+
+// Name implements Similarity.
+func (Abbreviation) Name() string { return "abbreviation" }
+
+// Similar implements Similarity.
+func (Abbreviation) Similar(a, b string) bool {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(ta) != len(tb) {
+		return false
+	}
+	matched := false
+	for i := range ta {
+		x, y := ta[i], tb[i]
+		if len(x) > len(y) {
+			x, y = y, x
+		}
+		if !abbreviates(x, y) {
+			return false
+		}
+		if len(x) < len(y) {
+			matched = true
+		}
+	}
+	// Identical names are Exact's business; require a real abbreviation.
+	return matched
+}
+
+// abbreviates reports whether short is a subsequence of long sharing its
+// first letter.
+func abbreviates(short, long string) bool {
+	if len(short) == 0 || len(short) > len(long) || short[0] != long[0] {
+		return len(short) == 0 && len(long) == 0
+	}
+	j := 0
+	for i := 0; i < len(long) && j < len(short); i++ {
+		if long[i] == short[j] {
+			j++
+		}
+	}
+	return j == len(short)
+}
+
+// Synonyms matches names declared equivalent in a table (symmetric,
+// normalized): domain experts record that "fiscal code" means "tax id".
+type Synonyms struct {
+	Pairs map[string][]string
+}
+
+// Name implements Similarity.
+func (Synonyms) Name() string { return "synonyms" }
+
+// Similar implements Similarity.
+func (s Synonyms) Similar(a, b string) bool {
+	na, nb := normalize(a), normalize(b)
+	check := func(x, y string) bool {
+		for k, vs := range s.Pairs {
+			if normalize(k) != x {
+				continue
+			}
+			for _, v := range vs {
+				if normalize(v) == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(na, nb) || check(nb, na)
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+func TestControlsDirectAndJoint(t *testing.T) {
+	g := NewGraph()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddOwnership("a", "b", 0.6))
+	must(g.AddOwnership("a", "e", 0.7))
+	must(g.AddOwnership("b", "c", 0.3))
+	must(g.AddOwnership("e", "c", 0.3))
+	must(g.AddOwnership("c", "d", 0.9))
+
+	rel := g.Controls()
+	want := [][2]string{{"a", "b"}, {"a", "e"}, {"a", "c"}, {"a", "d"}, {"c", "d"}}
+	got := 0
+	for _, w := range want {
+		if !rel[w[0]][w[1]] {
+			t.Errorf("missing control %s->%s", w[0], w[1])
+		}
+	}
+	for x, ys := range rel {
+		got += len(ys)
+		_ = x
+	}
+	if got != len(want) {
+		t.Errorf("control relation has %d pairs, want %d: %v", got, len(want), rel)
+	}
+	if rel["b"]["c"] {
+		t.Error("spurious control b->c")
+	}
+}
+
+func TestAddOwnershipValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddOwnership("a", "a", 0.6); err == nil {
+		t.Error("self-ownership accepted")
+	}
+	if err := g.AddOwnership("a", "b", 0); err == nil {
+		t.Error("zero share accepted")
+	}
+	if err := g.AddOwnership("a", "b", 1.5); err == nil {
+		t.Error("share > 1 accepted")
+	}
+	// Accumulation caps at 1.
+	if err := g.AddOwnership("a", "b", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOwnership("a", "b", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if g.own["a"]["b"] != 1 {
+		t.Errorf("accumulated share = %g, want 1", g.own["a"]["b"])
+	}
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d", g.EdgeCount())
+	}
+}
+
+func TestClusters(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddOwnership("a", "b", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOwnership("c", "d", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	clusters := g.Clusters([]string{"a", "b", "c", "d", "x"})
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	// Sorted by first member: [a b], [c d], [x].
+	if clusters[0][0] != "a" || clusters[0][1] != "b" || clusters[2][0] != "x" {
+		t.Fatalf("clusters = %v", clusters)
+	}
+}
+
+func TestCombinedRisk(t *testing.T) {
+	risks := map[string]float64{"a": 0.5, "b": 0.2, "x": 0.3}
+	clusters := [][]string{{"a", "b"}, {"x"}}
+	got := CombinedRisk(risks, clusters)
+	if want := 1 - 0.5*0.8; math.Abs(got["a"]-want) > 1e-12 || math.Abs(got["b"]-want) > 1e-12 {
+		t.Errorf("cluster risk = %g/%g, want %g", got["a"], got["b"], want)
+	}
+	if got["x"] != 0.3 {
+		t.Errorf("singleton risk = %g, want unchanged 0.3", got["x"])
+	}
+}
+
+// Cluster risk is at least the maximum member risk, with equality for
+// singletons (a DESIGN.md invariant).
+func TestCombinedRiskDominatesMax(t *testing.T) {
+	risks := map[string]float64{"a": 0.9, "b": 0.1, "c": 0.4}
+	got := CombinedRisk(risks, [][]string{{"a", "b", "c"}})
+	for e, r := range risks {
+		if got[e] < r-1e-12 {
+			t.Errorf("cluster risk %g below member %s risk %g", got[e], e, r)
+		}
+	}
+	single := CombinedRisk(risks, [][]string{{"b"}})
+	if single["b"] != risks["b"] {
+		t.Errorf("singleton changed: %g", single["b"])
+	}
+}
+
+func TestAssessorPropagatesRisk(t *testing.T) {
+	d := synth.Figure5()
+	g := NewGraph()
+	// Link risky tuple 1 (id 099876) with safe tuple 2 (id 765389).
+	if err := g.AddOwnership("099876", "765389", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	base := risk.KAnonymity{K: 2}
+	a := Assessor{Base: base, Graph: g}
+	rs, err := a.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	// Tuple 1 is unique (base risk 1); tuple 2 inherits it via the cluster.
+	if rs[0] != 1 || rs[1] != 1 {
+		t.Errorf("risks = %v, want tuples 1 and 2 at 1", rs[:3])
+	}
+	// Tuple 3 shares tuple 2's combination but is not clustered: base 0.
+	if rs[2] != 0 {
+		t.Errorf("tuple 3 risk = %g, want 0", rs[2])
+	}
+}
+
+func TestAssessorSuppressedIdentityIsSingleton(t *testing.T) {
+	d := synth.Figure5()
+	g := NewGraph()
+	if err := g.AddOwnership("099876", "765389", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	// Suppress tuple 2's identity: it must fall back to its base risk.
+	d.Rows[1].Values[0] = d.Nulls.Fresh()
+	rs, err := Assessor{Base: risk.KAnonymity{K: 2}, Graph: g}.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1] != 0 {
+		t.Errorf("suppressed-identity tuple risk = %g, want base 0", rs[1])
+	}
+}
+
+func TestAssessorValidation(t *testing.T) {
+	d := synth.Figure5()
+	if _, err := (Assessor{}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("empty assessor accepted")
+	}
+	if _, err := (Assessor{Base: risk.KAnonymity{K: 2}, Graph: NewGraph(), EntityAttr: "Nope"}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("unknown entity attribute accepted")
+	}
+	noID := mdb.NewDataset("x", []mdb.Attribute{{Name: "A", Category: mdb.QuasiIdentifier}})
+	noID.Append(&mdb.Row{Values: []mdb.Value{mdb.Const("v")}, Weight: 1})
+	if _, err := (Assessor{Base: risk.KAnonymity{K: 2}, Graph: NewGraph()}).Assess(noID, mdb.MaybeMatch); err == nil {
+		t.Error("dataset without identifier accepted")
+	}
+}
+
+func TestRandomOwnerships(t *testing.T) {
+	g := NewGraph()
+	entities := []string{"a", "b", "c", "d", "e", "f"}
+	if err := RandomOwnerships(g, entities, 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 5 {
+		t.Fatalf("EdgeCount = %d, want 5", g.EdgeCount())
+	}
+	// Reproducible.
+	g2 := NewGraph()
+	if err := RandomOwnerships(g2, entities, 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	for x, ys := range g.own {
+		for y := range ys {
+			if g2.own[x][y] == 0 {
+				t.Fatalf("seeded generation not reproducible: missing %s->%s", x, y)
+			}
+		}
+	}
+	if err := RandomOwnerships(NewGraph(), []string{"solo"}, 1, 1); err == nil {
+		t.Error("single-entity edge generation accepted")
+	}
+}
+
+func TestStarOwnerships(t *testing.T) {
+	g := NewGraph()
+	entities := make([]string, 50)
+	for i := range entities {
+		entities[i] = fmt.Sprintf("e%02d", i)
+	}
+	if err := StarOwnerships(g, entities, 20, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 20 {
+		t.Fatalf("EdgeCount = %d, want 20", g.EdgeCount())
+	}
+	// Star topology: some entity owns several others.
+	maxOut := 0
+	for _, ys := range g.own {
+		if len(ys) > maxOut {
+			maxOut = len(ys)
+		}
+	}
+	if maxOut < 2 {
+		t.Fatalf("no hub found; max out-degree %d", maxOut)
+	}
+	if err := StarOwnerships(NewGraph(), entities, 10, 0, 1); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	if err := StarOwnerships(NewGraph(), entities[:2], 10, 4, 1); err == nil {
+		t.Error("too few entities accepted")
+	}
+	// Saturated pair space must error out, not loop forever.
+	if err := StarOwnerships(NewGraph(), []string{"a", "b", "c", "d", "e"}, 100, 4, 1); err == nil {
+		t.Error("unplaceable edge count accepted")
+	}
+}
+
+// More relationships never decrease the number of risky tuples (the
+// monotone trend behind Figure 7d).
+func TestMoreRelationshipsMoreRisk(t *testing.T) {
+	d := synth.Generate(synth.Config{Tuples: 1500, QIs: 4, Dist: synth.DistU, Seed: 31})
+	var ids []string
+	for _, r := range d.Rows {
+		ids = append(ids, r.Values[0].Constant())
+	}
+	count := func(nRels int) int {
+		g := NewGraph()
+		if err := RandomOwnerships(g, ids, nRels, 7); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Assessor{Base: risk.KAnonymity{K: 2}, Graph: g}.Assess(d, mdb.MaybeMatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range rs {
+			if r > 0.5 {
+				n++
+			}
+		}
+		return n
+	}
+	prev := -1
+	for _, nRels := range []int{0, 50, 150} {
+		n := count(nRels)
+		if n < prev {
+			t.Fatalf("risky count decreased with more relationships: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}

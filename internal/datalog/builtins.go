@@ -1,0 +1,143 @@
+package datalog
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// builtinSpec declares a built-in function's arity and implementation.
+type builtinSpec struct {
+	minArgs  int
+	maxArgs  int // -1 = variadic
+	arityDoc string
+	apply    func(args []Val) (Val, error)
+}
+
+func numArg(name string, args []Val, i int) (float64, error) {
+	if args[i].Kind() != KNum {
+		return 0, fmt.Errorf("datalog: %s: argument %d is %s, want a number", name, i+1, args[i])
+	}
+	return args[i].NumVal(), nil
+}
+
+func unaryNum(name string, f func(float64) float64, check func(float64) error) builtinSpec {
+	return builtinSpec{
+		minArgs: 1, maxArgs: 1, arityDoc: "1 argument",
+		apply: func(args []Val) (Val, error) {
+			x, err := numArg(name, args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			if check != nil {
+				if err := check(x); err != nil {
+					return Val{}, err
+				}
+			}
+			return Num(f(x)), nil
+		},
+	}
+}
+
+// builtins is the engine's function library — the counterpart of the
+// external libraries Vadalog programs call with the # prefix.
+var builtins = map[string]builtinSpec{
+	"abs": unaryNum("abs", math.Abs, nil),
+	"sqrt": unaryNum("sqrt", math.Sqrt, func(x float64) error {
+		if x < 0 {
+			return fmt.Errorf("datalog: sqrt of negative %g", x)
+		}
+		return nil
+	}),
+	"floor": unaryNum("floor", math.Floor, nil),
+	"ceil":  unaryNum("ceil", math.Ceil, nil),
+	"exp":   unaryNum("exp", math.Exp, nil),
+	"log": unaryNum("log", math.Log, func(x float64) error {
+		if x <= 0 {
+			return fmt.Errorf("datalog: log of non-positive %g", x)
+		}
+		return nil
+	}),
+	"pow": {
+		minArgs: 2, maxArgs: 2, arityDoc: "2 arguments",
+		apply: func(args []Val) (Val, error) {
+			x, err := numArg("pow", args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			y, err := numArg("pow", args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			return Num(math.Pow(x, y)), nil
+		},
+	},
+	"min": {
+		minArgs: 1, maxArgs: -1, arityDoc: "1+ arguments",
+		apply: func(args []Val) (Val, error) {
+			best, err := numArg("min", args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			for i := 1; i < len(args); i++ {
+				x, err := numArg("min", args, i)
+				if err != nil {
+					return Val{}, err
+				}
+				if x < best {
+					best = x
+				}
+			}
+			return Num(best), nil
+		},
+	},
+	"max": {
+		minArgs: 1, maxArgs: -1, arityDoc: "1+ arguments",
+		apply: func(args []Val) (Val, error) {
+			best, err := numArg("max", args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			for i := 1; i < len(args); i++ {
+				x, err := numArg("max", args, i)
+				if err != nil {
+					return Val{}, err
+				}
+				if x > best {
+					best = x
+				}
+			}
+			return Num(best), nil
+		},
+	},
+	"concat": {
+		minArgs: 1, maxArgs: -1, arityDoc: "1+ arguments",
+		apply: func(args []Val) (Val, error) {
+			var b strings.Builder
+			for i, a := range args {
+				switch a.Kind() {
+				case KStr:
+					b.WriteString(a.StrVal())
+				case KNum:
+					fmt.Fprintf(&b, "%g", a.NumVal())
+				default:
+					return Val{}, fmt.Errorf("datalog: concat: argument %d is %s", i+1, a)
+				}
+			}
+			return Str(b.String()), nil
+		},
+	},
+	"len": {
+		minArgs: 1, maxArgs: 1, arityDoc: "1 argument",
+		apply: func(args []Val) (Val, error) {
+			switch args[0].Kind() {
+			case KStr:
+				return Num(float64(len(args[0].StrVal()))), nil
+			case KList:
+				return Num(float64(len(args[0].Elems()))), nil
+			default:
+				return Val{}, fmt.Errorf("datalog: len of %s", args[0])
+			}
+		},
+	},
+}

@@ -1,0 +1,1275 @@
+package datalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Database is a set of ground facts grouped by predicate.
+type Database struct {
+	rels map[string]*relation
+}
+
+type relation struct {
+	facts []Tuple
+	index map[string]int // tuple key -> position in facts
+	// byFirst indexes fact positions by the key of their first argument,
+	// accelerating the most common join pattern (bound first argument).
+	byFirst map[string][]int
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*relation)}
+}
+
+// Add inserts a fact; duplicates are ignored.
+func (db *Database) Add(pred string, args ...Val) {
+	db.addTuple(pred, Tuple(args))
+}
+
+func (db *Database) addTuple(pred string, t Tuple) bool {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = &relation{index: make(map[string]int), byFirst: make(map[string][]int)}
+		db.rels[pred] = r
+	}
+	k := t.Key()
+	if _, dup := r.index[k]; dup {
+		return false
+	}
+	r.index[k] = len(r.facts)
+	if len(t) > 0 {
+		fk := t[0].Key()
+		r.byFirst[fk] = append(r.byFirst[fk], len(r.facts))
+	}
+	r.facts = append(r.facts, t)
+	return true
+}
+
+// Facts returns the facts of a predicate, sorted.
+func (db *Database) Facts(pred string) []Tuple {
+	r := db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	out := append([]Tuple(nil), r.facts...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if c := Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Has reports whether the fact is present.
+func (db *Database) Has(pred string, args ...Val) bool {
+	r := db.rels[pred]
+	if r == nil {
+		return false
+	}
+	_, ok := r.index[Tuple(args).Key()]
+	return ok
+}
+
+// Len returns the total number of facts.
+func (db *Database) Len() int {
+	n := 0
+	for _, r := range db.rels {
+		n += len(r.facts)
+	}
+	return n
+}
+
+// Predicates returns the sorted predicate names with at least one fact.
+func (db *Database) Predicates() []string {
+	var out []string
+	for p, r := range db.rels {
+		if len(r.facts) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *Database) clone() *Database {
+	c := NewDatabase()
+	for p, r := range db.rels {
+		nr := &relation{
+			facts:   make([]Tuple, len(r.facts)),
+			index:   make(map[string]int, len(r.index)),
+			byFirst: make(map[string][]int, len(r.byFirst)),
+		}
+		copy(nr.facts, r.facts)
+		for k, v := range r.index {
+			nr.index[k] = v
+		}
+		for k, v := range r.byFirst {
+			nr.byFirst[k] = append([]int(nil), v...)
+		}
+		c.rels[p] = nr
+	}
+	return c
+}
+
+// maxNullID returns the largest labelled-null id appearing in the database.
+func (db *Database) maxNullID() uint64 {
+	var maxID uint64
+	var scan func(v Val)
+	scan = func(v Val) {
+		switch v.k {
+		case KNull:
+			if v.id > maxID {
+				maxID = v.id
+			}
+		case KList:
+			for _, e := range v.l {
+				scan(e)
+			}
+		}
+	}
+	for _, r := range db.rels {
+		for _, t := range r.facts {
+			for _, v := range t {
+				scan(v)
+			}
+		}
+	}
+	return maxID
+}
+
+// Violation reports an EGD demanding equality of two distinct constants — in
+// Vada-SA these are surfaced for human-in-the-loop inspection rather than
+// failing the chase.
+type Violation struct {
+	Rule string
+	A, B Val
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("EGD violation: %s requires %s = %s", v.Rule, v.A, v.B)
+}
+
+// Options bound a reasoning run. Zero values select the defaults.
+type Options struct {
+	MaxFacts  int // abort when the database exceeds this many facts (default 1e6)
+	MaxRounds int // abort a stratum fixpoint after this many rounds (default 1e5)
+	// MaxWork caps the total number of fact-match attempts across the
+	// whole run (default 1e9): the guard against join explosions that
+	// burn CPU inside a single evaluation pass, where the per-round fact
+	// and round caps never trigger.
+	MaxWork int64
+	// Trace, when set, receives one line per stratum fixpoint round with
+	// the number of facts derived — the operational visibility a
+	// production reasoner needs.
+	Trace io.Writer
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxFacts: 1_000_000, MaxRounds: 100_000, MaxWork: 1_000_000_000}
+	if o != nil {
+		if o.MaxFacts > 0 {
+			out.MaxFacts = o.MaxFacts
+		}
+		if o.MaxRounds > 0 {
+			out.MaxRounds = o.MaxRounds
+		}
+		if o.MaxWork > 0 {
+			out.MaxWork = o.MaxWork
+		}
+		out.Trace = o.Trace
+	}
+	return out
+}
+
+// Result is the outcome of a reasoning run: the derived database (input facts
+// included) plus any EGD violations encountered.
+type Result struct {
+	db         *Database
+	prov       map[string]derivation
+	rules      []Rule
+	Violations []Violation
+}
+
+// Facts returns the derived facts of a predicate, sorted.
+func (r *Result) Facts(pred string) []Tuple { return r.db.Facts(pred) }
+
+// Has reports whether a fact was derived (or given).
+func (r *Result) Has(pred string, args ...Val) bool { return r.db.Has(pred, args...) }
+
+// DB exposes the derived database.
+func (r *Result) DB() *Database { return r.db }
+
+type factRef struct {
+	pred string
+	t    Tuple
+}
+
+func (f factRef) key() string { return f.pred + "/" + f.t.Key() }
+
+func (f factRef) String() string { return f.pred + f.t.String() }
+
+type derivation struct {
+	rule int // index into rules; -1 for extensional facts
+	body []factRef
+}
+
+// evaluator carries the mutable state of one reasoning run.
+type evaluator struct {
+	prog     *Program
+	opt      Options
+	db       *Database
+	prov     map[string]derivation
+	strata   map[string]int
+	nStrata  int
+	nullCtr  uint64
+	skolem   map[string]Val // rule/var/frontier -> invented null
+	orders   [][]int        // literal evaluation order per rule
+	work     int64          // fact-match attempts so far (vs opt.MaxWork)
+	aggState []map[string]*aggGroup
+	subst    map[uint64]Val // labelled-null unification from EGDs
+}
+
+type aggGroup struct {
+	env     map[string]Val // representative binding of the group variables
+	used    []factRef
+	contrib map[string]Val // contributor key -> best contribution
+	emitted bool           // for LAggCond: head already produced
+	dirty   bool           // contribution changed since the last flush
+}
+
+// Run evaluates the program over the extensional database and returns the
+// derived database. The input database is not modified.
+func Run(p *Program, edb *Database, opt *Options) (*Result, error) {
+	strata, n, err := stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{
+		prog:    p,
+		opt:     opt.withDefaults(),
+		db:      edb.clone(),
+		prov:    make(map[string]derivation),
+		strata:  strata,
+		nStrata: n,
+		nullCtr: edb.maxNullID(),
+		skolem:  make(map[string]Val),
+		subst:   make(map[uint64]Val),
+	}
+	ev.orders = make([][]int, len(p.Rules))
+	for i := range p.Rules {
+		ord, err := literalOrder(&p.Rules[i])
+		if err != nil {
+			return nil, err
+		}
+		ev.orders[i] = ord
+	}
+
+	// Facts (empty-body rules) are extensional.
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.IsEGD || len(r.Body) > 0 {
+			continue
+		}
+		for _, h := range r.Heads {
+			t := make(Tuple, len(h.Args))
+			for j, a := range h.Args {
+				t[j] = a.Val
+			}
+			ev.db.addTuple(h.Pred, t)
+		}
+	}
+
+	var violations []Violation
+	seenViol := make(map[string]bool)
+	for pass := 0; ; pass++ {
+		if pass > ev.opt.MaxRounds {
+			return nil, fmt.Errorf("datalog: EGD unification did not converge")
+		}
+		if err := ev.runStrata(); err != nil {
+			return nil, err
+		}
+		unified, viols, err := ev.runEGDs()
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range viols {
+			k := v.Rule + "|" + v.A.Key() + "|" + v.B.Key()
+			if !seenViol[k] {
+				seenViol[k] = true
+				violations = append(violations, v)
+			}
+		}
+		if !unified {
+			break
+		}
+		ev.applySubst()
+	}
+	return &Result{db: ev.db, prov: ev.prov, rules: p.Rules, Violations: violations}, nil
+}
+
+// literalOrder picks an evaluation order for a rule body: at each step the
+// first literal whose requirements are met — positive atoms any time,
+// everything else once its variables are bound. Aggregates go last.
+func literalOrder(r *Rule) ([]int, error) {
+	if len(r.Body) == 0 {
+		return nil, nil
+	}
+	bound := make(map[string]bool)
+	done := make([]bool, len(r.Body))
+	var order []int
+	aggIdx := -1
+	for i, l := range r.Body {
+		if l.Kind == LAggAssign || l.Kind == LAggCond {
+			aggIdx = i
+			done[i] = true
+		}
+	}
+	exprReady := func(e Expr) bool {
+		if e == nil {
+			return true
+		}
+		set := make(map[string]bool)
+		e.vars(set)
+		for v := range set {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for len(order) < len(r.Body)-btoi(aggIdx >= 0) {
+		picked := -1
+		for i, l := range r.Body {
+			if done[i] {
+				continue
+			}
+			ready := false
+			switch l.Kind {
+			case LAtom:
+				ready = true
+			case LNegAtom:
+				ready = true
+				for _, t := range l.Atom.Args {
+					if t.Kind == TVar && !bound[t.Name] {
+						ready = false
+						break
+					}
+				}
+			case LCmp:
+				ready = exprReady(l.L) && exprReady(l.R)
+			case LAssign:
+				ready = exprReady(l.AssignE)
+			}
+			if ready {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			return nil, fmt.Errorf("datalog: line %d: cannot order body literals of rule %s",
+				r.Line, r.String())
+		}
+		done[picked] = true
+		order = append(order, picked)
+		switch l := r.Body[picked]; l.Kind {
+		case LAtom:
+			for _, t := range l.Atom.Args {
+				if t.Kind == TVar {
+					bound[t.Name] = true
+				}
+			}
+		case LAssign:
+			bound[l.Var] = true
+		}
+	}
+	if aggIdx >= 0 {
+		order = append(order, aggIdx)
+	}
+	return order, nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runStrata evaluates all strata bottom-up to fixpoint.
+func (ev *evaluator) runStrata() error {
+	// Group rule indexes by stratum (stratum of the rule's head preds;
+	// the stratifier forces all heads of one rule into one stratum).
+	ruleStratum := make([]int, len(ev.prog.Rules))
+	ev.aggState = make([]map[string]*aggGroup, len(ev.prog.Rules))
+	for i := range ev.prog.Rules {
+		r := &ev.prog.Rules[i]
+		if r.IsEGD || len(r.Body) == 0 {
+			ruleStratum[i] = -1
+			continue
+		}
+		ruleStratum[i] = ev.strata[r.Heads[0].Pred]
+		ev.aggState[i] = make(map[string]*aggGroup)
+	}
+	for s := 0; s < ev.nStrata; s++ {
+		var rules []int
+		for i, rs := range ruleStratum {
+			if rs == s {
+				rules = append(rules, i)
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		if err := ev.fixpoint(s, rules); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixpoint saturates one stratum with semi-naive evaluation. Rules with
+// aggregates are re-evaluated in full each round: their per-group contributor
+// state makes repeated evaluation idempotent and monotone.
+func (ev *evaluator) fixpoint(stratum int, rules []int) error {
+	delta := make(map[string][]Tuple)
+	collect := func(added []factRef) {
+		for _, f := range added {
+			delta[f.pred] = append(delta[f.pred], f.t)
+		}
+	}
+
+	// Seed round: full evaluation of every rule.
+	var added []factRef
+	for _, ri := range rules {
+		a, err := ev.evalRule(ri, -1, nil)
+		if err != nil {
+			return err
+		}
+		added = append(added, a...)
+	}
+	collect(added)
+	if ev.opt.Trace != nil {
+		fmt.Fprintf(ev.opt.Trace, "stratum %d seed: %d rules, %d facts derived, db %d\n",
+			stratum, len(rules), len(added), ev.db.Len())
+	}
+
+	for round := 0; len(delta) > 0; round++ {
+		if round > ev.opt.MaxRounds {
+			return fmt.Errorf("datalog: stratum %d exceeded %d rounds", stratum, ev.opt.MaxRounds)
+		}
+		if ev.db.Len() > ev.opt.MaxFacts {
+			return fmt.Errorf("datalog: database exceeded %d facts (runaway chase?)", ev.opt.MaxFacts)
+		}
+		next := make(map[string][]Tuple)
+		for _, ri := range rules {
+			r := &ev.prog.Rules[ri]
+			// Semi-naive: one pass per recursive body-atom occurrence,
+			// with that occurrence restricted to the last delta. This is
+			// sound for aggregate-condition rules too: their per-group
+			// contributor state persists across rounds and accumulates
+			// monotonically, and any genuinely new binding must involve
+			// at least one delta fact.
+			for li, l := range r.Body {
+				if l.Kind != LAtom {
+					continue
+				}
+				if ev.strata[l.Atom.Pred] != stratum {
+					continue
+				}
+				d := delta[l.Atom.Pred]
+				if len(d) == 0 {
+					continue
+				}
+				a, err := ev.evalRule(ri, li, d)
+				if err != nil {
+					return err
+				}
+				for _, f := range a {
+					next[f.pred] = append(next[f.pred], f.t)
+				}
+			}
+		}
+		if ev.opt.Trace != nil {
+			derived := 0
+			for _, fs := range next {
+				derived += len(fs)
+			}
+			fmt.Fprintf(ev.opt.Trace, "stratum %d round %d: %d facts derived, db %d\n",
+				stratum, round+1, derived, ev.db.Len())
+		}
+		delta = next
+	}
+	return nil
+}
+
+// evalRule evaluates one rule. If restrict >= 0, the positive body atom at
+// that literal index only matches tuples from restrictTo. It returns the
+// newly derived facts.
+func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, error) {
+	r := &ev.prog.Rules[ri]
+	var out []factRef
+	env := make(map[string]Val)
+	var used []factRef
+	var evalErr error
+
+	var emit func()
+	aggLit := -1
+	for i, l := range r.Body {
+		if l.Kind == LAggAssign || l.Kind == LAggCond {
+			aggLit = i
+		}
+	}
+
+	if aggLit == -1 {
+		emit = func() {
+			refs, err := ev.emitHeads(ri, env, used)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			out = append(out, refs...)
+		}
+	} else {
+		emit = func() {
+			if err := ev.recordAgg(ri, aggLit, env, used); err != nil {
+				evalErr = err
+			}
+		}
+	}
+
+	order := ev.orders[ri]
+	var walk func(step int)
+	walk = func(step int) {
+		if evalErr != nil {
+			return
+		}
+		if step == len(order) || (aggLit >= 0 && order[step] == aggLit) {
+			emit()
+			return
+		}
+		l := &r.Body[order[step]]
+		switch l.Kind {
+		case LAtom:
+			if order[step] == restrict {
+				for _, f := range restrictTo {
+					if ev.spend() {
+						evalErr = ev.workErr()
+						return
+					}
+					undo, ok := match(l.Atom, f, env)
+					if !ok {
+						continue
+					}
+					used = append(used, factRef{l.Atom.Pred, f})
+					walk(step + 1)
+					used = used[:len(used)-1]
+					undoBind(env, undo)
+					if evalErr != nil {
+						return
+					}
+				}
+				return
+			}
+			rel := ev.db.rels[l.Atom.Pred]
+			if rel == nil {
+				return
+			}
+			// Bound first argument: walk only the matching bucket. The
+			// bucket slice may grow while we iterate (rules can derive
+			// into the relation they read); indexing by position keeps
+			// newly added facts visible, as the full scan would.
+			if len(l.Atom.Args) > 0 {
+				if fv, ok := boundTermVal(l.Atom.Args[0], env); ok {
+					bucket := rel.byFirst[fv.Key()]
+					for bi := 0; bi < len(bucket); bi++ {
+						if ev.spend() {
+							evalErr = ev.workErr()
+							return
+						}
+						f := rel.facts[bucket[bi]]
+						undo, ok := match(l.Atom, f, env)
+						if !ok {
+							continue
+						}
+						used = append(used, factRef{l.Atom.Pred, f})
+						walk(step + 1)
+						used = used[:len(used)-1]
+						undoBind(env, undo)
+						if evalErr != nil {
+							return
+						}
+						bucket = rel.byFirst[fv.Key()]
+					}
+					return
+				}
+			}
+			for fi := 0; fi < len(rel.facts); fi++ {
+				if ev.spend() {
+					evalErr = ev.workErr()
+					return
+				}
+				f := rel.facts[fi]
+				undo, ok := match(l.Atom, f, env)
+				if !ok {
+					continue
+				}
+				used = append(used, factRef{l.Atom.Pred, f})
+				walk(step + 1)
+				used = used[:len(used)-1]
+				undoBind(env, undo)
+				if evalErr != nil {
+					return
+				}
+			}
+		case LNegAtom:
+			t := make(Tuple, len(l.Atom.Args))
+			for i, a := range l.Atom.Args {
+				v, err := termVal(a, env)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				t[i] = v
+			}
+			if !ev.db.Has(l.Atom.Pred, t...) {
+				walk(step + 1)
+			}
+		case LCmp:
+			lv, err := evalExpr(l.L, env)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			rv, err := evalExpr(l.R, env)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			ok, err := compare(l.Op, lv, rv)
+			if err != nil {
+				evalErr = fmt.Errorf("line %d: %w", r.Line, err)
+				return
+			}
+			if ok {
+				walk(step + 1)
+			}
+		case LAssign:
+			v, err := evalExpr(l.AssignE, env)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			if old, bound := env[l.Var]; bound {
+				if Equal(old, v) {
+					walk(step + 1)
+				}
+				return
+			}
+			env[l.Var] = v
+			walk(step + 1)
+			delete(env, l.Var)
+		}
+	}
+	walk(0)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	if aggLit >= 0 {
+		refs, err := ev.flushAgg(ri, aggLit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, refs...)
+	}
+	return out, nil
+}
+
+// spend consumes one unit of the work budget and reports exhaustion.
+func (ev *evaluator) spend() bool {
+	ev.work++
+	return ev.work > ev.opt.MaxWork
+}
+
+func (ev *evaluator) workErr() error {
+	return fmt.Errorf("datalog: exceeded the work budget of %d match attempts (join explosion?)", ev.opt.MaxWork)
+}
+
+func (ev *evaluator) factsFor(pred string) []Tuple {
+	r := ev.db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	return r.facts
+}
+
+// match unifies an atom pattern against a fact under env, returning the list
+// of variables newly bound (to undo) and whether it matched.
+func match(a *Atom, f Tuple, env map[string]Val) ([]string, bool) {
+	if len(a.Args) != len(f) {
+		return nil, false
+	}
+	var undo []string
+	for i, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+			if !Equal(t.Val, f[i]) {
+				undoBind(env, undo)
+				return nil, false
+			}
+		case TVar:
+			if v, ok := env[t.Name]; ok {
+				if !Equal(v, f[i]) {
+					undoBind(env, undo)
+					return nil, false
+				}
+			} else {
+				env[t.Name] = f[i]
+				undo = append(undo, t.Name)
+			}
+		}
+	}
+	return undo, true
+}
+
+func undoBind(env map[string]Val, undo []string) {
+	for _, v := range undo {
+		delete(env, v)
+	}
+}
+
+// boundTermVal resolves a term if it is a constant or an already-bound
+// variable.
+func boundTermVal(t Term, env map[string]Val) (Val, bool) {
+	if t.Kind == TConst {
+		return t.Val, true
+	}
+	v, ok := env[t.Name]
+	return v, ok
+}
+
+func termVal(t Term, env map[string]Val) (Val, error) {
+	if t.Kind == TConst {
+		return t.Val, nil
+	}
+	v, ok := env[t.Name]
+	if !ok {
+		return Val{}, fmt.Errorf("datalog: unbound variable %s", t.Name)
+	}
+	return v, nil
+}
+
+func evalExpr(e Expr, env map[string]Val) (Val, error) {
+	switch x := e.(type) {
+	case ExprTerm:
+		return termVal(x.T, env)
+	case ExprNeg:
+		v, err := evalExpr(x.E, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if v.k != KNum {
+			return Val{}, fmt.Errorf("datalog: unary '-' on non-number %s", v)
+		}
+		return Num(-v.n), nil
+	case ExprCall:
+		spec, ok := builtins[x.Name]
+		if !ok {
+			return Val{}, fmt.Errorf("datalog: unknown function %q", x.Name)
+		}
+		args := make([]Val, len(x.Args))
+		for i, a := range x.Args {
+			v, err := evalExpr(a, env)
+			if err != nil {
+				return Val{}, err
+			}
+			args[i] = v
+		}
+		return spec.apply(args)
+	case ExprBin:
+		l, err := evalExpr(x.L, env)
+		if err != nil {
+			return Val{}, err
+		}
+		r, err := evalExpr(x.R, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if l.k != KNum || r.k != KNum {
+			return Val{}, fmt.Errorf("datalog: arithmetic %q on non-numbers %s, %s", x.Op, l, r)
+		}
+		switch x.Op {
+		case "+":
+			return Num(l.n + r.n), nil
+		case "-":
+			return Num(l.n - r.n), nil
+		case "*":
+			return Num(l.n * r.n), nil
+		case "/":
+			if r.n == 0 {
+				return Val{}, fmt.Errorf("datalog: division by zero")
+			}
+			return Num(l.n / r.n), nil
+		}
+	}
+	return Val{}, fmt.Errorf("datalog: bad expression %v", e)
+}
+
+func compare(op string, l, r Val) (bool, error) {
+	switch op {
+	case OpEq:
+		return Equal(l, r), nil
+	case OpNe:
+		return !Equal(l, r), nil
+	case OpIn:
+		return Contains(r, l), nil
+	}
+	if l.k == KList || r.k == KList {
+		return false, fmt.Errorf("ordered comparison %q on list value", op)
+	}
+	c := Compare(l, r)
+	switch op {
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("unknown comparison %q", op)
+}
+
+// emitHeads instantiates the rule heads under env, inventing labelled nulls
+// for existential variables, and records provenance for new facts.
+func (ev *evaluator) emitHeads(ri int, env map[string]Val, used []factRef) ([]factRef, error) {
+	r := &ev.prog.Rules[ri]
+	var cleanup []string
+	if len(r.Existential) > 0 {
+		// Skolem key: rule id + frontier (bound head variables).
+		var b strings.Builder
+		fmt.Fprintf(&b, "r%d|", ri)
+		var frontier []string
+		for _, h := range r.Heads {
+			for _, t := range h.Args {
+				if t.Kind == TVar {
+					if _, ok := env[t.Name]; ok {
+						frontier = append(frontier, t.Name)
+					}
+				}
+			}
+		}
+		sort.Strings(frontier)
+		for _, v := range frontier {
+			b.WriteString(v)
+			b.WriteByte('=')
+			b.WriteString(env[v].Key())
+			b.WriteByte(';')
+		}
+		base := b.String()
+		for _, x := range r.Existential {
+			key := base + "!" + x
+			null, ok := ev.skolem[key]
+			if !ok {
+				ev.nullCtr++
+				null = NullVal(ev.nullCtr)
+				ev.skolem[key] = null
+			}
+			// A previously minted null may have been unified away by an
+			// EGD; emit its resolved value so re-derivations after
+			// unification converge instead of resurrecting the old null.
+			env[x] = ev.resolve(null)
+			cleanup = append(cleanup, x)
+		}
+	}
+	defer undoBind(env, cleanup)
+
+	var out []factRef
+	usedCopy := append([]factRef(nil), used...)
+	for _, h := range r.Heads {
+		t := make(Tuple, len(h.Args))
+		for i, a := range h.Args {
+			v, err := termVal(a, env)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", r.Line, err)
+			}
+			t[i] = v
+		}
+		if ev.db.addTuple(h.Pred, t) {
+			ref := factRef{h.Pred, t}
+			ev.prov[ref.key()] = derivation{rule: ri, body: usedCopy}
+			out = append(out, ref)
+		}
+	}
+	return out, nil
+}
+
+// recordAgg folds one body binding into the rule's aggregate state.
+func (ev *evaluator) recordAgg(ri, aggLit int, env map[string]Val, used []factRef) error {
+	r := &ev.prog.Rules[ri]
+	l := &r.Body[aggLit]
+
+	// Group key: head variables bound by the body (excludes the aggregate
+	// result variable and existential variables).
+	groupVars := ev.groupVars(r, l)
+	var b strings.Builder
+	genv := make(map[string]Val, len(groupVars))
+	for _, v := range groupVars {
+		val, ok := env[v]
+		if !ok {
+			return fmt.Errorf("datalog: line %d: head variable %s unbound at aggregate", r.Line, v)
+		}
+		genv[v] = val
+		b.WriteString(val.Key())
+		b.WriteByte('|')
+	}
+	gkey := b.String()
+
+	st := ev.aggState[ri]
+	g, ok := st[gkey]
+	if !ok {
+		g = &aggGroup{env: genv, used: append([]factRef(nil), used...), contrib: make(map[string]Val)}
+		st[gkey] = g
+	}
+
+	cv, err := evalExpr(l.Agg.Contrib, env)
+	if err != nil {
+		return err
+	}
+	var contribution Val
+	switch l.Agg.Fn {
+	case AggCount:
+		contribution = Num(1)
+	case AggUnion:
+		v, err := evalExpr(l.Agg.Arg, env)
+		if err != nil {
+			return err
+		}
+		contribution = v
+	default:
+		v, err := evalExpr(l.Agg.Arg, env)
+		if err != nil {
+			return err
+		}
+		if v.k != KNum {
+			return fmt.Errorf("datalog: line %d: %s over non-number %s", r.Line, l.Agg.Fn, v)
+		}
+		contribution = v
+	}
+
+	ck := cv.Key()
+	if old, ok := g.contrib[ck]; ok {
+		// Monotonic contributor semantics: a later version of the same
+		// contributor replaces the earlier one; we keep the maximal
+		// contribution so the aggregate never regresses.
+		if l.Agg.Fn == AggUnion {
+			merged := List(append(old.Elems(), contribution)...)
+			if !Equal(merged, old) {
+				g.contrib[ck] = merged
+				g.dirty = true
+			}
+		} else if Compare(contribution, old) > 0 {
+			g.contrib[ck] = contribution
+			g.dirty = true
+		}
+	} else {
+		if l.Agg.Fn == AggUnion {
+			contribution = List(contribution)
+		}
+		g.contrib[ck] = contribution
+		g.dirty = true
+	}
+	return nil
+}
+
+// groupVars lists, in deterministic order, the head variables that form the
+// aggregation group of rule r.
+func (ev *evaluator) groupVars(r *Rule, l *Literal) []string {
+	skip := map[string]bool{}
+	if l.Kind == LAggAssign {
+		skip[l.Var] = true
+	}
+	for _, x := range r.Existential {
+		skip[x] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range r.Heads {
+		for _, t := range h.Args {
+			if t.Kind == TVar && !skip[t.Name] && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// flushAgg computes aggregate values per group and emits head facts.
+func (ev *evaluator) flushAgg(ri, aggLit int) ([]factRef, error) {
+	r := &ev.prog.Rules[ri]
+	l := &r.Body[aggLit]
+	var out []factRef
+
+	// Only groups whose contributions changed since the last flush can
+	// produce new heads; skipping the rest keeps long fixpoints linear in
+	// the work actually done.
+	gkeys := make([]string, 0, len(ev.aggState[ri]))
+	for k, g := range ev.aggState[ri] {
+		if g.dirty {
+			gkeys = append(gkeys, k)
+		}
+	}
+	sort.Strings(gkeys)
+
+	for _, gk := range gkeys {
+		g := ev.aggState[ri][gk]
+		g.dirty = false
+		agg, err := foldAgg(l.Agg.Fn, g.contrib)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", r.Line, err)
+		}
+		env := make(map[string]Val, len(g.env)+1)
+		for k, v := range g.env {
+			env[k] = v
+		}
+		switch l.Kind {
+		case LAggAssign:
+			env[l.Var] = agg
+		case LAggCond:
+			rhs, err := evalExpr(l.R, env)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := compare(l.Op, agg, rhs)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", r.Line, err)
+			}
+			if !ok || g.emitted {
+				continue
+			}
+			g.emitted = true
+		}
+		refs, err := ev.emitHeads(ri, env, g.used)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, refs...)
+	}
+	return out, nil
+}
+
+func foldAgg(fn AggFn, contrib map[string]Val) (Val, error) {
+	keys := make([]string, 0, len(contrib))
+	for k := range contrib {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	switch fn {
+	case AggCount:
+		return Num(float64(len(contrib))), nil
+	case AggSum:
+		s := 0.0
+		for _, k := range keys {
+			s += contrib[k].NumVal()
+		}
+		return Num(s), nil
+	case AggProd:
+		p := 1.0
+		for _, k := range keys {
+			p *= contrib[k].NumVal()
+		}
+		return Num(p), nil
+	case AggUnion:
+		var all []Val
+		for _, k := range keys {
+			all = append(all, contrib[k].Elems()...)
+		}
+		return List(all...), nil
+	}
+	return Val{}, fmt.Errorf("unknown aggregate %s", fn)
+}
+
+// runEGDs evaluates equality-generating dependencies over the saturated
+// database. Null-constant and null-null pairs are unified; constant-constant
+// conflicts are reported as violations.
+func (ev *evaluator) runEGDs() (unified bool, viols []Violation, err error) {
+	for ri := range ev.prog.Rules {
+		r := &ev.prog.Rules[ri]
+		if !r.IsEGD {
+			continue
+		}
+		env := make(map[string]Val)
+		var evalErr error
+		order := ev.orders[ri]
+		var walk func(step int)
+		walk = func(step int) {
+			if evalErr != nil {
+				return
+			}
+			if step == len(order) {
+				l, errL := termVal(r.EGDL, env)
+				if errL != nil {
+					evalErr = errL
+					return
+				}
+				rv, errR := termVal(r.EGDR, env)
+				if errR != nil {
+					evalErr = errR
+					return
+				}
+				l, rv = ev.resolve(l), ev.resolve(rv)
+				if Equal(l, rv) {
+					return
+				}
+				switch {
+				case l.k == KNull:
+					ev.subst[l.id] = rv
+					unified = true
+				case rv.k == KNull:
+					ev.subst[rv.id] = l
+					unified = true
+				default:
+					viols = append(viols, Violation{Rule: r.String(), A: l, B: rv})
+				}
+				return
+			}
+			lit := &r.Body[order[step]]
+			switch lit.Kind {
+			case LAtom:
+				for _, f := range ev.factsFor(lit.Atom.Pred) {
+					undo, ok := match(lit.Atom, f, env)
+					if !ok {
+						continue
+					}
+					walk(step + 1)
+					undoBind(env, undo)
+					if evalErr != nil {
+						return
+					}
+				}
+			case LNegAtom:
+				t := make(Tuple, len(lit.Atom.Args))
+				for i, a := range lit.Atom.Args {
+					v, err := termVal(a, env)
+					if err != nil {
+						evalErr = err
+						return
+					}
+					t[i] = v
+				}
+				if !ev.db.Has(lit.Atom.Pred, t...) {
+					walk(step + 1)
+				}
+			case LCmp:
+				lv, errL := evalExpr(lit.L, env)
+				if errL != nil {
+					evalErr = errL
+					return
+				}
+				rv, errR := evalExpr(lit.R, env)
+				if errR != nil {
+					evalErr = errR
+					return
+				}
+				ok, errC := compare(lit.Op, lv, rv)
+				if errC != nil {
+					evalErr = errC
+					return
+				}
+				if ok {
+					walk(step + 1)
+				}
+			case LAssign:
+				v, errA := evalExpr(lit.AssignE, env)
+				if errA != nil {
+					evalErr = errA
+					return
+				}
+				env[lit.Var] = v
+				walk(step + 1)
+				delete(env, lit.Var)
+			default:
+				evalErr = fmt.Errorf("datalog: aggregates are not allowed in EGD bodies")
+			}
+		}
+		walk(0)
+		if evalErr != nil {
+			return false, nil, evalErr
+		}
+	}
+	return unified, viols, nil
+}
+
+// resolve chases the null-substitution map.
+func (ev *evaluator) resolve(v Val) Val {
+	for i := 0; v.k == KNull; i++ {
+		next, ok := ev.subst[v.id]
+		if !ok {
+			return v
+		}
+		v = next
+		if i > len(ev.subst) {
+			// Cycle guard; cycles cannot arise because we always map a
+			// null to a value resolved first, but stay safe.
+			return v
+		}
+	}
+	if v.k == KList {
+		elems := make([]Val, len(v.l))
+		for i, e := range v.l {
+			elems[i] = ev.resolve(e)
+		}
+		return List(elems...)
+	}
+	return v
+}
+
+// applySubst rewrites the whole database (and provenance keys) under the
+// null substitution, then clears per-run derived state so strata re-run.
+func (ev *evaluator) applySubst() {
+	rewritten := NewDatabase()
+	remap := make(map[string]string) // old fact key -> new fact key
+	for pred, rel := range ev.db.rels {
+		for _, t := range rel.facts {
+			nt := make(Tuple, len(t))
+			for i, v := range t {
+				nt[i] = ev.resolve(v)
+			}
+			oldKey := factRef{pred, t}.key()
+			newKey := factRef{pred, nt}.key()
+			remap[oldKey] = newKey
+			rewritten.addTuple(pred, nt)
+		}
+	}
+	ev.db = rewritten
+	newProv := make(map[string]derivation, len(ev.prov))
+	for k, d := range ev.prov {
+		nk := k
+		if r, ok := remap[k]; ok {
+			nk = r
+		}
+		nb := make([]factRef, len(d.body))
+		for i, f := range d.body {
+			nt := make(Tuple, len(f.t))
+			for j, v := range f.t {
+				nt[j] = ev.resolve(v)
+			}
+			nb[i] = factRef{f.pred, nt}
+		}
+		if _, exists := newProv[nk]; !exists {
+			newProv[nk] = derivation{rule: d.rule, body: nb}
+		}
+	}
+	ev.prov = newProv
+}

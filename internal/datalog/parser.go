@@ -1,0 +1,644 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// The surface syntax is a Vadalog-flavoured Datalog:
+//
+//	% comment
+//	own("a","b",0.6).                        facts
+//	rel(X,Y) :- own(X,Y,W), W > 0.5.         rules with built-ins
+//	rel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
+//	cat(M,A,C) :- att(M,A), expbase(A1,C), sim(A,A1).
+//	risk(I,R) :- grp(I,S), R = 1 / S.        assignments
+//	total(M,S) :- val(M,I,W), S = msum(W,[I]).  head-binding aggregation
+//	p(X,Z) :- q(X).                          Z existential -> labelled null
+//	C1 = C2 :- cat(M,A,C1), cat(M,A,C2).     EGD
+//	s(X) :- p(X), not q(X).                  stratified negation
+//
+// Lowercase identifiers are predicate names or string constants; uppercase
+// (or underscore-prefixed) identifiers are variables; numbers and
+// double-quoted strings are constants.
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVar
+	tNum
+	tStr
+	tPunct // ( ) [ ] , .
+	tOp    // :- = == != < <= > >= + - * / in not
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '%':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: lx.line}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '"':
+		// Scan to the unescaped closing quote, then let strconv.Unquote
+		// handle the full Go escape repertoire — the same one Val.String
+		// emits, so printing and parsing are exact inverses.
+		end := lx.pos + 1
+		for end < len(lx.src) {
+			switch lx.src[end] {
+			case '\\':
+				end += 2
+				continue
+			case '"':
+				lit := lx.src[lx.pos : end+1]
+				text, err := strconv.Unquote(lit)
+				if err != nil {
+					return token{}, lx.errf("bad string literal %s (%v)", lit, err)
+				}
+				lx.pos = end + 1
+				return token{kind: tStr, text: text, line: lx.line}, nil
+			case '\n':
+				return token{}, lx.errf("unterminated string")
+			default:
+				end++
+			}
+		}
+		return token{}, lx.errf("unterminated string")
+
+	case c >= '0' && c <= '9':
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if (ch >= '0' && ch <= '9') || ch == '.' || ch == 'e' || ch == 'E' ||
+				((ch == '+' || ch == '-') && lx.pos > start &&
+					(lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E')) {
+				lx.pos++
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		// A trailing '.' is the statement terminator, not a decimal
+		// point, when not followed by a digit.
+		if strings.HasSuffix(text, ".") &&
+			(lx.pos >= len(lx.src) || lx.src[lx.pos] < '0' || lx.src[lx.pos] > '9') {
+			text = text[:len(text)-1]
+			lx.pos--
+		}
+		n, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, lx.errf("bad number %q", text)
+		}
+		return token{kind: tNum, text: text, num: n, line: lx.line}, nil
+
+	case isIdentStartByte(lx.src[lx.pos:]):
+		for lx.pos < len(lx.src) {
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			lx.pos += size
+		}
+		text := lx.src[start:lx.pos]
+		if text == "not" || text == "in" {
+			return token{kind: tOp, text: text, line: lx.line}, nil
+		}
+		r, _ := utf8.DecodeRuneInString(text)
+		if unicode.IsUpper(r) || r == '_' {
+			return token{kind: tVar, text: text, line: lx.line}, nil
+		}
+		return token{kind: tIdent, text: text, line: lx.line}, nil
+
+	default:
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = lx.src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case ":-", "==", "!=", "<=", ">=":
+			lx.pos += 2
+			return token{kind: tOp, text: two, line: lx.line}, nil
+		}
+		switch c {
+		case '(', ')', '[', ']', ',', '.':
+			lx.pos++
+			return token{kind: tPunct, text: string(c), line: lx.line}, nil
+		case '=', '<', '>', '+', '-', '*', '/':
+			lx.pos++
+			return token{kind: tOp, text: string(c), line: lx.line}, nil
+		}
+		return token{}, lx.errf("unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+// isIdentStartByte decodes the leading rune of s before classifying it:
+// converting a single byte of a multibyte rune with rune(c) would
+// misclassify UTF-8 lead bytes (e.g. the 0xE2 of ⊥) as letters and stall the
+// lexer on input it can never consume.
+func isIdentStartByte(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return r != utf8.RuneError && isIdentStart(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a program.
+func Parse(src string) (*Program, error) {
+	lx := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.finalize(); err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		prog.Rules = append(prog.Rules, *r)
+	}
+	return prog, nil
+}
+
+// MustParse parses a program and panics on error; for embedded programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || t.text != text {
+		return t, p.errf("expected %q, found %q", text, t.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) rule() (*Rule, error) {
+	r := &Rule{Line: p.peek().line}
+	// EGD heads start with a variable: X = Y :- body.
+	if p.peek().kind == tVar {
+		r.IsEGD = true
+		l, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tOp, "="); err != nil {
+			return nil, err
+		}
+		rt, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		r.EGDL, r.EGDR = l, rt
+	} else {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			r.Heads = append(r.Heads, *a)
+			if p.peek().kind == tPunct && p.peek().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	switch t := p.peek(); {
+	case t.kind == tPunct && t.text == ".":
+		p.advance()
+		if r.IsEGD {
+			return nil, p.errf("EGD without a body")
+		}
+		for _, h := range r.Heads {
+			for _, a := range h.Args {
+				if a.Kind == TVar {
+					return nil, p.errf("fact %s contains variable %s", h, a.Name)
+				}
+			}
+		}
+		return r, nil
+	case t.kind == tOp && t.text == ":-":
+		p.advance()
+	default:
+		return nil, p.errf("expected '.' or ':-', found %q", t.text)
+	}
+	for {
+		l, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, *l)
+		if p.peek().kind == tPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tPunct, "."); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func isBuiltinName(s string) bool {
+	_, ok := builtins[s]
+	return ok
+}
+
+func isAggName(s string) bool {
+	switch AggFn(s) {
+	case AggSum, AggCount, AggProd, AggUnion:
+		return true
+	}
+	return false
+}
+
+func (p *parser) literal() (*Literal, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tOp && t.text == "not":
+		p.advance()
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LNegAtom, Atom: a}, nil
+
+	case t.kind == tIdent && isBuiltinName(t.text) && p.peek2().kind == tPunct && p.peek2().text == "(":
+		// A built-in call at the start of a literal begins a comparison,
+		// e.g. abs(X - 10) > 15. Built-in names are reserved: they cannot
+		// be predicate names when followed by '('.
+		lhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		op := p.peek()
+		if op.kind != tOp || !isCmpOp(op.text) {
+			return nil, p.errf("built-in call needs a comparison operator, found %q", op.text)
+		}
+		p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LCmp, Op: normalizeOp(op.text), L: lhs, R: rhs}, nil
+
+	case t.kind == tIdent && isAggName(t.text) && p.peek2().kind == tPunct && p.peek2().text == "(":
+		agg, err := p.aggregate()
+		if err != nil {
+			return nil, err
+		}
+		op := p.peek()
+		if op.kind != tOp || !isCmpOp(op.text) {
+			return nil, p.errf("aggregate condition needs a comparison operator, found %q", op.text)
+		}
+		p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LAggCond, Op: normalizeOp(op.text), Agg: agg, R: rhs}, nil
+
+	case t.kind == tIdent && p.peek2().kind == tPunct && p.peek2().text == "(":
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Kind: LAtom, Atom: a}, nil
+	}
+
+	// Variable = aggregate?
+	if t.kind == tVar && p.peek2().kind == tOp && p.peek2().text == "=" {
+		save := p.pos
+		v := p.advance().text
+		p.advance() // =
+		if n := p.peek(); n.kind == tIdent && isAggName(n.text) {
+			agg, err := p.aggregate()
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Kind: LAggAssign, Var: v, Agg: agg}, nil
+		}
+		p.pos = save
+	}
+
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.kind != tOp || (!isCmpOp(op.text) && op.text != "=") {
+		return nil, p.errf("expected comparison or assignment, found %q", op.text)
+	}
+	p.advance()
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if op.text == "=" {
+		lv, ok := lhs.(ExprTerm)
+		if !ok || lv.T.Kind != TVar {
+			return nil, p.errf("left side of '=' must be a variable")
+		}
+		return &Literal{Kind: LAssign, Var: lv.T.Name, AssignE: rhs}, nil
+	}
+	return &Literal{Kind: LCmp, Op: normalizeOp(op.text), L: lhs, R: rhs}, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "==", "!=", "<", "<=", ">", ">=", "in":
+		return true
+	}
+	return false
+}
+
+func normalizeOp(s string) string { return s }
+
+func (p *parser) aggregate() (*Agg, error) {
+	name := p.advance().text
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	agg := &Agg{Fn: AggFn(name)}
+	if agg.Fn != AggCount {
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, "["); err != nil {
+		return nil, err
+	}
+	contrib, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	agg.Contrib = contrib
+	if _, err := p.expect(tPunct, "]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) atom() (*Atom, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return nil, p.errf("expected predicate name, found %q", t.text)
+	}
+	p.advance()
+	a := &Atom{Pred: t.text}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tPunct && p.peek().text == ")" {
+		return nil, p.errf("predicate %s has no arguments", a.Pred)
+	}
+	for {
+		term, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, term)
+		if p.peek().kind == tPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.advance()
+	switch t.kind {
+	case tVar:
+		return V(t.text), nil
+	case tIdent:
+		return C(Str(t.text)), nil
+	case tStr:
+		return C(Str(t.text)), nil
+	case tNum:
+		return C(Num(t.num)), nil
+	case tOp:
+		if t.text == "-" && p.peek().kind == tNum {
+			n := p.advance()
+			return C(Num(-n.num)), nil
+		}
+	}
+	return Term{}, p.errf("expected term, found %q", t.text)
+}
+
+func (p *parser) expr() (Expr, error) {
+	return p.addExpr()
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "+" || t.text == "-") {
+			p.advance()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ExprBin{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tOp && (t.text == "*" || t.text == "/") {
+			p.advance()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ExprBin{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.kind == tOp && t.text == "-" {
+		p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ExprNeg{E: e}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tIdent:
+		if p.peek2().kind == tPunct && p.peek2().text == "(" {
+			return p.callExpr()
+		}
+		term, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return ExprTerm{T: term}, nil
+	case tVar, tStr, tNum:
+		term, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return ExprTerm{T: term}, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+// callExpr parses a built-in function call inside an expression.
+func (p *parser) callExpr() (Expr, error) {
+	name := p.advance().text
+	spec, ok := builtins[name]
+	if !ok {
+		return nil, p.errf("unknown function %q", name)
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !(p.peek().kind == tPunct && p.peek().text == ")") {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek().kind == tPunct && p.peek().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	if len(args) < spec.minArgs || (spec.maxArgs >= 0 && len(args) > spec.maxArgs) {
+		return nil, p.errf("function %q takes %s, got %d arguments", name, spec.arityDoc, len(args))
+	}
+	return ExprCall{Name: name, Args: args}, nil
+}

@@ -1,0 +1,136 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStratifyLayersNegation(t *testing.T) {
+	p := MustParse(`
+		base(a).
+		mid(X) :- base(X).
+		top(X) :- base(X), not mid(X).
+	`)
+	strata, n, err := stratify(p)
+	if err != nil {
+		t.Fatalf("stratify: %v", err)
+	}
+	if n < 2 {
+		t.Fatalf("numStrata = %d, want >= 2", n)
+	}
+	if strata["top"] <= strata["mid"] {
+		t.Fatalf("top stratum %d not above mid %d", strata["top"], strata["mid"])
+	}
+}
+
+func TestStratifyAggAssignLayered(t *testing.T) {
+	p := MustParse(`
+		total(M,S) :- val(M,I,W), S = msum(W,[I]).
+		over(M) :- total(M,S), S > 10.
+	`)
+	strata, _, err := stratify(p)
+	if err != nil {
+		t.Fatalf("stratify: %v", err)
+	}
+	if strata["total"] <= strata["val"] {
+		t.Fatal("aggregate head not above its source")
+	}
+	if strata["over"] < strata["total"] {
+		t.Fatal("over below total")
+	}
+}
+
+func TestStratifyMutualRecursionSameStratum(t *testing.T) {
+	p := MustParse(`
+		p(X) :- q(X).
+		q(X) :- p(X).
+		p(X) :- e(X).
+	`)
+	strata, _, err := stratify(p)
+	if err != nil {
+		t.Fatalf("stratify: %v", err)
+	}
+	if strata["p"] != strata["q"] {
+		t.Fatal("mutually recursive predicates in different strata")
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	p := MustParse(`
+		p(X) :- e(X), not q(X).
+		q(X) :- p(X).
+	`)
+	if _, _, err := stratify(p); err == nil ||
+		!strings.Contains(err.Error(), "not stratified") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStratifyAllowsAggCondRecursion(t *testing.T) {
+	p := MustParse(`
+		rel(X,Y) :- own(X,Y,W), W > 0.5.
+		rel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
+	`)
+	if _, _, err := stratify(p); err != nil {
+		t.Fatalf("monotonic aggregate condition wrongly rejected: %v", err)
+	}
+}
+
+func TestCheckWardedAcceptsPaperPrograms(t *testing.T) {
+	// Algorithm 1 (attribute categorization) and the SUDA-style
+	// combination generation (Algorithm 6 rules 2-3) are warded.
+	programs := []string{
+		`
+		cat(M,A,C) :- att(M,A), expbase(A1,C), sim(A,A1).
+		expbase(A,C) :- cat(M,A,C).
+		catx(M,A,C) :- att(M,A).
+		`,
+		`
+		comb(Z,I), inc(A,Z) :- tuplei(M,I), qi(M,A).
+		`,
+		`
+		path(X,Y) :- edge(X,Y).
+		path(X,Z) :- path(X,Y), edge(Y,Z).
+		`,
+	}
+	for i, src := range programs {
+		if err := CheckWarded(MustParse(src)); err != nil {
+			t.Errorf("program %d wrongly rejected: %v", i, err)
+		}
+	}
+}
+
+func TestCheckWardedAcceptsNullJoinInWard(t *testing.T) {
+	// The dangerous variable D occurs in a single body atom (the ward).
+	p := MustParse(`
+		dept(E,D) :- emp(E).
+		deptinfo(E,D) :- dept(E,D), emp(E).
+	`)
+	if err := CheckWarded(p); err != nil {
+		t.Fatalf("warded program rejected: %v", err)
+	}
+}
+
+func TestCheckWardedRejectsDangerousJoin(t *testing.T) {
+	// D is dangerous (only ever a null) and occurs in two body atoms that
+	// are joined on it: the textbook non-warded pattern.
+	p := MustParse(`
+		dept(E,D) :- emp(E).
+		grp(D,G) :- dept(E,D).
+		bad(E,D) :- dept(E,D), grp(D,G).
+	`)
+	err := CheckWarded(p)
+	if err == nil || !strings.Contains(err.Error(), "not warded") {
+		t.Fatalf("err = %v, want wardedness rejection", err)
+	}
+}
+
+func TestCheckWardedIgnoresPlainDatalog(t *testing.T) {
+	p := MustParse(`
+		p(X,Y) :- q(X), r(Y).
+		s(X) :- p(X,Y), r(Y).
+	`)
+	if err := CheckWarded(p); err != nil {
+		t.Fatalf("plain Datalog rejected: %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package datalog implements a warded-Datalog±-style reasoning engine: the
+// substrate that replaces the Vadalog system in this reproduction. It
+// supports recursive rules with stratified negation, existential
+// quantification in rule heads (implemented with labelled nulls and a
+// Skolem-keyed restricted chase), monotonic aggregations with contributor
+// semantics (msum, mcount, mprod, munion), equality-generating dependencies,
+// comparison and arithmetic built-ins, and fact-level provenance for full
+// explainability.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+// Value kinds.
+const (
+	KStr Kind = iota
+	KNum
+	KNull
+	KList
+)
+
+// Val is a runtime value: a string constant, a number, a labelled null, or a
+// canonical (sorted, deduplicated) list representing a set built by munion.
+type Val struct {
+	k  Kind
+	s  string
+	n  float64
+	id uint64
+	l  []Val
+}
+
+// Str returns a string value.
+func Str(s string) Val { return Val{k: KStr, s: s} }
+
+// Num returns a numeric value.
+func Num(n float64) Val { return Val{k: KNum, n: n} }
+
+// NullVal returns the labelled null with the given id.
+func NullVal(id uint64) Val { return Val{k: KNull, id: id} }
+
+// List returns a set value: the elements are sorted and deduplicated so that
+// equal sets have equal representations.
+func List(elems ...Val) Val {
+	l := append([]Val(nil), elems...)
+	sort.Slice(l, func(i, j int) bool { return Compare(l[i], l[j]) < 0 })
+	out := l[:0]
+	for i, v := range l {
+		if i == 0 || Compare(v, l[i-1]) != 0 {
+			out = append(out, v)
+		}
+	}
+	return Val{k: KList, l: out}
+}
+
+// Kind returns the value's kind.
+func (v Val) Kind() Kind { return v.k }
+
+// StrVal returns the string content of a KStr value.
+func (v Val) StrVal() string {
+	if v.k != KStr {
+		panic(fmt.Sprintf("datalog: StrVal on %v", v))
+	}
+	return v.s
+}
+
+// NumVal returns the numeric content of a KNum value.
+func (v Val) NumVal() float64 {
+	if v.k != KNum {
+		panic(fmt.Sprintf("datalog: NumVal on %v", v))
+	}
+	return v.n
+}
+
+// NullID returns the labelled-null id of a KNull value.
+func (v Val) NullID() uint64 {
+	if v.k != KNull {
+		panic(fmt.Sprintf("datalog: NullID on %v", v))
+	}
+	return v.id
+}
+
+// Elems returns the elements of a KList value.
+func (v Val) Elems() []Val {
+	if v.k != KList {
+		panic(fmt.Sprintf("datalog: Elems on %v", v))
+	}
+	return v.l
+}
+
+// String renders the value in source-compatible syntax where possible.
+func (v Val) String() string {
+	switch v.k {
+	case KStr:
+		return strconv.Quote(v.s)
+	case KNum:
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case KNull:
+		return "⊥" + strconv.FormatUint(v.id, 10)
+	case KList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	default:
+		panic("datalog: bad kind")
+	}
+}
+
+// Key returns a canonical encoding usable as a map key; distinct values have
+// distinct keys.
+func (v Val) Key() string {
+	var b strings.Builder
+	v.appendKey(&b)
+	return b.String()
+}
+
+func (v Val) appendKey(b *strings.Builder) {
+	switch v.k {
+	case KStr:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	case KNum:
+		b.WriteByte('n')
+		b.WriteString(strconv.FormatFloat(v.n, 'g', -1, 64))
+		b.WriteByte(';')
+	case KNull:
+		b.WriteByte('N')
+		b.WriteString(strconv.FormatUint(v.id, 10))
+		b.WriteByte(';')
+	case KList:
+		b.WriteByte('[')
+		for _, e := range v.l {
+			e.appendKey(b)
+		}
+		b.WriteByte(']')
+	}
+}
+
+// Compare imposes a total order on values: numbers < strings < nulls <
+// lists; within a kind the natural order applies (lexicographic for lists).
+func Compare(a, b Val) int {
+	if a.k != b.k {
+		order := map[Kind]int{KNum: 0, KStr: 1, KNull: 2, KList: 3}
+		return order[a.k] - order[b.k]
+	}
+	switch a.k {
+	case KNum:
+		switch {
+		case a.n < b.n:
+			return -1
+		case a.n > b.n:
+			return 1
+		}
+		return 0
+	case KStr:
+		return strings.Compare(a.s, b.s)
+	case KNull:
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	case KList:
+		for i := 0; i < len(a.l) && i < len(b.l); i++ {
+			if c := Compare(a.l[i], b.l[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.l) - len(b.l)
+	default:
+		panic("datalog: bad kind")
+	}
+}
+
+// Equal reports value equality.
+func Equal(a, b Val) bool { return Compare(a, b) == 0 }
+
+// Contains reports whether list l contains x. It returns false for non-list
+// values so that "X in L" is simply false when L is not a set.
+func Contains(l, x Val) bool {
+	if l.k != KList {
+		return false
+	}
+	i := sort.Search(len(l.l), func(i int) bool { return Compare(l.l[i], x) >= 0 })
+	return i < len(l.l) && Compare(l.l[i], x) == 0
+}
+
+// Tuple is a sequence of values: the arguments of a fact.
+type Tuple []Val
+
+// Key returns a canonical encoding of the tuple.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		v.appendKey(&b)
+	}
+	return b.String()
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

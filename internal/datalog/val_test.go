@@ -1,0 +1,137 @@
+package datalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValAccessors(t *testing.T) {
+	if Str("a").StrVal() != "a" {
+		t.Error("StrVal")
+	}
+	if Num(2.5).NumVal() != 2.5 {
+		t.Error("NumVal")
+	}
+	if NullVal(3).NullID() != 3 {
+		t.Error("NullID")
+	}
+	l := List(Num(2), Num(1), Num(2))
+	if len(l.Elems()) != 2 {
+		t.Errorf("List dedup failed: %v", l)
+	}
+	if Compare(l.Elems()[0], Num(1)) != 0 {
+		t.Errorf("List not sorted: %v", l)
+	}
+}
+
+func TestValAccessorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"StrVal": func() { Num(1).StrVal() },
+		"NumVal": func() { Str("x").NumVal() },
+		"NullID": func() { Str("x").NullID() },
+		"Elems":  func() { Num(1).Elems() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on wrong kind did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValString(t *testing.T) {
+	cases := map[string]Val{
+		`"hi"`:    Str("hi"),
+		"2.5":     Num(2.5),
+		"⊥7":      NullVal(7),
+		`{1,"a"}`: List(Str("a"), Num(1)),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Val{Num(-1), Num(0), Num(3), Str(""), Str("a"), Str("b"),
+		NullVal(1), NullVal(2), List(), List(Num(1)), List(Num(1), Num(2)), List(Num(2))}
+	for i := range ordered {
+		for j := range ordered {
+			c := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", ordered[i], ordered[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", ordered[i], ordered[j], c)
+			}
+		}
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	vals := []Val{
+		Str("a"), Str("ab"), Str(""), Str("s3:"), Num(1), Num(-1), Str("1"),
+		NullVal(1), List(Str("a")), List(Str("a"), Str("b")), List(List(Str("a"))),
+		List(), Str("[]"),
+	}
+	seen := make(map[string]Val)
+	for _, v := range vals {
+		k := v.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("Key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestKeyEqualityMatchesCompare(t *testing.T) {
+	gen := func(s string, n float64, pick uint8) Val {
+		switch pick % 4 {
+		case 0:
+			return Str(s[:len(s)%3])
+		case 1:
+			return Num(float64(int(n) % 5))
+		case 2:
+			return NullVal(uint64(pick%3) + 1)
+		default:
+			return List(Str(s[:len(s)%2]), Num(float64(int(n)%3)))
+		}
+	}
+	f := func(s1 string, n1 float64, p1 uint8, s2 string, n2 float64, p2 uint8) bool {
+		if len(s1) == 0 || len(s2) == 0 {
+			return true
+		}
+		a, b := gen(s1, n1, p1), gen(s2, n2, p2)
+		return (a.Key() == b.Key()) == Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := List(Num(1), Str("x"), NullVal(2))
+	if !Contains(l, Num(1)) || !Contains(l, Str("x")) || !Contains(l, NullVal(2)) {
+		t.Error("Contains misses present elements")
+	}
+	if Contains(l, Num(2)) || Contains(Num(1), Num(1)) {
+		t.Error("Contains claims absent elements")
+	}
+}
+
+func TestTupleKeyAndString(t *testing.T) {
+	a := Tuple{Str("x"), Num(1)}
+	b := Tuple{Str("x"), Num(2)}
+	if a.Key() == b.Key() {
+		t.Error("tuple keys collide")
+	}
+	if a.String() != `("x",1)` {
+		t.Errorf("Tuple.String() = %q", a.String())
+	}
+}

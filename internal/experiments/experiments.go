@@ -1,0 +1,364 @@
+// Package experiments regenerates the paper's evaluation (Section 5): every
+// series of Figures 7a–7f, plus the Figure 6 dataset inventory. The
+// functions return structured results so both the cmd/experiments binary and
+// the benchmark suite can drive them; Render* write the same rows the paper
+// plots.
+//
+// A scale factor shrinks the dataset sizes proportionally for quick runs;
+// scale 1.0 reproduces the paper's sizes (6k–100k tuples).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/cluster"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+// threshold is the risk threshold T = 0.5 used across Section 5.
+const threshold = 0.5
+
+func scaled(tuples int, scale float64) int {
+	n := int(float64(tuples) * scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// dataset25k returns the three 25k-tuple datasets (W, U, V) of Figure 7a-7d
+// at the given scale.
+func dataset25k(scale float64) []*mdb.Dataset {
+	return []*mdb.Dataset{
+		synth.Generate(synth.Config{Tuples: scaled(25000, scale), QIs: 4, Dist: synth.DistW, Seed: 3}),
+		synth.Generate(synth.Config{Tuples: scaled(25000, scale), QIs: 4, Dist: synth.DistU, Seed: 4}),
+		synth.Generate(synth.Config{Tuples: scaled(25000, scale), QIs: 4, Dist: synth.DistV, Seed: 5}),
+	}
+}
+
+// CycleStats is one anonymization-cycle run of the Figure 7a/7b sweeps.
+type CycleStats struct {
+	Dataset   string
+	K         int
+	Semantics mdb.Semantics
+	Nulls     int
+	InfoLoss  float64
+	Residual  int
+}
+
+// Fig7a runs the anonymization capability sweep of Figures 7a and 7b:
+// k-anonymity (k = 2..5, T = 0.5), local suppression with the
+// less-significant-first heuristic, maybe-match semantics, over the
+// real-world-like and unbalanced 25k datasets. Figure 7a reads the Nulls
+// column, Figure 7b the InfoLoss column.
+func Fig7a(scale float64) ([]CycleStats, error) {
+	var out []CycleStats
+	for _, d := range dataset25k(scale) {
+		for k := 2; k <= 5; k++ {
+			res, err := anon.Run(d, anon.Config{
+				Assessor:   risk.KAnonymity{K: k},
+				Threshold:  threshold,
+				Anonymizer: anon.LocalSuppression{Choice: anon.AttrMaxGain},
+				Semantics:  mdb.MaybeMatch,
+				Order:      anon.OrderLessSignificantFirst,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7a %s k=%d: %w", d.Name, k, err)
+			}
+			out = append(out, CycleStats{
+				Dataset: d.Name, K: k, Semantics: mdb.MaybeMatch,
+				Nulls: res.NullsInjected, InfoLoss: res.InfoLoss,
+				Residual: len(res.Residual),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7a writes the Figure 7a table: nulls injected by k-anonymity
+// threshold.
+func RenderFig7a(w io.Writer, stats []CycleStats) {
+	fmt.Fprintf(w, "Figure 7a — labelled nulls injected by k-anonymity threshold (T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %4s %8s\n", "dataset", "k", "nulls")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %4d %8d\n", s.Dataset, s.K, s.Nulls)
+	}
+}
+
+// RenderFig7b writes the Figure 7b table: information loss by k-anonymity
+// threshold.
+func RenderFig7b(w io.Writer, stats []CycleStats) {
+	fmt.Fprintf(w, "Figure 7b — information loss by k-anonymity threshold (T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %4s %10s\n", "dataset", "k", "loss")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %4d %9.1f%%\n", s.Dataset, s.K, 100*s.InfoLoss)
+	}
+}
+
+// Fig7c reruns the Figure 7a sweep under both labelled-null semantics:
+// maybe-match versus the standard Skolem semantics, exposing the null
+// proliferation of Figure 7c.
+func Fig7c(scale float64) ([]CycleStats, error) {
+	var out []CycleStats
+	for _, d := range dataset25k(scale) {
+		for _, sem := range []mdb.Semantics{mdb.MaybeMatch, mdb.StandardNulls} {
+			for k := 2; k <= 5; k++ {
+				res, err := anon.Run(d, anon.Config{
+					Assessor:   risk.KAnonymity{K: k},
+					Threshold:  threshold,
+					Anonymizer: anon.LocalSuppression{Choice: anon.AttrMaxGain},
+					Semantics:  sem,
+					Order:      anon.OrderLessSignificantFirst,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig7c %s %v k=%d: %w", d.Name, sem, k, err)
+				}
+				out = append(out, CycleStats{
+					Dataset: d.Name, K: k, Semantics: sem,
+					Nulls: res.NullsInjected, InfoLoss: res.InfoLoss,
+					Residual: len(res.Residual),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7c writes the Figure 7c table: nulls injected with maybe-matching
+// vs standard labelled-null semantics.
+func RenderFig7c(w io.Writer, stats []CycleStats) {
+	fmt.Fprintf(w, "Figure 7c — nulls injected: maybe-match vs standard null semantics (T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %-12s %4s %8s %9s\n", "dataset", "semantics", "k", "nulls", "residual")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %-12s %4d %8d %9d\n", s.Dataset, s.Semantics, s.K, s.Nulls, s.Residual)
+	}
+}
+
+// RelStats is one point of the Figure 7d business-knowledge sweep.
+type RelStats struct {
+	Dataset       string
+	Relationships int
+	Nulls         int
+	Risky         int
+}
+
+// Fig7d runs the business-knowledge experiment: the anonymization cycle with
+// k-anonymity (k=2, T=0.5) where risk propagates along company-control
+// clusters, sweeping the number of inferred control relationships from 0 to
+// 400 (scaled).
+func Fig7d(scale float64) ([]RelStats, error) {
+	var out []RelStats
+	for _, d := range dataset25k(scale) {
+		var ids []string
+		for _, r := range d.Rows {
+			ids = append(ids, r.Values[0].Constant())
+		}
+		for _, nRels := range []int{0, 100, 200, 300, 400} {
+			rels := int(float64(nRels) * scale)
+			g := cluster.NewGraph()
+			if rels > 0 {
+				if err := cluster.StarOwnerships(g, ids, rels, 4, 7); err != nil {
+					return nil, err
+				}
+			}
+			assessor := risk.Assessor(risk.KAnonymity{K: 2})
+			if rels > 0 {
+				assessor = cluster.Assessor{Base: assessor, Graph: g}
+			}
+			// BatchFraction 1 isolates the propagation effect from the
+			// batch-rescue optimization: every tuple over threshold is
+			// anonymized before risk is re-evaluated, as in Algorithm 9.
+			res, err := anon.Run(d, anon.Config{
+				Assessor:      assessor,
+				Threshold:     threshold,
+				Anonymizer:    anon.LocalSuppression{Choice: anon.AttrMaxGain},
+				Semantics:     mdb.MaybeMatch,
+				Order:         anon.OrderLessSignificantFirst,
+				BatchFraction: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7d %s rels=%d: %w", d.Name, rels, err)
+			}
+			out = append(out, RelStats{
+				Dataset: d.Name, Relationships: rels,
+				Nulls: res.NullsInjected, Risky: res.EverRisky,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7d writes the Figure 7d table: nulls injected by number of
+// control relationships.
+func RenderFig7d(w io.Writer, stats []RelStats) {
+	fmt.Fprintf(w, "Figure 7d — nulls injected by number of control relationships (k=2, T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %6s %8s %8s\n", "dataset", "rels", "nulls", "risky")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %6d %8d %8d\n", s.Dataset, s.Relationships, s.Nulls, s.Risky)
+	}
+}
+
+// TimeStats is one point of the Figure 7e/7f scalability sweeps.
+type TimeStats struct {
+	Dataset   string
+	Tuples    int
+	QIs       int
+	Technique string
+	Total     time.Duration
+	RiskEval  time.Duration
+	Nulls     int
+}
+
+// techniques returns the three risk estimation techniques of Figure 7e/7f:
+// individual risk with the sampling estimator (the paper's costly
+// “off-the-shelf statistical library” configuration), k-anonymity with k=2,
+// and SUDA with MSU threshold 3.
+func techniques() []risk.Assessor {
+	return []risk.Assessor{
+		risk.IndividualRisk{Estimator: risk.MonteCarlo, Samples: 200, Seed: 1},
+		risk.KAnonymity{K: 2},
+		risk.SUDA{Threshold: 3},
+	}
+}
+
+func timeCycle(d *mdb.Dataset, a risk.Assessor) (TimeStats, error) {
+	start := time.Now()
+	// BatchFraction 1 keeps the iteration count low so the measured split
+	// cleanly separates risk estimation from anonymization, as the paper's
+	// dotted-vs-solid lines do.
+	res, err := anon.Run(d, anon.Config{
+		Assessor:      a,
+		Threshold:     threshold,
+		Anonymizer:    anon.LocalSuppression{Choice: anon.AttrMaxGain},
+		Semantics:     mdb.MaybeMatch,
+		Order:         anon.OrderLessSignificantFirst,
+		BatchFraction: 1,
+	})
+	if err != nil {
+		return TimeStats{}, fmt.Errorf("%s on %s: %w", a.Name(), d.Name, err)
+	}
+	return TimeStats{
+		Dataset:   d.Name,
+		Tuples:    len(d.Rows),
+		QIs:       len(d.QuasiIdentifiers()),
+		Technique: a.Name(),
+		Total:     time.Since(start),
+		RiskEval:  res.RiskEvalTime,
+		Nulls:     res.NullsInjected,
+	}, nil
+}
+
+// Fig7e measures the elapsed time of the full anonymization cycle and of its
+// risk estimation component, by dataset size (6k to 100k unbalanced tuples)
+// and risk estimation technique.
+func Fig7e(scale float64) ([]TimeStats, error) {
+	cfgs := []synth.Config{
+		{Tuples: scaled(6000, scale), QIs: 4, Dist: synth.DistU, Seed: 1},
+		{Tuples: scaled(12000, scale), QIs: 4, Dist: synth.DistU, Seed: 2},
+		{Tuples: scaled(25000, scale), QIs: 4, Dist: synth.DistU, Seed: 4},
+		{Tuples: scaled(50000, scale), QIs: 4, Dist: synth.DistU, Seed: 7},
+		{Tuples: scaled(100000, scale), QIs: 4, Dist: synth.DistU, Seed: 12},
+	}
+	var out []TimeStats
+	for _, cfg := range cfgs {
+		d := synth.Generate(cfg)
+		for _, a := range techniques() {
+			ts, err := timeCycle(d, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts)
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7e writes the Figure 7e table: execution time by dataset size and
+// risk estimation technique.
+func RenderFig7e(w io.Writer, stats []TimeStats) {
+	fmt.Fprintf(w, "Figure 7e — execution time by dataset size and risk technique (T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %8s %-28s %12s %12s\n", "dataset", "tuples", "technique", "total", "risk-eval")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %8d %-28s %12s %12s\n",
+			s.Dataset, s.Tuples, s.Technique, s.Total.Round(time.Millisecond), s.RiskEval.Round(time.Millisecond))
+	}
+}
+
+// Fig7f measures execution time by number of quasi-identifiers (4 to 9) at
+// fixed 50k tuples with the real-world-like distribution.
+func Fig7f(scale float64) ([]TimeStats, error) {
+	cfgs := []synth.Config{
+		{Tuples: scaled(50000, scale), QIs: 4, Dist: synth.DistW, Seed: 6},
+		{Tuples: scaled(50000, scale), QIs: 5, Dist: synth.DistW, Seed: 8},
+		{Tuples: scaled(50000, scale), QIs: 6, Dist: synth.DistW, Seed: 9},
+		{Tuples: scaled(50000, scale), QIs: 8, Dist: synth.DistW, Seed: 10},
+		{Tuples: scaled(50000, scale), QIs: 9, Dist: synth.DistW, Seed: 11},
+	}
+	var out []TimeStats
+	for _, cfg := range cfgs {
+		d := synth.Generate(cfg)
+		for _, a := range techniques() {
+			ts, err := timeCycle(d, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts)
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7f writes the Figure 7f table: execution time by number of
+// quasi-identifiers and risk estimation technique.
+func RenderFig7f(w io.Writer, stats []TimeStats) {
+	fmt.Fprintf(w, "Figure 7f — execution time by number of quasi-identifiers (50k tuples, T=%.1f)\n", threshold)
+	fmt.Fprintf(w, "%-10s %5s %-28s %12s %12s\n", "dataset", "QIs", "technique", "total", "risk-eval")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-10s %5d %-28s %12s %12s\n",
+			s.Dataset, s.QIs, s.Technique, s.Total.Round(time.Millisecond), s.RiskEval.Round(time.Millisecond))
+	}
+}
+
+// DatasetInfo is one row of the Figure 6 dataset inventory.
+type DatasetInfo struct {
+	Name   string
+	Attrs  int
+	Tuples int
+	Dist   string
+	Unique int // tuples violating 2-anonymity, characterizing the family
+}
+
+// Fig6 regenerates the dataset family of Figure 6 and reports, for each, the
+// number of unique (2-anonymity-violating) tuples.
+func Fig6(scale float64) []DatasetInfo {
+	var out []DatasetInfo
+	for _, cfg := range synth.StandardConfigs() {
+		cfg.Tuples = scaled(cfg.Tuples, scale)
+		d := synth.Generate(cfg)
+		unique := 0
+		for _, f := range mdb.Frequencies(d, d.QuasiIdentifiers(), mdb.MaybeMatch) {
+			if f < 2 {
+				unique++
+			}
+		}
+		out = append(out, DatasetInfo{
+			Name: cfg.Name(), Attrs: cfg.QIs, Tuples: cfg.Tuples,
+			Dist: cfg.Dist.String(), Unique: unique,
+		})
+	}
+	return out
+}
+
+// RenderFig6 writes the Figure 6 dataset inventory.
+func RenderFig6(w io.Writer, infos []DatasetInfo) {
+	fmt.Fprintln(w, "Figure 6 — datasets used in the experimental settings")
+	fmt.Fprintf(w, "%-10s %6s %8s %5s %8s\n", "dataset", "attrs", "tuples", "dist", "unique")
+	for _, i := range infos {
+		fmt.Fprintf(w, "%-10s %6d %8d %5s %8d\n", i.Name, i.Attrs, i.Tuples, i.Dist, i.Unique)
+	}
+}

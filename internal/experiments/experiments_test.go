@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness runs every figure end to end at a tiny scale; assertions pin
+// the shapes the paper reports, so a regression in any module that bends a
+// curve fails here.
+const testScale = 0.04 // 1000-tuple datasets
+
+func TestFig6(t *testing.T) {
+	infos := Fig6(testScale)
+	if len(infos) != 12 {
+		t.Fatalf("got %d datasets", len(infos))
+	}
+	var b strings.Builder
+	RenderFig6(&b, infos)
+	if !strings.Contains(b.String(), "Figure 6") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig7aShapes(t *testing.T) {
+	stats, err := Fig7a(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 12 { // 3 datasets x 4 thresholds
+		t.Fatalf("got %d runs", len(stats))
+	}
+	// Nulls monotone in k within each dataset.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Dataset == stats[i-1].Dataset && stats[i].Nulls < stats[i-1].Nulls {
+			t.Errorf("nulls not monotone in k: %+v -> %+v", stats[i-1], stats[i])
+		}
+	}
+	// W < U < V at k=2 (runs are ordered W, U, V).
+	if !(stats[0].Nulls < stats[4].Nulls && stats[4].Nulls < stats[8].Nulls) {
+		t.Errorf("family ordering broken: W=%d U=%d V=%d",
+			stats[0].Nulls, stats[4].Nulls, stats[8].Nulls)
+	}
+	// Everything converges under maybe-match.
+	for _, s := range stats {
+		if s.Residual != 0 {
+			t.Errorf("%s k=%d left %d residual tuples", s.Dataset, s.K, s.Residual)
+		}
+		if s.InfoLoss <= 0 || s.InfoLoss >= 1 {
+			t.Errorf("%s k=%d info loss %g out of range", s.Dataset, s.K, s.InfoLoss)
+		}
+	}
+	var a, b strings.Builder
+	RenderFig7a(&a, stats)
+	RenderFig7b(&b, stats)
+	if !strings.Contains(a.String(), "7a") || !strings.Contains(b.String(), "7b") {
+		t.Error("render headers missing")
+	}
+}
+
+func TestFig7cShapes(t *testing.T) {
+	stats, err := Fig7c(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard semantics must inject more nulls and leave residuals.
+	byKey := map[string]CycleStats{}
+	for _, s := range stats {
+		byKey[s.Dataset+"|"+s.Semantics.String()+"|"+string(rune('0'+s.K))] = s
+	}
+	for _, s := range stats {
+		if s.Semantics.String() != "standard" {
+			continue
+		}
+		mm := byKey[s.Dataset+"|maybe-match|"+string(rune('0'+s.K))]
+		if s.Nulls <= mm.Nulls {
+			t.Errorf("%s k=%d: standard %d nulls <= maybe-match %d",
+				s.Dataset, s.K, s.Nulls, mm.Nulls)
+		}
+		if s.Residual == 0 {
+			t.Errorf("%s k=%d: standard semantics left no residual", s.Dataset, s.K)
+		}
+	}
+	var b strings.Builder
+	RenderFig7c(&b, stats)
+	if !strings.Contains(b.String(), "standard") {
+		t.Error("render missing standard rows")
+	}
+}
+
+func TestFig7dShapes(t *testing.T) {
+	stats, err := Fig7d(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Risky-tuple counts monotone in the number of relationships.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Dataset == stats[i-1].Dataset && stats[i].Risky < stats[i-1].Risky {
+			t.Errorf("risky not monotone: %+v -> %+v", stats[i-1], stats[i])
+		}
+	}
+	var b strings.Builder
+	RenderFig7d(&b, stats)
+	if !strings.Contains(b.String(), "rels") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig7eShapes(t *testing.T) {
+	stats, err := Fig7e(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 15 { // 5 sizes x 3 techniques
+		t.Fatalf("got %d runs", len(stats))
+	}
+	for _, s := range stats {
+		if s.RiskEval > s.Total {
+			t.Errorf("%s on %s: risk-eval %v exceeds total %v",
+				s.Technique, s.Dataset, s.RiskEval, s.Total)
+		}
+	}
+	var b strings.Builder
+	RenderFig7e(&b, stats)
+	if !strings.Contains(b.String(), "risk-eval") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig7fShapes(t *testing.T) {
+	stats, err := Fig7f(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 15 { // 5 widths x 3 techniques
+		t.Fatalf("got %d runs", len(stats))
+	}
+	// SUDA cost grows with the number of quasi-identifiers.
+	var sudaFirst, sudaLast TimeStats
+	for _, s := range stats {
+		if strings.HasPrefix(s.Technique, "suda") {
+			if sudaFirst.Technique == "" {
+				sudaFirst = s
+			}
+			sudaLast = s
+		}
+	}
+	if sudaLast.RiskEval < sudaFirst.RiskEval {
+		t.Errorf("SUDA cost shrank with more QIs: %v -> %v",
+			sudaFirst.RiskEval, sudaLast.RiskEval)
+	}
+	var b strings.Builder
+	RenderFig7f(&b, stats)
+	if !strings.Contains(b.String(), "QIs") {
+		t.Error("render header missing")
+	}
+}

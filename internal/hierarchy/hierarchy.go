@@ -1,0 +1,219 @@
+// Package hierarchy holds the domain knowledge used by global recoding
+// (Algorithm 8): attribute types, the sub-type lattice, value instances and
+// the isA relation between values and their coarser parents — e.g. the
+// Italian geography where Milano isA North, and City is a sub-type of
+// Region.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"vadasa/internal/mdb"
+)
+
+// Hierarchy is a knowledge base of TypeOf/SubTypeOf/InstOf/IsA facts.
+type Hierarchy struct {
+	attrType map[string]string   // attribute name -> base type
+	superOf  map[string]string   // type -> direct super-type
+	instOf   map[string]string   // value -> type
+	parentOf map[string]string   // value -> coarser value (isA)
+	children map[string][]string // inverse of parentOf, kept sorted
+}
+
+// New returns an empty hierarchy.
+func New() *Hierarchy {
+	return &Hierarchy{
+		attrType: make(map[string]string),
+		superOf:  make(map[string]string),
+		instOf:   make(map[string]string),
+		parentOf: make(map[string]string),
+		children: make(map[string][]string),
+	}
+}
+
+// SetAttributeType records TypeOf(attr, typ): the base type of an attribute's
+// values.
+func (h *Hierarchy) SetAttributeType(attr, typ string) {
+	h.attrType[attr] = typ
+}
+
+// AttributeType returns the declared base type of an attribute.
+func (h *Hierarchy) AttributeType(attr string) (string, bool) {
+	t, ok := h.attrType[attr]
+	return t, ok
+}
+
+// AddSubType records SubTypeOf(typ, super): values of typ generalize to
+// values of super. It rejects self-loops and cycles.
+func (h *Hierarchy) AddSubType(typ, super string) error {
+	if typ == super {
+		return fmt.Errorf("hierarchy: type %q cannot be its own super-type", typ)
+	}
+	h.superOf[typ] = super
+	// Cycle check by walking up.
+	seen := map[string]bool{typ: true}
+	for t := super; t != ""; t = h.superOf[t] {
+		if seen[t] {
+			delete(h.superOf, typ)
+			return fmt.Errorf("hierarchy: SubTypeOf(%s,%s) introduces a cycle", typ, super)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// SuperType returns the direct super-type of a type.
+func (h *Hierarchy) SuperType(typ string) (string, bool) {
+	s, ok := h.superOf[typ]
+	return s, ok
+}
+
+// AddInstance records InstOf(value, typ).
+func (h *Hierarchy) AddInstance(value, typ string) {
+	h.instOf[value] = typ
+}
+
+// TypeOfValue returns the type a value is an instance of.
+func (h *Hierarchy) TypeOfValue(value string) (string, bool) {
+	t, ok := h.instOf[value]
+	return t, ok
+}
+
+// AddIsA records IsA(value, parent): value generalizes to parent. The parent
+// must be an instance of the super-type of the value's type when both are
+// declared; inconsistent roll-ups are rejected so recoding can trust the KB.
+func (h *Hierarchy) AddIsA(value, parent string) error {
+	if value == parent {
+		return fmt.Errorf("hierarchy: IsA(%s,%s) is a self-loop", value, parent)
+	}
+	if vt, ok := h.instOf[value]; ok {
+		if super, ok := h.superOf[vt]; ok {
+			if pt, ok := h.instOf[parent]; ok && pt != super {
+				return fmt.Errorf("hierarchy: IsA(%s,%s): parent has type %s, want %s",
+					value, parent, pt, super)
+			}
+		}
+	}
+	// Cycle check along the isA chain.
+	seen := map[string]bool{value: true}
+	for v := parent; v != ""; {
+		if seen[v] {
+			return fmt.Errorf("hierarchy: IsA(%s,%s) introduces a cycle", value, parent)
+		}
+		seen[v] = true
+		next, ok := h.parentOf[v]
+		if !ok {
+			break
+		}
+		v = next
+	}
+	h.parentOf[value] = parent
+	h.children[parent] = append(h.children[parent], value)
+	sort.Strings(h.children[parent])
+	return nil
+}
+
+// Parent returns the coarser value a value rolls up to.
+func (h *Hierarchy) Parent(value string) (string, bool) {
+	p, ok := h.parentOf[value]
+	return p, ok
+}
+
+// Children returns the values that roll up to the given value, sorted.
+func (h *Hierarchy) Children(value string) []string {
+	return append([]string(nil), h.children[value]...)
+}
+
+// RollUp implements the lookup of Algorithm 8 for one value of an attribute:
+// it climbs the type hierarchy one level, returning the coarser value.
+// The boolean is false when the value has no parent (top of the hierarchy or
+// unknown value).
+func (h *Hierarchy) RollUp(attr, value string) (string, bool) {
+	parent, ok := h.parentOf[value]
+	if !ok {
+		return "", false
+	}
+	// When full typing is available, verify the climb is consistent with
+	// the declared type lattice, as Algorithm 8 does: TypeOf(A,X),
+	// SubTypeOf(X,Y), IsA(v,Z), InstOf(Z,Y).
+	vt, hasVT := h.instOf[value]
+	if hasVT {
+		super, hasSuper := h.superOf[vt]
+		if hasSuper {
+			if pt, ok := h.instOf[parent]; ok && pt != super {
+				return "", false
+			}
+		}
+	}
+	return parent, true
+}
+
+// Depth returns how many roll-ups are possible from a value.
+func (h *Hierarchy) Depth(value string) int {
+	d := 0
+	seen := map[string]bool{}
+	for {
+		if seen[value] {
+			return d
+		}
+		seen[value] = true
+		p, ok := h.parentOf[value]
+		if !ok {
+			return d
+		}
+		d++
+		value = p
+	}
+}
+
+// Facts exports the knowledge base in the paper's TypeOf/SubTypeOf/InstOf/IsA
+// predicates for use as an extensional component of reasoning programs.
+func (h *Hierarchy) Facts() []mdb.Fact {
+	var fs []mdb.Fact
+	add := func(pred string, m map[string]string) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fs = append(fs, mdb.Fact{Pred: pred, Args: []string{k, m[k]}})
+		}
+	}
+	add("typeof", h.attrType)
+	add("subtypeof", h.superOf)
+	add("instof", h.instOf)
+	add("isa", h.parentOf)
+	return fs
+}
+
+// ItalianGeography builds the geography fixture used throughout the paper:
+// cities roll up to macro-regions (North/Center/South), which roll up to the
+// country.
+func ItalianGeography() *Hierarchy {
+	h := New()
+	h.SetAttributeType("Area", "City")
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(h.AddSubType("City", "Region"))
+	must(h.AddSubType("Region", "Country"))
+	regions := map[string][]string{
+		"North":  {"Milano", "Torino", "Venezia", "Genova", "Bologna"},
+		"Center": {"Roma", "Firenze", "Perugia", "Ancona"},
+		"South":  {"Napoli", "Bari", "Palermo", "Catanzaro"},
+	}
+	for region, cities := range regions {
+		h.AddInstance(region, "Region")
+		must(h.AddIsA(region, "Italia"))
+		for _, city := range cities {
+			h.AddInstance(city, "City")
+			must(h.AddIsA(city, region))
+		}
+	}
+	h.AddInstance("Italia", "Country")
+	return h
+}

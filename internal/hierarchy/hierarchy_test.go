@@ -1,0 +1,158 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestItalianGeographyRollUp(t *testing.T) {
+	h := ItalianGeography()
+	cases := [][2]string{
+		{"Milano", "North"},
+		{"Torino", "North"},
+		{"Roma", "Center"},
+		{"Napoli", "South"},
+		{"North", "Italia"},
+	}
+	for _, c := range cases {
+		got, ok := h.RollUp("Area", c[0])
+		if !ok || got != c[1] {
+			t.Errorf("RollUp(%s) = %q, %v; want %q", c[0], got, ok, c[1])
+		}
+	}
+	if _, ok := h.RollUp("Area", "Italia"); ok {
+		t.Error("top of hierarchy rolled up")
+	}
+	if _, ok := h.RollUp("Area", "Atlantis"); ok {
+		t.Error("unknown value rolled up")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	h := ItalianGeography()
+	if d := h.Depth("Milano"); d != 2 {
+		t.Errorf("Depth(Milano) = %d, want 2", d)
+	}
+	if d := h.Depth("Italia"); d != 0 {
+		t.Errorf("Depth(Italia) = %d, want 0", d)
+	}
+	if d := h.Depth("Atlantis"); d != 0 {
+		t.Errorf("Depth(Atlantis) = %d, want 0", d)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	h := ItalianGeography()
+	kids := h.Children("North")
+	if len(kids) != 5 || kids[0] != "Bologna" {
+		t.Errorf("Children(North) = %v", kids)
+	}
+	// Returned slice must be a copy.
+	kids[0] = "mutated"
+	if h.Children("North")[0] != "Bologna" {
+		t.Error("Children returned shared storage")
+	}
+}
+
+func TestAttributeType(t *testing.T) {
+	h := ItalianGeography()
+	typ, ok := h.AttributeType("Area")
+	if !ok || typ != "City" {
+		t.Errorf("AttributeType(Area) = %q, %v", typ, ok)
+	}
+	if super, ok := h.SuperType("City"); !ok || super != "Region" {
+		t.Errorf("SuperType(City) = %q, %v", super, ok)
+	}
+	if vt, ok := h.TypeOfValue("Milano"); !ok || vt != "City" {
+		t.Errorf("TypeOfValue(Milano) = %q, %v", vt, ok)
+	}
+}
+
+func TestSubTypeCycleRejected(t *testing.T) {
+	h := New()
+	if err := h.AddSubType("A", "A"); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := h.AddSubType("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSubType("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSubType("C", "A"); err == nil {
+		t.Error("cycle accepted")
+	}
+	// The failed edge must not have been recorded.
+	if _, ok := h.SuperType("C"); ok {
+		t.Error("cycle edge partially recorded")
+	}
+}
+
+func TestIsACycleRejected(t *testing.T) {
+	h := New()
+	if err := h.AddIsA("x", "x"); err == nil {
+		t.Error("isA self-loop accepted")
+	}
+	if err := h.AddIsA("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddIsA("y", "x"); err == nil {
+		t.Error("isA cycle accepted")
+	}
+}
+
+func TestIsATypeConsistency(t *testing.T) {
+	h := New()
+	if err := h.AddSubType("City", "Region"); err != nil {
+		t.Fatal(err)
+	}
+	h.AddInstance("Milano", "City")
+	h.AddInstance("Banana", "Fruit")
+	if err := h.AddIsA("Milano", "Banana"); err == nil ||
+		!strings.Contains(err.Error(), "type") {
+		t.Errorf("inconsistent isA accepted: %v", err)
+	}
+	if err := h.AddIsA("Milano", "North"); err != nil {
+		t.Errorf("isA with undeclared parent type rejected: %v", err)
+	}
+}
+
+func TestRollUpRejectsTypeInconsistency(t *testing.T) {
+	h := New()
+	// Declared typing contradicts the recorded parent: instOf(parent) is
+	// not the super-type of instOf(value). AddIsA before the typing is
+	// declared, then tighten types.
+	if err := h.AddIsA("Milano", "Weird"); err != nil {
+		t.Fatal(err)
+	}
+	h.AddInstance("Milano", "City")
+	h.AddInstance("Weird", "Shape")
+	if err := h.AddSubType("City", "Region"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.RollUp("Area", "Milano"); ok {
+		t.Error("type-inconsistent roll-up allowed")
+	}
+}
+
+func TestFacts(t *testing.T) {
+	h := ItalianGeography()
+	fs := h.Facts()
+	want := map[string]bool{
+		"typeof(Area,City)":      false,
+		"subtypeof(City,Region)": false,
+		"instof(Milano,City)":    false,
+		"isa(Milano,North)":      false,
+	}
+	for _, f := range fs {
+		key := f.Pred + "(" + strings.Join(f.Args, ",") + ")"
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing fact %s", k)
+		}
+	}
+}

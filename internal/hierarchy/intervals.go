@@ -1,0 +1,130 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Interval ladders bring numeric attributes into the global-recoding world:
+// a numeric value first rolls up to its finest interval, then each
+// generalization level halves the resolution by merging adjacent intervals —
+// the standard value-generalization-hierarchy construction of the SDC tools
+// (ARX, sdcMicro) expressed as TypeOf/SubTypeOf/InstOf/IsA knowledge.
+
+// IntervalLabel renders the half-open interval [lo, hi) in the ladder's
+// label format; the ".." separator keeps negative bounds unambiguous.
+func IntervalLabel(lo, hi float64) string {
+	return fmt.Sprintf("[%s..%s)", trimFloat(lo), trimFloat(hi))
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// BuildIntervalLadder installs, for the attribute attr, a hierarchy of
+// numeric intervals over the given ascending cut points: level 0 has one
+// interval [cuts[i], cuts[i+1]) per adjacent pair, and every further level
+// merges pairs of intervals until a single interval remains. Values are
+// mapped into level-0 intervals by MapToInterval.
+//
+// For cuts [0, 30, 60, 90] the ladder is
+//
+//	[0..30) [30..60) [60..90)     level 0 (type attr.L0)
+//	[0..60) [60..90)              level 1
+//	[0..90)                       level 2 (top)
+//
+// Levels are typed attr.L0, attr.L1, ... so RollUp's type checks hold.
+func (h *Hierarchy) BuildIntervalLadder(attr string, cuts []float64) error {
+	if len(cuts) < 2 {
+		return fmt.Errorf("hierarchy: interval ladder for %q needs at least 2 cut points", attr)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return fmt.Errorf("hierarchy: cut points for %q not strictly ascending at %d", attr, i)
+		}
+	}
+
+	type iv struct{ lo, hi float64 }
+	level := make([]iv, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		level = append(level, iv{cuts[i], cuts[i+1]})
+	}
+	h.SetAttributeType(attr, typeName(attr, 0))
+	for depth := 0; len(level) > 1; depth++ {
+		var next []iv
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, iv{level[i].lo, level[i+1].hi})
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		if err := h.AddSubType(typeName(attr, depth), typeName(attr, depth+1)); err != nil {
+			return err
+		}
+		for i, child := range level {
+			parent := next[i/2]
+			childLabel := IntervalLabel(child.lo, child.hi)
+			parentLabel := IntervalLabel(parent.lo, parent.hi)
+			h.AddInstance(childLabel, typeName(attr, depth))
+			h.AddInstance(parentLabel, typeName(attr, depth+1))
+			if childLabel == parentLabel {
+				continue // odd leftover carried up unchanged
+			}
+			if err := h.AddIsA(childLabel, parentLabel); err != nil {
+				return err
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+func typeName(attr string, depth int) string {
+	return fmt.Sprintf("%s.L%d", attr, depth)
+}
+
+// MapToInterval returns the level-0 interval label of a numeric value under
+// the given cut points, or false when the value falls outside the ladder.
+// The last interval is closed: cuts[len-1] belongs to it.
+func MapToInterval(value float64, cuts []float64) (string, bool) {
+	if len(cuts) < 2 || value < cuts[0] || value > cuts[len(cuts)-1] {
+		return "", false
+	}
+	// The top boundary joins the last (closed) interval.
+	if value == cuts[len(cuts)-1] {
+		return IntervalLabel(cuts[len(cuts)-2], cuts[len(cuts)-1]), true
+	}
+	i := sort.SearchFloat64s(cuts, value) // first index with cuts[i] >= value
+	if cuts[i] != value {
+		i--
+	}
+	return IntervalLabel(cuts[i], cuts[i+1]), true
+}
+
+// ParseIntervalLabel parses a label produced by IntervalLabel.
+func ParseIntervalLabel(label string) (lo, hi float64, err error) {
+	s, ok := strings.CutPrefix(label, "[")
+	if !ok {
+		return 0, 0, fmt.Errorf("hierarchy: bad interval label %q", label)
+	}
+	s, ok = strings.CutSuffix(s, ")")
+	if !ok {
+		return 0, 0, fmt.Errorf("hierarchy: bad interval label %q", label)
+	}
+	loStr, hiStr, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("hierarchy: bad interval label %q", label)
+	}
+	lo, err = strconv.ParseFloat(loStr, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("hierarchy: bad interval label %q: %v", label, err)
+	}
+	hi, err = strconv.ParseFloat(hiStr, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("hierarchy: bad interval label %q: %v", label, err)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,168 @@
+package hierarchy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildIntervalLadder(t *testing.T) {
+	h := New()
+	cuts := []float64{0, 30, 60, 90}
+	if err := h.BuildIntervalLadder("ResidentialRevenue", cuts); err != nil {
+		t.Fatalf("BuildIntervalLadder: %v", err)
+	}
+	// Level 0 rolls into level 1.
+	got, ok := h.RollUp("ResidentialRevenue", "[0..30)")
+	if !ok || got != "[0..60)" {
+		t.Fatalf("RollUp([0..30)) = %q, %v", got, ok)
+	}
+	got, ok = h.RollUp("ResidentialRevenue", "[0..60)")
+	if !ok || got != "[0..90)" {
+		t.Fatalf("RollUp([0..60)) = %q, %v", got, ok)
+	}
+	// Top does not roll.
+	if _, ok := h.RollUp("ResidentialRevenue", "[0..90)"); ok {
+		t.Fatal("top interval rolled up")
+	}
+	// Every level-0 interval reaches the top.
+	for _, label := range []string{"[0..30)", "[30..60)", "[60..90)"} {
+		v := label
+		for i := 0; i < 10; i++ {
+			p, ok := h.Parent(v)
+			if !ok {
+				break
+			}
+			v = p
+		}
+		if v != "[0..90)" {
+			t.Errorf("%s climbs to %s, want [0..90)", label, v)
+		}
+	}
+}
+
+func TestBuildIntervalLadderOddCount(t *testing.T) {
+	h := New()
+	// Five intervals: 0-1,1-2,2-3,3-4,4-5.
+	if err := h.BuildIntervalLadder("X", []float64{0, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatalf("BuildIntervalLadder: %v", err)
+	}
+	// The odd leftover [4..5) must still reach the top.
+	v := "[4..5)"
+	for i := 0; i < 10; i++ {
+		p, ok := h.Parent(v)
+		if !ok {
+			break
+		}
+		v = p
+	}
+	if v != "[0..5)" {
+		t.Fatalf("leftover climbs to %s, want [0..5)", v)
+	}
+}
+
+func TestBuildIntervalLadderValidation(t *testing.T) {
+	h := New()
+	if err := h.BuildIntervalLadder("X", []float64{1}); err == nil {
+		t.Error("single cut accepted")
+	}
+	if err := h.BuildIntervalLadder("X", []float64{0, 0}); err == nil {
+		t.Error("non-ascending cuts accepted")
+	}
+	if err := h.BuildIntervalLadder("X", []float64{0, 2, 1}); err == nil {
+		t.Error("descending cuts accepted")
+	}
+}
+
+func TestMapToInterval(t *testing.T) {
+	cuts := []float64{0, 30, 60, 90}
+	cases := []struct {
+		v    float64
+		want string
+		ok   bool
+	}{
+		{0, "[0..30)", true},
+		{15, "[0..30)", true},
+		{30, "[30..60)", true}, // boundary belongs to the upper interval
+		{89.9, "[60..90)", true},
+		{90, "[60..90)", true}, // top boundary is closed
+		{-1, "", false},
+		{91, "", false},
+	}
+	for _, c := range cases {
+		got, ok := MapToInterval(c.v, cuts)
+		if ok != c.ok || got != c.want {
+			t.Errorf("MapToInterval(%g) = %q, %v; want %q, %v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := MapToInterval(1, []float64{0}); ok {
+		t.Error("degenerate cuts accepted")
+	}
+}
+
+func TestIntervalLabelRoundTrip(t *testing.T) {
+	cases := [][2]float64{{0, 30}, {-10, -5}, {-0.5, 0.5}, {1e6, 2e6}}
+	for _, c := range cases {
+		label := IntervalLabel(c[0], c[1])
+		lo, hi, err := ParseIntervalLabel(label)
+		if err != nil || lo != c[0] || hi != c[1] {
+			t.Errorf("round trip of %v: %q -> %g, %g, %v", c, label, lo, hi, err)
+		}
+	}
+	for _, bad := range []string{"", "[0..30", "0..30)", "[0-30)", "[a..b)"} {
+		if _, _, err := ParseIntervalLabel(bad); err == nil {
+			t.Errorf("ParseIntervalLabel(%q) succeeded", bad)
+		}
+	}
+}
+
+// Property: for in-range values, the mapped interval always contains the
+// value (with the closed top boundary).
+func TestMapToIntervalContainsValue(t *testing.T) {
+	cuts := []float64{0, 10, 25, 50, 100}
+	f := func(raw uint16) bool {
+		v := float64(raw) / 655.35 // [0, 100]
+		label, ok := MapToInterval(v, cuts)
+		if !ok {
+			return false
+		}
+		lo, hi, err := ParseIntervalLabel(label)
+		if err != nil {
+			return false
+		}
+		return v >= lo && (v < hi || (v == hi && hi == cuts[len(cuts)-1]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rolling up any level-0 interval preserves containment: the parent interval
+// contains the child.
+func TestLadderRollUpWidens(t *testing.T) {
+	h := New()
+	cuts := []float64{0, 5, 10, 20, 40, 80}
+	if err := h.BuildIntervalLadder("X", cuts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(cuts); i++ {
+		child := IntervalLabel(cuts[i], cuts[i+1])
+		for {
+			parent, ok := h.Parent(child)
+			if !ok {
+				break
+			}
+			clo, chi, err := ParseIntervalLabel(child)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plo, phi, err := ParseIntervalLabel(parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plo > clo || phi < chi {
+				t.Fatalf("parent %s does not contain child %s", parent, child)
+			}
+			child = parent
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package mdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV reads a microdata DB from CSV. The first record must be a header
+// matching the schema's attribute names, in order. If the schema contains a
+// Weight attribute, its column is parsed as a float and mirrored into
+// Row.Weight. Labelled nulls are recognized in the ⊥i and * forms.
+func ReadCSV(r io.Reader, name string, attrs []Attribute) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(attrs)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mdb: reading CSV header: %w", err)
+	}
+	for i, a := range attrs {
+		if header[i] != a.Name {
+			return nil, fmt.Errorf("mdb: CSV column %d is %q, schema expects %q", i, header[i], a.Name)
+		}
+	}
+	d := NewDataset(name, attrs)
+	w := d.WeightIndex()
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mdb: reading CSV: %w", err)
+		}
+		row := &Row{Values: make([]Value, len(attrs))}
+		for i, field := range rec {
+			row.Values[i] = ParseValue(field, &d.Nulls)
+		}
+		if w >= 0 {
+			v := row.Values[w]
+			if v.IsNull() {
+				return nil, fmt.Errorf("mdb: CSV line %d: weight column is a labelled null", line)
+			}
+			wt, err := strconv.ParseFloat(v.Constant(), 64)
+			if err != nil {
+				return nil, fmt.Errorf("mdb: CSV line %d: bad weight %q: %v", line, v.Constant(), err)
+			}
+			row.Weight = wt
+		}
+		d.Append(row)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row. Labelled nulls are
+// written in their ⊥i form, so a round trip through ReadCSV preserves them.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("mdb: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(d.Attrs))
+	for _, r := range d.Rows {
+		for i, v := range r.Values {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("mdb: writing CSV row %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

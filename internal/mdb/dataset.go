@@ -1,0 +1,210 @@
+package mdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Category classifies a microdata attribute for disclosure purposes
+// (Section 2.1 of the paper).
+type Category int
+
+const (
+	// NonIdentifying attributes disclose nothing, alone or combined.
+	NonIdentifying Category = iota
+	// Identifier attributes (direct identifiers) disclose the respondent
+	// on their own and are dropped before risk evaluation.
+	Identifier
+	// QuasiIdentifier attributes disclose the respondent in combination.
+	QuasiIdentifier
+	// Weight marks the sampling-weight attribute.
+	Weight
+)
+
+var categoryNames = map[Category]string{
+	NonIdentifying:  "Non-identifying",
+	Identifier:      "Identifier",
+	QuasiIdentifier: "Quasi-identifier",
+	Weight:          "Sampling Weight",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// ParseCategory parses the textual form produced by String (case-sensitive).
+func ParseCategory(s string) (Category, error) {
+	for c, name := range categoryNames {
+		if s == name {
+			return c, nil
+		}
+	}
+	return NonIdentifying, fmt.Errorf("mdb: unknown category %q", s)
+}
+
+// Attribute describes one column of a microdata DB.
+type Attribute struct {
+	Name        string
+	Description string
+	Category    Category
+}
+
+// Row is one microdata tuple. ID is the artificial identifier I of
+// Algorithm 2; it is stable across anonymization steps, so it doubles as the
+// monotonic-aggregation contributor. Weight is the sampling weight W.
+type Row struct {
+	ID     int
+	Values []Value
+	Weight float64
+}
+
+// Clone returns a deep copy of the row.
+func (r *Row) Clone() *Row {
+	c := *r
+	c.Values = append([]Value(nil), r.Values...)
+	return &c
+}
+
+// Dataset is a microdata DB: a named relation with categorized attributes.
+// The weight, if any, lives both in the Values slice (as text) and in
+// Row.Weight (as a float) so declarative and native paths see the same data.
+type Dataset struct {
+	Name  string
+	Attrs []Attribute
+	Rows  []*Row
+
+	// Nulls mints the labelled nulls used by local suppression on this
+	// dataset.
+	Nulls NullAllocator
+}
+
+// NewDataset returns an empty dataset with the given schema.
+func NewDataset(name string, attrs []Attribute) *Dataset {
+	return &Dataset{Name: name, Attrs: append([]Attribute(nil), attrs...)}
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (d *Dataset) AttrIndex(name string) int {
+	for i, a := range d.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// QuasiIdentifiers returns the indexes of all quasi-identifier attributes,
+// in schema order.
+func (d *Dataset) QuasiIdentifiers() []int {
+	var qi []int
+	for i, a := range d.Attrs {
+		if a.Category == QuasiIdentifier {
+			qi = append(qi, i)
+		}
+	}
+	return qi
+}
+
+// WeightIndex returns the index of the sampling-weight attribute, or -1.
+func (d *Dataset) WeightIndex() int {
+	for i, a := range d.Attrs {
+		if a.Category == Weight {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row, assigning its ID if zero-valued IDs are in use.
+func (d *Dataset) Append(r *Row) {
+	if r.ID == 0 {
+		r.ID = len(d.Rows) + 1
+	}
+	d.Rows = append(d.Rows, r)
+}
+
+// Clone deep-copies the dataset, including the null-allocator state, so
+// anonymization runs never disturb the original data.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Name:  d.Name,
+		Attrs: append([]Attribute(nil), d.Attrs...),
+		Rows:  make([]*Row, len(d.Rows)),
+		Nulls: d.Nulls,
+	}
+	for i, r := range d.Rows {
+		c.Rows[i] = r.Clone()
+	}
+	return c
+}
+
+// NullCount returns the number of labelled-null values currently stored in
+// quasi-identifier positions — the “number of injected nulls” metric of
+// Figures 7a, 7c and 7d.
+func (d *Dataset) NullCount() int {
+	qi := d.QuasiIdentifiers()
+	n := 0
+	for _, r := range d.Rows {
+		for _, i := range qi {
+			if r.Values[i].IsNull() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: attribute names unique and
+// non-empty, at most one weight attribute, row arity matching the schema,
+// and positive weights where a weight attribute exists.
+func (d *Dataset) Validate() error {
+	seen := make(map[string]bool, len(d.Attrs))
+	weights := 0
+	for _, a := range d.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("mdb: dataset %q has an unnamed attribute", d.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("mdb: dataset %q has duplicate attribute %q", d.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Category == Weight {
+			weights++
+		}
+	}
+	if weights > 1 {
+		return fmt.Errorf("mdb: dataset %q has %d weight attributes", d.Name, weights)
+	}
+	for _, r := range d.Rows {
+		if len(r.Values) != len(d.Attrs) {
+			return fmt.Errorf("mdb: dataset %q row %d has %d values, want %d",
+				d.Name, r.ID, len(r.Values), len(d.Attrs))
+		}
+		if weights == 1 && r.Weight <= 0 {
+			return fmt.Errorf("mdb: dataset %q row %d has non-positive weight %g",
+				d.Name, r.ID, r.Weight)
+		}
+	}
+	return nil
+}
+
+// DistinctValues returns the sorted distinct constant values of an attribute.
+// Labelled nulls are skipped.
+func (d *Dataset) DistinctValues(attr int) []string {
+	set := make(map[string]bool)
+	for _, r := range d.Rows {
+		if v := r.Values[attr]; !v.IsNull() {
+			set[v.Constant()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

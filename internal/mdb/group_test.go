@@ -1,0 +1,232 @@
+package mdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// figure5 builds the 7-row microdata DB of Figure 5a, where every attribute
+// is a quasi-identifier.
+func figure5() *Dataset {
+	attrs := []Attribute{
+		{Name: "Area", Category: QuasiIdentifier},
+		{Name: "Sector", Category: QuasiIdentifier},
+		{Name: "Employees", Category: QuasiIdentifier},
+		{Name: "ResidentialRevenue", Category: QuasiIdentifier},
+	}
+	d := NewDataset("fig5", attrs)
+	rows := [][4]string{
+		{"Roma", "Textiles", "1000+", "0-30"},
+		{"Roma", "Commerce", "1000+", "0-30"},
+		{"Roma", "Commerce", "1000+", "0-30"},
+		{"Roma", "Financial", "1000+", "0-30"},
+		{"Roma", "Financial", "1000+", "0-30"},
+		{"Milano", "Construction", "0-200", "60-90"},
+		{"Torino", "Construction", "0-200", "60-90"},
+	}
+	for _, r := range rows {
+		d.Append(&Row{Values: []Value{Const(r[0]), Const(r[1]), Const(r[2]), Const(r[3])}, Weight: 1})
+	}
+	return d
+}
+
+func TestFigure5ExactFrequencies(t *testing.T) {
+	d := figure5()
+	want := []int{1, 2, 2, 2, 2, 1, 1}
+	got := Frequencies(d, d.QuasiIdentifiers(), MaybeMatch)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: freq = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+}
+
+// Suppressing Sector of tuple 1 with a labelled null gives tuple 1 frequency
+// 5 and tuples 2-5 frequency 3 — exactly the example of Section 4.3.
+func TestFigure5MaybeMatchAfterSuppression(t *testing.T) {
+	d := figure5()
+	d.Rows[0].Values[1] = d.Nulls.Fresh()
+	want := []int{5, 3, 3, 3, 3, 1, 1}
+	got := Frequencies(d, d.QuasiIdentifiers(), MaybeMatch)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: freq = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+}
+
+// Under the standard Skolem semantics the suppressed tuple stays unique and
+// the other groups are unchanged: the null behaves as a fresh constant.
+func TestFigure5StandardAfterSuppression(t *testing.T) {
+	d := figure5()
+	d.Rows[0].Values[1] = d.Nulls.Fresh()
+	want := []int{1, 2, 2, 2, 2, 1, 1}
+	got := Frequencies(d, d.QuasiIdentifiers(), StandardNulls)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: freq = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+}
+
+// Two rows with the same labelled null in the same position match each other
+// under both semantics.
+func TestSameNullSymbolMatches(t *testing.T) {
+	d := figure5()
+	n := d.Nulls.Fresh()
+	d.Rows[5].Values[0] = n // Milano -> ⊥1
+	d.Rows[6].Values[0] = n // Torino -> ⊥1 (same symbol)
+	for _, sem := range []Semantics{MaybeMatch, StandardNulls} {
+		got := Frequencies(d, d.QuasiIdentifiers(), sem)
+		if got[5] != 2 || got[6] != 2 {
+			t.Errorf("%v: rows 6,7 freqs = %d,%d, want 2,2", sem, got[5], got[6])
+		}
+	}
+}
+
+func TestWeightSums(t *testing.T) {
+	d := figure5()
+	for i, w := range []float64{10, 20, 30, 40, 50, 60, 70} {
+		d.Rows[i].Weight = w
+	}
+	gs := ComputeGroups(d, d.QuasiIdentifiers(), MaybeMatch)
+	if gs[1].WeightSum != 50 { // rows 2+3: 20+30
+		t.Errorf("row 2 weight sum = %g, want 50", gs[1].WeightSum)
+	}
+	d.Rows[0].Values[1] = d.Nulls.Fresh()
+	gs = ComputeGroups(d, d.QuasiIdentifiers(), MaybeMatch)
+	if gs[0].WeightSum != 150 { // rows 1..5
+		t.Errorf("suppressed row weight sum = %g, want 150", gs[0].WeightSum)
+	}
+	if gs[1].WeightSum != 60 { // rows 2+3 plus row 1's 10
+		t.Errorf("row 2 weight sum = %g, want 60", gs[1].WeightSum)
+	}
+}
+
+func TestAllNullRowMatchesEverything(t *testing.T) {
+	d := figure5()
+	for _, i := range d.QuasiIdentifiers() {
+		d.Rows[0].Values[i] = d.Nulls.Fresh()
+	}
+	got := Frequencies(d, d.QuasiIdentifiers(), MaybeMatch)
+	if got[0] != len(d.Rows) {
+		t.Errorf("all-null row freq = %d, want %d", got[0], len(d.Rows))
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := NewDataset("empty", []Attribute{{Name: "A", Category: QuasiIdentifier}})
+	if got := ComputeGroups(d, d.QuasiIdentifiers(), MaybeMatch); len(got) != 0 {
+		t.Fatalf("got %d group infos for empty dataset", len(got))
+	}
+}
+
+func TestSingleRow(t *testing.T) {
+	d := NewDataset("one", []Attribute{{Name: "A", Category: QuasiIdentifier}})
+	d.Append(&Row{Values: []Value{Const("x")}, Weight: 3})
+	gs := ComputeGroups(d, d.QuasiIdentifiers(), MaybeMatch)
+	if gs[0].Freq != 1 || gs[0].WeightSum != 3 {
+		t.Fatalf("got %+v, want freq 1 weight 3", gs[0])
+	}
+}
+
+// Keys must not be confusable: values containing separator-like content must
+// not merge distinct groups.
+func TestProjKeyUnambiguous(t *testing.T) {
+	d := NewDataset("tricky", []Attribute{
+		{Name: "A", Category: QuasiIdentifier},
+		{Name: "B", Category: QuasiIdentifier},
+	})
+	d.Append(&Row{ID: 1, Values: []Value{Const("ab"), Const("c")}, Weight: 1})
+	d.Append(&Row{ID: 2, Values: []Value{Const("a"), Const("bc")}, Weight: 1})
+	got := Frequencies(d, d.QuasiIdentifiers(), MaybeMatch)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("ambiguous keys merged groups: %v", got)
+	}
+}
+
+// buildRandom creates a dataset over a small value universe with some rows
+// null-suppressed, for cross-checking the indexed implementation against a
+// brute-force O(n²) reference.
+func buildRandom(rng *rand.Rand, n, attrs, domain, nulls int) *Dataset {
+	as := make([]Attribute, attrs)
+	for i := range as {
+		as[i] = Attribute{Name: string(rune('A' + i)), Category: QuasiIdentifier}
+	}
+	d := NewDataset("rand", as)
+	for i := 0; i < n; i++ {
+		vals := make([]Value, attrs)
+		for j := range vals {
+			vals[j] = Const(string(rune('a' + rng.Intn(domain))))
+		}
+		d.Append(&Row{Values: vals, Weight: float64(rng.Intn(5) + 1)})
+	}
+	for i := 0; i < nulls; i++ {
+		r := d.Rows[rng.Intn(n)]
+		r.Values[rng.Intn(attrs)] = d.Nulls.Fresh()
+	}
+	return d
+}
+
+func bruteForceGroups(d *Dataset, idx []int, sem Semantics) []GroupInfo {
+	out := make([]GroupInfo, len(d.Rows))
+	for i, r := range d.Rows {
+		for _, r2 := range d.Rows {
+			if CompatibleTuple(r.Values, r2.Values, idx, sem) {
+				out[i].Freq++
+				out[i].WeightSum += r2.Weight
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeGroupsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		d := buildRandom(rng, 40, 3, 3, trial%7)
+		for _, sem := range []Semantics{MaybeMatch, StandardNulls} {
+			want := bruteForceGroups(d, d.QuasiIdentifiers(), sem)
+			got := ComputeGroups(d, d.QuasiIdentifiers(), sem)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d sem %v row %d: got %+v, want %+v",
+						trial, sem, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: suppressing any quasi-identifier value never decreases a row's
+// maybe-match frequency (monotonicity of anonymization, Section 4.3).
+func TestSuppressionMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		d := buildRandom(rng, 30, 3, 3, trial%5)
+		qi := d.QuasiIdentifiers()
+		before := Frequencies(d, qi, MaybeMatch)
+		row := rng.Intn(len(d.Rows))
+		attr := qi[rng.Intn(len(qi))]
+		d.Rows[row].Values[attr] = d.Nulls.Fresh()
+		after := Frequencies(d, qi, MaybeMatch)
+		for i := range before {
+			if after[i] < before[i] {
+				t.Fatalf("trial %d: suppression decreased freq of row %d: %d -> %d",
+					trial, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+func TestFrequenciesSubsetOfAttributes(t *testing.T) {
+	d := figure5()
+	// Group only by Area: Roma x5, Milano x1, Torino x1.
+	got := Frequencies(d, []int{0}, MaybeMatch)
+	want := []int{5, 5, 5, 5, 5, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: freq = %d, want %d", i+1, got[i], want[i])
+		}
+	}
+}

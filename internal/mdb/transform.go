@@ -1,0 +1,65 @@
+package mdb
+
+import (
+	"fmt"
+)
+
+// Project returns a new dataset containing only the named attributes, in the
+// given order, with rows copied. Analysts use it to build release views —
+// e.g. dropping direct identifiers before an exchange (the first step of the
+// anonymization cycle is exactly this projection).
+func (d *Dataset) Project(names ...string) (*Dataset, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := d.AttrIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("mdb: dataset %q has no attribute %q", d.Name, n)
+		}
+		idx[i] = j
+	}
+	attrs := make([]Attribute, len(idx))
+	for i, j := range idx {
+		attrs[i] = d.Attrs[j]
+	}
+	out := NewDataset(d.Name, attrs)
+	out.Nulls = d.Nulls
+	for _, r := range d.Rows {
+		values := make([]Value, len(idx))
+		for i, j := range idx {
+			values[i] = r.Values[j]
+		}
+		out.Append(&Row{ID: r.ID, Values: values, Weight: r.Weight})
+	}
+	return out, nil
+}
+
+// Select returns a new dataset with copies of the rows satisfying keep.
+// Row IDs are preserved, so risk results remain addressable.
+func (d *Dataset) Select(keep func(*Row) bool) *Dataset {
+	out := NewDataset(d.Name, d.Attrs)
+	out.Nulls = d.Nulls
+	for _, r := range d.Rows {
+		if keep(r) {
+			out.Append(r.Clone())
+		}
+	}
+	return out
+}
+
+// DropIdentifiers returns a copy of the dataset without its direct-identifier
+// attributes — the mandatory first step before sharing (Section 4.1: direct
+// identifiers must not be disclosed).
+func (d *Dataset) DropIdentifiers() *Dataset {
+	var names []string
+	for _, a := range d.Attrs {
+		if a.Category != Identifier {
+			names = append(names, a.Name)
+		}
+	}
+	out, err := d.Project(names...)
+	if err != nil {
+		// Unreachable: names come from the schema itself.
+		panic(err)
+	}
+	return out
+}

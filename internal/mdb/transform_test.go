@@ -1,0 +1,84 @@
+package mdb
+
+import (
+	"testing"
+)
+
+func transformFixture() *Dataset {
+	d := NewDataset("I&G", []Attribute{
+		{Name: "Id", Category: Identifier},
+		{Name: "Area", Category: QuasiIdentifier},
+		{Name: "Sector", Category: QuasiIdentifier},
+		{Name: "Weight", Category: Weight},
+	})
+	d.Append(&Row{ID: 1, Values: []Value{Const("a"), Const("North"), Const("Textiles"), Const("60")}, Weight: 60})
+	d.Append(&Row{ID: 2, Values: []Value{Const("b"), Const("South"), Const("Commerce"), Const("30")}, Weight: 30})
+	return d
+}
+
+func TestProject(t *testing.T) {
+	d := transformFixture()
+	p, err := d.Project("Sector", "Area")
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(p.Attrs) != 2 || p.Attrs[0].Name != "Sector" || p.Attrs[1].Name != "Area" {
+		t.Fatalf("projected schema = %v", p.Attrs)
+	}
+	if p.Rows[0].Values[0] != Const("Textiles") || p.Rows[0].Values[1] != Const("North") {
+		t.Fatalf("projected row = %v", p.Rows[0].Values)
+	}
+	if p.Rows[0].ID != 1 || p.Rows[0].Weight != 60 {
+		t.Fatal("row identity/weight lost")
+	}
+	// Deep copy: mutating the projection leaves the original alone.
+	p.Rows[0].Values[0] = Const("Mutated")
+	if d.Rows[0].Values[2] != Const("Textiles") {
+		t.Fatal("projection shares storage")
+	}
+	if _, err := d.Project("Nope"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := transformFixture()
+	s := d.Select(func(r *Row) bool { return r.Weight > 40 })
+	if len(s.Rows) != 1 || s.Rows[0].ID != 1 {
+		t.Fatalf("selected = %v", s.Rows)
+	}
+	s.Rows[0].Values[1] = Const("Mutated")
+	if d.Rows[0].Values[1] != Const("North") {
+		t.Fatal("selection shares storage")
+	}
+}
+
+func TestDropIdentifiers(t *testing.T) {
+	d := transformFixture()
+	p := d.DropIdentifiers()
+	if p.AttrIndex("Id") != -1 {
+		t.Fatal("identifier survived")
+	}
+	if len(p.Attrs) != 3 || len(p.Rows) != 2 {
+		t.Fatalf("shape = %d attrs, %d rows", len(p.Attrs), len(p.Rows))
+	}
+	if got := p.QuasiIdentifiers(); len(got) != 2 {
+		t.Fatalf("QIs = %v", got)
+	}
+}
+
+func TestProjectCarriesNullAllocator(t *testing.T) {
+	d := transformFixture()
+	d.Rows[0].Values[1] = d.Nulls.Fresh() // ⊥1
+	p, err := d.Project("Area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Rows[0].Values[0].IsNull() {
+		t.Fatal("null lost in projection")
+	}
+	// A fresh null in the projection must not collide with ⊥1.
+	if v := p.Nulls.Fresh(); v.NullID() <= 1 {
+		t.Fatalf("allocator not carried: fresh = %v", v)
+	}
+}

@@ -1,0 +1,188 @@
+package mdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstValue(t *testing.T) {
+	v := Const("North")
+	if v.IsNull() {
+		t.Fatal("Const value reported as null")
+	}
+	if v.Constant() != "North" {
+		t.Fatalf("Constant() = %q, want North", v.Constant())
+	}
+	if v.String() != "North" {
+		t.Fatalf("String() = %q, want North", v.String())
+	}
+}
+
+func TestNullValue(t *testing.T) {
+	v := Null(7)
+	if !v.IsNull() {
+		t.Fatal("Null value not reported as null")
+	}
+	if v.NullID() != 7 {
+		t.Fatalf("NullID() = %d, want 7", v.NullID())
+	}
+	if v.String() != "⊥7" {
+		t.Fatalf("String() = %q, want ⊥7", v.String())
+	}
+}
+
+func TestNullZeroIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Null(0) did not panic")
+		}
+	}()
+	Null(0)
+}
+
+func TestConstantOnNullPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Constant() on a null did not panic")
+		}
+	}()
+	Null(1).Constant()
+}
+
+func TestNullAllocatorFresh(t *testing.T) {
+	var a NullAllocator
+	v1, v2 := a.Fresh(), a.Fresh()
+	if v1 == v2 {
+		t.Fatal("Fresh returned the same null twice")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", a.Count())
+	}
+}
+
+func TestNullAllocatorObserve(t *testing.T) {
+	var a NullAllocator
+	a.Observe(10)
+	if v := a.Fresh(); v.NullID() != 11 {
+		t.Fatalf("Fresh after Observe(10) = ⊥%d, want ⊥11", v.NullID())
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	var a NullAllocator
+	if v := ParseValue("North", &a); v != Const("North") {
+		t.Fatalf("ParseValue(North) = %v", v)
+	}
+	if v := ParseValue("⊥3", &a); v != Null(3) {
+		t.Fatalf("ParseValue(⊥3) = %v", v)
+	}
+	if v := ParseValue("*", &a); !v.IsNull() || v.NullID() <= 3 {
+		t.Fatalf("ParseValue(*) = %v, want fresh null after ⊥3", v)
+	}
+	// Malformed null markers fall back to constants.
+	if v := ParseValue("⊥x", &a); v.IsNull() {
+		t.Fatalf("ParseValue(⊥x) = %v, want constant", v)
+	}
+	if v := ParseValue("⊥0", &a); v.IsNull() {
+		t.Fatalf("ParseValue(⊥0) = %v, want constant", v)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	var a NullAllocator
+	for _, v := range []Value{Const(""), Const("a,b"), Const("⊥ not really"), Null(42)} {
+		got := ParseValue(v.String(), &a)
+		if got != v && v.Constant() != "⊥ not really" { // "⊥ not really" is not a valid null form, stays constant
+			if got != v {
+				t.Fatalf("round trip of %v gave %v", v, got)
+			}
+		}
+	}
+}
+
+func TestCompatibleMaybeMatch(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Const("x"), Const("x"), true},
+		{Const("x"), Const("y"), false},
+		{Null(1), Const("y"), true},
+		{Const("x"), Null(2), true},
+		{Null(1), Null(2), true},
+		{Null(1), Null(1), true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b, MaybeMatch); got != c.want {
+			t.Errorf("Compatible(%v, %v, MaybeMatch) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompatibleStandard(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Const("x"), Const("x"), true},
+		{Const("x"), Const("y"), false},
+		{Null(1), Const("y"), false},
+		{Const("x"), Null(2), false},
+		{Null(1), Null(2), false},
+		{Null(1), Null(1), true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b, StandardNulls); got != c.want {
+			t.Errorf("Compatible(%v, %v, Standard) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomValue maps quick-generated inputs to a small value universe where
+// collisions are likely, exercising all comparison branches.
+func randomValue(s string, n uint64, null bool) Value {
+	if null {
+		return Null(n%5 + 1)
+	}
+	if len(s) > 1 {
+		s = s[:1]
+	}
+	return Const(s)
+}
+
+func TestCompatibleReflexiveSymmetric(t *testing.T) {
+	for _, sem := range []Semantics{MaybeMatch, StandardNulls} {
+		refl := func(s string, n uint64, null bool) bool {
+			v := randomValue(s, n, null)
+			return Compatible(v, v, sem)
+		}
+		if err := quick.Check(refl, nil); err != nil {
+			t.Errorf("%v not reflexive: %v", sem, err)
+		}
+		sym := func(s1 string, n1 uint64, null1 bool, s2 string, n2 uint64, null2 bool) bool {
+			a, b := randomValue(s1, n1, null1), randomValue(s2, n2, null2)
+			return Compatible(a, b, sem) == Compatible(b, a, sem)
+		}
+		if err := quick.Check(sym, nil); err != nil {
+			t.Errorf("%v not symmetric: %v", sem, err)
+		}
+	}
+}
+
+// Maybe-match is deliberately not transitive: a ⊥ matches two different
+// constants that do not match each other. This pins the documented property.
+func TestMaybeMatchNotTransitive(t *testing.T) {
+	a, b, c := Const("x"), Null(1), Const("y")
+	if !Compatible(a, b, MaybeMatch) || !Compatible(b, c, MaybeMatch) {
+		t.Fatal("setup broken")
+	}
+	if Compatible(a, c, MaybeMatch) {
+		t.Fatal("x and y should not match")
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if MaybeMatch.String() != "maybe-match" || StandardNulls.String() != "standard" {
+		t.Fatalf("unexpected Semantics strings: %v %v", MaybeMatch, StandardNulls)
+	}
+}

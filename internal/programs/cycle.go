@@ -1,0 +1,190 @@
+package programs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vadasa/internal/datalog"
+	"vadasa/internal/mdb"
+)
+
+// This file closes the loop on the paper's central claim: the anonymization
+// cycle of Algorithm 2 with the local suppression of Algorithm 7 can run
+// entirely as reasoning. Each iteration is one chase: the k-anonymity
+// program derives riskout facts, suppression rules with existential heads
+// replace flagged quasi-identifier values by invented labelled nulls, and
+// the derived tuplenext facts become the next iteration's extensional
+// component. The engine's labelled nulls follow the standard (Skolem)
+// semantics, so the declarative cycle is the paper's Figure 7c baseline; the
+// maybe-match refinement lives in the native engine layer (internal/mdb).
+
+// SuppressionProgram generates Algorithm 7 for a schema with q
+// quasi-identifiers: for every attribute position j there is a rule that
+// rewrites a tuple flagged by suppress<j>(I) into tuplenext with a fresh
+// labelled null at position j; unflagged tuples are copied. One tuple is
+// suppressed on at most one position per pass (the cycle's “minimum amount
+// of information” step).
+func SuppressionProgram(q int) *datalog.Program {
+	var b strings.Builder
+	vars := make([]string, q)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("V%d", i+1)
+	}
+	all := strings.Join(vars, ",")
+	for j := 0; j < q; j++ {
+		head := make([]string, q)
+		copy(head, vars)
+		head[j] = "Z" // existential: the invented labelled null
+		fmt.Fprintf(&b, "tuplenext(I,%s,W) :- tuple(I,%s,W), suppress%d(I).\n",
+			strings.Join(head, ","), all, j+1)
+	}
+	fmt.Fprintf(&b, "tuplenext(I,%s,W) :- tuple(I,%s,W), not flagged(I).\n", all, all)
+	for j := 0; j < q; j++ {
+		fmt.Fprintf(&b, "flagged(I) :- suppress%d(I).\n", j+1)
+	}
+	return datalog.MustParse(b.String())
+}
+
+// CycleResult reports a declarative anonymization run.
+type CycleResult struct {
+	Dataset       *mdb.Dataset
+	Iterations    int
+	NullsInjected int
+	// Residual lists tuples still risky when no further suppression was
+	// possible (all quasi-identifiers already null).
+	Residual []int
+}
+
+// DeclarativeCycle runs the anonymization cycle for k-anonymity with local
+// suppression purely through reasoning passes, on a copy of d. Risky tuples
+// have their leftmost non-null quasi-identifier suppressed each iteration
+// (the binding order of Algorithm 7 without a routing strategy). Intended
+// for small datasets: every iteration re-reasons over the whole microdata
+// DB.
+func DeclarativeCycle(d *mdb.Dataset, k, maxIter int) (*CycleResult, error) {
+	work := d.Clone()
+	qi := work.QuasiIdentifiers()
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("programs: dataset %q has no quasi-identifiers", d.Name)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	q := len(qi)
+	riskProg := KAnonymity(q, k)
+	suppProg := SuppressionProgram(q)
+	res := &CycleResult{}
+	nullsBefore := work.NullCount()
+
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return nil, fmt.Errorf("programs: declarative cycle did not converge in %d iterations", maxIter)
+		}
+		// Risk pass.
+		edb := datalog.NewDatabase()
+		TupleFacts(edb, work)
+		riskRes, err := datalog.Run(riskProg, edb, nil)
+		if err != nil {
+			return nil, fmt.Errorf("programs: risk pass: %w", err)
+		}
+		risks := DecodeRisk(riskRes)
+		var risky []int
+		for id, r := range risks {
+			if r > 0.5 {
+				risky = append(risky, id)
+			}
+		}
+		sort.Ints(risky)
+		if len(risky) == 0 {
+			res.Iterations = iter
+			break
+		}
+
+		// Suppression pass: flag each risky tuple on its leftmost
+		// non-null quasi-identifier; exhausted tuples become residual.
+		byID := make(map[int]*mdb.Row, len(work.Rows))
+		for _, r := range work.Rows {
+			byID[r.ID] = r
+		}
+		flags := datalog.NewDatabase()
+		TupleFacts(flags, work)
+		progress := false
+		var residual []int
+		for _, id := range risky {
+			row := byID[id]
+			pos := -1
+			for j, a := range qi {
+				if !row.Values[a].IsNull() {
+					pos = j
+					break
+				}
+			}
+			if pos < 0 {
+				residual = append(residual, id)
+				continue
+			}
+			flags.Add(fmt.Sprintf("suppress%d", pos+1), datalog.Num(float64(id)))
+			progress = true
+		}
+		if !progress {
+			res.Iterations = iter
+			res.Residual = residual
+			break
+		}
+		suppRes, err := datalog.Run(suppProg, flags, nil)
+		if err != nil {
+			return nil, fmt.Errorf("programs: suppression pass: %w", err)
+		}
+		if err := decodeTuples(suppRes, work, qi); err != nil {
+			return nil, err
+		}
+	}
+	res.Dataset = work
+	res.NullsInjected = work.NullCount() - nullsBefore
+	return res, nil
+}
+
+// decodeTuples replaces the quasi-identifier values of work with the derived
+// tuplenext facts, mapping engine labelled nulls to dataset labelled nulls.
+func decodeTuples(res *datalog.Result, work *mdb.Dataset, qi []int) error {
+	byID := make(map[int]*mdb.Row, len(work.Rows))
+	for _, r := range work.Rows {
+		byID[r.ID] = r
+	}
+	seen := make(map[int]bool, len(work.Rows))
+	// Engine null ids are fresh per run; map each to a fresh dataset null
+	// so symbols stay distinct across iterations.
+	nullMap := make(map[uint64]mdb.Value)
+	for _, f := range res.Facts("tuplenext") {
+		id := int(f[0].NumVal())
+		row, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("programs: derived tuple for unknown id %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("programs: tuple %d derived twice", id)
+		}
+		seen[id] = true
+		for j, a := range qi {
+			v := f[1+j]
+			switch v.Kind() {
+			case datalog.KStr:
+				row.Values[a] = mdb.Const(v.StrVal())
+			case datalog.KNull:
+				mapped, ok := nullMap[v.NullID()]
+				if !ok {
+					mapped = work.Nulls.Fresh()
+					nullMap[v.NullID()] = mapped
+				}
+				row.Values[a] = mapped
+			default:
+				return fmt.Errorf("programs: unexpected value %v in derived tuple %d", v, id)
+			}
+		}
+	}
+	if len(seen) != len(work.Rows) {
+		return fmt.Errorf("programs: derived %d tuples, dataset has %d", len(seen), len(work.Rows))
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/datalog"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/synth"
+)
+
+func TestSuppressionProgramShape(t *testing.T) {
+	p := SuppressionProgram(3)
+	// 3 suppression rules + copy rule + 3 flagged rules.
+	if len(p.Rules) != 7 {
+		t.Fatalf("got %d rules:\n%s", len(p.Rules), p.String())
+	}
+	if !strings.Contains(p.String(), "not flagged(I)") {
+		t.Fatalf("copy rule missing:\n%s", p.String())
+	}
+}
+
+func TestSuppressionProgramInventsNull(t *testing.T) {
+	d := synth.Figure5()
+	qi := d.QuasiIdentifiers()
+	edb := datalog.NewDatabase()
+	TupleFacts(edb, d)
+	edb.Add("suppress2", datalog.Num(1)) // tuple 1, Sector (position 2)
+	res, err := datalog.Run(SuppressionProgram(len(qi)), edb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := res.Facts("tuplenext")
+	if len(facts) != len(d.Rows) {
+		t.Fatalf("tuplenext has %d facts, want %d", len(facts), len(d.Rows))
+	}
+	for _, f := range facts {
+		id := int(f[0].NumVal())
+		if id == 1 {
+			if f[2].Kind() != datalog.KNull {
+				t.Fatalf("tuple 1 position 2 = %v, want labelled null", f[2])
+			}
+			if f[1].Kind() == datalog.KNull || f[3].Kind() == datalog.KNull || f[4].Kind() == datalog.KNull {
+				t.Fatal("other positions of tuple 1 disturbed")
+			}
+		} else {
+			for _, v := range f[1 : len(f)-1] {
+				if v.Kind() == datalog.KNull {
+					t.Fatalf("tuple %d got a null without being flagged", id)
+				}
+			}
+		}
+	}
+}
+
+// The fully declarative cycle must agree with the native cycle run under the
+// matching configuration: standard null semantics, schema-order attribute
+// choice, full-sweep batches, dataset order.
+func TestDeclarativeCycleMatchesNative(t *testing.T) {
+	d := synth.Generate(synth.Config{Tuples: 120, QIs: 3, Dist: synth.DistV, Seed: 19})
+	decl, err := DeclarativeCycle(d, 2, 50)
+	if err != nil {
+		t.Fatalf("DeclarativeCycle: %v", err)
+	}
+	native, err := anon.Run(d, anon.Config{
+		Assessor:      risk.KAnonymity{K: 2},
+		Threshold:     0.5,
+		Anonymizer:    anon.LocalSuppression{Choice: anon.AttrSchemaOrder},
+		Semantics:     mdb.StandardNulls,
+		Order:         anon.OrderByID,
+		BatchFraction: 1,
+	})
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	if decl.NullsInjected != native.NullsInjected {
+		t.Fatalf("nulls: declarative %d, native %d", decl.NullsInjected, native.NullsInjected)
+	}
+	if len(decl.Residual) != len(native.Residual) {
+		t.Fatalf("residual: declarative %d, native %d", len(decl.Residual), len(native.Residual))
+	}
+	// Null positions must coincide row by row.
+	for i := range d.Rows {
+		for j := range d.Rows[i].Values {
+			dn := decl.Dataset.Rows[i].Values[j].IsNull()
+			nn := native.Dataset.Rows[i].Values[j].IsNull()
+			if dn != nn {
+				t.Fatalf("row %d attr %d: declarative null=%v, native null=%v", i, j, dn, nn)
+			}
+		}
+	}
+}
+
+func TestDeclarativeCycleConvergesOnSafeData(t *testing.T) {
+	// Figure 5 rows 2-5 are 2-anonymous; 1, 6, 7 are not and have no way
+	// out under standard semantics: they exhaust and become residual.
+	d := synth.Figure5()
+	res, err := DeclarativeCycle(d, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residual) != 3 {
+		t.Fatalf("residual = %v, want 3 tuples", res.Residual)
+	}
+	if res.NullsInjected != 3*len(d.QuasiIdentifiers()) {
+		t.Fatalf("nulls = %d, want full suppression of 3 tuples", res.NullsInjected)
+	}
+	// The input is untouched.
+	if d.NullCount() != 0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestDeclarativeCycleValidation(t *testing.T) {
+	noQI := mdb.NewDataset("x", []mdb.Attribute{{Name: "A", Category: mdb.NonIdentifying}})
+	if _, err := DeclarativeCycle(noQI, 2, 10); err == nil {
+		t.Error("dataset without QIs accepted")
+	}
+}

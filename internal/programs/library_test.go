@@ -1,0 +1,82 @@
+package programs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vadasa/internal/datalog"
+)
+
+// Every shipped .vada program must parse and stratify; the ones documented
+// as warded must pass the wardedness validator. This pins the program
+// library in docs/programs to the engine's accepted syntax.
+func TestProgramLibrary(t *testing.T) {
+	dir := filepath.Join("..", "..", "docs", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading program library: %v", err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("program library has only %d entries", len(entries))
+	}
+	// combinations.vada joins labelled-null combination ids across atoms,
+	// which the strict wardedness check (correctly) flags; everything else
+	// is warded.
+	nonWarded := map[string]bool{"combinations.vada": true}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".vada") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		p, err := datalog.Parse(string(src))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", e.Name(), err)
+			continue
+		}
+		if len(p.Rules) == 0 {
+			t.Errorf("%s has no rules", e.Name())
+		}
+		// Stratification must succeed (runs inside a dry Run on an empty
+		// database, which also exercises the orders/safety machinery).
+		if _, err := datalog.Run(p, datalog.NewDatabase(), nil); err != nil {
+			t.Errorf("%s does not evaluate on an empty database: %v", e.Name(), err)
+		}
+		if err := datalog.CheckWarded(p); (err == nil) == nonWarded[e.Name()] {
+			if err != nil {
+				t.Errorf("%s unexpectedly not warded: %v", e.Name(), err)
+			} else {
+				t.Errorf("%s unexpectedly warded (update the test comment)", e.Name())
+			}
+		}
+	}
+}
+
+// The generated risk programs and the shipped 4-QI library files must stay
+// in sync.
+func TestLibraryMatchesGenerated(t *testing.T) {
+	cases := map[string]*datalog.Program{
+		"kanonymity.vada":          KAnonymity(4, 2),
+		"reidentification.vada":    ReIdentification(4),
+		"individualrisk.vada":      IndividualRisk(4),
+		"individualposterior.vada": IndividualRiskPosterior(4),
+	}
+	for name, gen := range cases {
+		src, err := os.ReadFile(filepath.Join("..", "..", "docs", "programs", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fromFile, err := datalog.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fromFile.String() != gen.String() {
+			t.Errorf("%s diverged from the generated program:\nfile:\n%s\ngenerated:\n%s",
+				name, fromFile.String(), gen.String())
+		}
+	}
+}

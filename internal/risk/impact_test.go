@@ -1,0 +1,68 @@
+package risk
+
+import (
+	"testing"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/synth"
+)
+
+func buildKAnon(k int) func(attrs []string) Assessor {
+	return func(attrs []string) Assessor {
+		return KAnonymity{K: k, Attrs: attrs}
+	}
+}
+
+func TestImpactAnalysisFigure5(t *testing.T) {
+	d := synth.Figure5()
+	impacts, err := ImpactAnalysis(d, buildKAnon(2), 0.5, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatalf("ImpactAnalysis: %v", err)
+	}
+	if len(impacts) != 4 {
+		t.Fatalf("impacts = %v", impacts)
+	}
+	byAttr := map[string]AttributeImpact{}
+	for _, ai := range impacts {
+		byAttr[ai.Attr] = ai
+		if ai.RiskyWith != 3 { // tuples 1, 6, 7
+			t.Errorf("%s baseline = %d, want 3", ai.Attr, ai.RiskyWith)
+		}
+	}
+	// Dropping Sector rescues tuple 1 (Roma/1000+/0-30 occurs 5 times)
+	// but 6 and 7 stay unique on Area alone.
+	if got := byAttr["Sector"].RiskyWithout; got != 2 {
+		t.Errorf("without Sector: %d risky, want 2", got)
+	}
+	// Dropping Area rescues 6 and 7 (Construction/0-200/60-90 x2) but not
+	// tuple 1 (only Textiles with 1000+/0-30).
+	if got := byAttr["Area"].RiskyWithout; got != 1 {
+		t.Errorf("without Area: %d risky, want 1", got)
+	}
+	// Sorted by drop descending: Area (drop 2) first.
+	if impacts[0].Attr != "Area" || impacts[0].Drop() != 2 {
+		t.Errorf("top impact = %+v", impacts[0])
+	}
+}
+
+func TestImpactAnalysisSingleQI(t *testing.T) {
+	d := mdb.NewDataset("one", []mdb.Attribute{
+		{Name: "A", Category: mdb.QuasiIdentifier},
+	})
+	d.Append(&mdb.Row{Values: []mdb.Value{mdb.Const("x")}, Weight: 1})
+	impacts, err := ImpactAnalysis(d, buildKAnon(2), 0.5, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != 1 || impacts[0].RiskyWithout != 0 {
+		t.Fatalf("impacts = %v", impacts)
+	}
+}
+
+func TestImpactAnalysisPropagatesErrors(t *testing.T) {
+	d := synth.Figure5()
+	bad := func(attrs []string) Assessor { return KAnonymity{K: 1, Attrs: attrs} }
+	if _, err := ImpactAnalysis(d, bad, 0.5, mdb.MaybeMatch); err == nil {
+		t.Fatal("assessor error swallowed")
+	}
+}

@@ -1,0 +1,177 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vadasa/internal/mdb"
+)
+
+// Estimator selects how IndividualRisk turns a (sample frequency f,
+// estimated population frequency ΣW) pair into a risk.
+type Estimator int
+
+// Estimators for the individual-risk posterior.
+const (
+	// Ratio is the simple estimator of Algorithm 5: risk = f/ΣW, i.e.
+	// λ = ΣW/f in Equation 1.
+	Ratio Estimator = iota
+	// PosteriorSeries computes the exact posterior mean E[1/F | f] under
+	// the negative-binomial model of Benedetti and Franconi, by closed
+	// form for f=1 and by series summation otherwise.
+	PosteriorSeries
+	// MonteCarlo estimates E[1/F | f] by sampling from the actual
+	// negative-binomial distribution — the “off-the-shelf statistical
+	// library” configuration whose cost dominates Figure 7e.
+	MonteCarlo
+)
+
+// String implements fmt.Stringer.
+func (e Estimator) String() string {
+	switch e {
+	case Ratio:
+		return "ratio"
+	case PosteriorSeries:
+		return "posterior-series"
+	case MonteCarlo:
+		return "monte-carlo"
+	default:
+		return fmt.Sprintf("Estimator(%d)", int(e))
+	}
+}
+
+// IndividualRisk is the Bayesian individual risk of Algorithm 5: the
+// frequency F of a combination in the population is unknown, so the risk
+// 1/F is estimated from the posterior of F given the sample frequency f,
+// with the combination's weight sum ΣW as the population-frequency estimate.
+type IndividualRisk struct {
+	Estimator Estimator
+	// Attrs optionally restricts the evaluation to a subset of the
+	// quasi-identifiers.
+	Attrs []string
+	// Samples is the Monte-Carlo sample count (default 200).
+	Samples int
+	// Seed makes Monte-Carlo runs reproducible.
+	Seed int64
+}
+
+// Name implements Assessor.
+func (a IndividualRisk) Name() string {
+	return fmt.Sprintf("individual-risk(%s)", a.Estimator)
+}
+
+// Assess implements Assessor.
+func (a IndividualRisk) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	idx, err := attrsOrQIs(d, a.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	groups := mdb.ComputeGroups(d, idx, sem)
+	rng := rand.New(rand.NewSource(a.Seed))
+	samples := a.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+
+	type gkey struct {
+		f int
+		w float64
+	}
+	cache := make(map[gkey]float64)
+	out := make([]float64, len(groups))
+	for i, g := range groups {
+		if g.WeightSum <= 0 {
+			return nil, fmt.Errorf("risk: row %d has non-positive group weight %g", d.Rows[i].ID, g.WeightSum)
+		}
+		k := gkey{g.Freq, g.WeightSum}
+		r, ok := cache[k]
+		if !ok {
+			r = a.estimate(g.Freq, g.WeightSum, rng, samples)
+			cache[k] = r
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (a IndividualRisk) estimate(f int, popEst float64, rng *rand.Rand, samples int) float64 {
+	p := float64(f) / popEst
+	if p >= 1 {
+		// The sample exhausts the estimated population: F = f exactly.
+		return clamp01(1 / float64(f))
+	}
+	switch a.Estimator {
+	case Ratio:
+		return clamp01(p)
+	case PosteriorSeries:
+		return clamp01(posteriorMean(f, p))
+	case MonteCarlo:
+		if f > largeFrequency {
+			return clamp01(taylorMean(f, p))
+		}
+		return clamp01(monteCarloMean(f, p, rng, samples))
+	default:
+		return clamp01(p)
+	}
+}
+
+// largeFrequency is the sample frequency above which the posterior of 1/F is
+// so concentrated that a second-order Taylor expansion is indistinguishable
+// from the exact mean; it also bounds the series/sampling cost on the big
+// safe groups that dominate a dataset.
+const largeFrequency = 50
+
+// posteriorMean computes E[1/F | f] where F follows the shifted negative
+// binomial P(F=j) = C(j-1, f-1) p^f (1-p)^(j-f) for j >= f.
+func posteriorMean(f int, p float64) float64 {
+	q := 1 - p
+	if f == 1 {
+		// Closed form: (p/q)·ln(1/p).
+		return p / q * math.Log(1/p)
+	}
+	if f > largeFrequency {
+		return taylorMean(f, p)
+	}
+	// Series: term(j) = C(j-1,f-1) p^f q^(j-f); term(j+1)/term(j) =
+	// q·j/(j-f+1). Start at j=f with term p^f.
+	term := math.Pow(p, float64(f))
+	sum := 0.0
+	for j := f; ; j++ {
+		sum += term / float64(j)
+		term *= q * float64(j) / float64(j-f+1)
+		if term/float64(j+1) < 1e-14 && float64(j) > 4*float64(f)/p {
+			break
+		}
+		if j > 50_000_000 {
+			break
+		}
+	}
+	return sum
+}
+
+// taylorMean is the second-order expansion E[1/F] ≈ 1/μ + σ²/μ³ of the
+// negative-binomial posterior, accurate for concentrated posteriors.
+func taylorMean(f int, p float64) float64 {
+	mu := float64(f) / p
+	sigma2 := float64(f) * (1 - p) / (p * p)
+	return 1/mu + sigma2/(mu*mu*mu)
+}
+
+// monteCarloMean samples F as a sum of f geometric variables.
+func monteCarloMean(f int, p float64, rng *rand.Rand, samples int) float64 {
+	lnq := math.Log(1 - p)
+	total := 0.0
+	for s := 0; s < samples; s++ {
+		var jf float64
+		for i := 0; i < f; i++ {
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			jf += 1 + math.Floor(math.Log(u)/lnq)
+		}
+		total += 1 / jf
+	}
+	return total / float64(samples)
+}

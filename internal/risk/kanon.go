@@ -1,0 +1,38 @@
+package risk
+
+import (
+	"fmt"
+
+	"vadasa/internal/mdb"
+)
+
+// KAnonymity is the threshold approximation of Algorithm 4: a tuple whose
+// quasi-identifier combination occurs fewer than K times is dangerous
+// (risk 1), safe otherwise (risk 0).
+type KAnonymity struct {
+	K int
+	// Attrs optionally restricts the evaluation to a subset of the
+	// quasi-identifiers.
+	Attrs []string
+}
+
+// Name implements Assessor.
+func (a KAnonymity) Name() string { return fmt.Sprintf("k-anonymity(k=%d)", a.K) }
+
+// Assess implements Assessor.
+func (a KAnonymity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	if a.K < 2 {
+		return nil, fmt.Errorf("risk: k-anonymity needs K >= 2, got %d", a.K)
+	}
+	idx, err := attrsOrQIs(d, a.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(d.Rows))
+	for i, f := range mdb.Frequencies(d, idx, sem) {
+		if f < a.K {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

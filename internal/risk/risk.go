@@ -1,0 +1,59 @@
+// Package risk implements the statistical disclosure risk estimation
+// techniques of Section 4.2: re-identification-based risk (Algorithm 3),
+// k-anonymity (Algorithm 4), individual risk in the Benedetti–Franconi
+// Bayesian model (Algorithm 5), and SUDA minimal-sample-unique detection
+// (Algorithm 6).
+//
+// Every assessor returns one risk score in [0,1] per tuple; the
+// anonymization cycle compares the scores against the threshold T. The
+// assessors honour the maybe-match semantics of labelled nulls, so risk
+// drops as local suppression injects nulls.
+package risk
+
+import (
+	"fmt"
+
+	"vadasa/internal/mdb"
+)
+
+// Assessor estimates the statistical disclosure risk of every tuple.
+type Assessor interface {
+	// Name identifies the technique, e.g. for plug-in selection.
+	Name() string
+	// Assess returns one risk in [0,1] per row of d (by slice position),
+	// grouping tuples by quasi-identifier values under the given null
+	// semantics.
+	Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error)
+}
+
+// attrsOrQIs resolves an optional attribute-name restriction (the subset
+// q̂ ⊆ q of Section 2.2) to attribute indexes; with no restriction all
+// quasi-identifiers are used.
+func attrsOrQIs(d *mdb.Dataset, names []string) ([]int, error) {
+	if len(names) == 0 {
+		qi := d.QuasiIdentifiers()
+		if len(qi) == 0 {
+			return nil, fmt.Errorf("risk: dataset %q has no quasi-identifiers", d.Name)
+		}
+		return qi, nil
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := d.AttrIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("risk: dataset %q has no attribute %q", d.Name, n)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

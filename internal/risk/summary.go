@@ -1,0 +1,68 @@
+package risk
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Summary condenses a per-tuple risk vector into the figures an analyst
+// checks before deciding whether a dataset can be shared — the preemptive
+// "confidentiality score beforehand" of the paper's desideratum (iii).
+type Summary struct {
+	Count         int
+	OverThreshold int
+	Threshold     float64
+	Mean          float64
+	// Min, Quartile1, Median, Quartile3, Max describe the distribution.
+	Min, Quartile1, Median, Quartile3, Max float64
+}
+
+// Summarize computes the summary of a risk vector against a threshold.
+func Summarize(risks []float64, threshold float64) Summary {
+	s := Summary{Count: len(risks), Threshold: threshold}
+	if len(risks) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), risks...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, r := range risks {
+		total += r
+		if r > threshold {
+			s.OverThreshold++
+		}
+	}
+	s.Mean = total / float64(len(risks))
+	quantile := func(q float64) float64 {
+		pos := q * float64(len(sorted)-1)
+		lo := int(pos)
+		if lo >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	s.Min = sorted[0]
+	s.Quartile1 = quantile(0.25)
+	s.Median = quantile(0.5)
+	s.Quartile3 = quantile(0.75)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// Render writes the summary as text.
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "risk summary over %d tuples (threshold %.2f):\n", s.Count, s.Threshold)
+	fmt.Fprintf(w, "  over threshold: %d (%.2f%%)\n",
+		s.OverThreshold, 100*safeRatio(s.OverThreshold, s.Count))
+	fmt.Fprintf(w, "  mean %.4g | min %.4g | q1 %.4g | median %.4g | q3 %.4g | max %.4g\n",
+		s.Mean, s.Min, s.Quartile1, s.Median, s.Quartile3, s.Max)
+}
+
+func safeRatio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,102 @@
+package risk
+
+import (
+	"testing"
+
+	"vadasa/internal/mdb"
+)
+
+// skewedGroups builds a dataset where one group's sensitive distribution is
+// far from the global one and another matches it.
+func skewedGroups() *mdb.Dataset {
+	d := mdb.NewDataset("skew", []mdb.Attribute{
+		{Name: "Area", Category: mdb.QuasiIdentifier},
+		{Name: "Default", Category: mdb.NonIdentifying},
+	})
+	rows := [][2]string{
+		// North: 4/4 defaulted — far from the global 5/12.
+		{"North", "yes"}, {"North", "yes"}, {"North", "yes"}, {"North", "yes"},
+		// South: 1/8 defaulted — close to global.
+		{"South", "yes"}, {"South", "no"}, {"South", "no"}, {"South", "no"},
+		{"South", "no"}, {"South", "no"}, {"South", "no"}, {"South", "no"},
+	}
+	for _, r := range rows {
+		d.Append(&mdb.Row{Values: []mdb.Value{mdb.Const(r[0]), mdb.Const(r[1])}, Weight: 1})
+	}
+	return d
+}
+
+func TestTClosenessFlagsSkewedGroup(t *testing.T) {
+	d := skewedGroups()
+	// Global: yes 5/12 ≈ 0.417. North: yes 1.0 (TV ≈ 0.583).
+	// South: yes 1/8 = 0.125 (TV ≈ 0.292).
+	rs, err := TCloseness{T: 0.4, Sensitive: "Default"}.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if rs[i] != 1 {
+			t.Errorf("North row %d risk = %g, want 1", i+1, rs[i])
+		}
+	}
+	for i := 4; i < 12; i++ {
+		if rs[i] != 0 {
+			t.Errorf("South row %d risk = %g, want 0", i+1, rs[i])
+		}
+	}
+	// A looser bound accepts both groups.
+	rs, err = TCloseness{T: 0.9, Sensitive: "Default"}.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r != 0 {
+			t.Errorf("row %d risk = %g with loose T", i+1, r)
+		}
+	}
+}
+
+func TestTClosenessValidation(t *testing.T) {
+	d := skewedGroups()
+	if _, err := (TCloseness{T: 0, Sensitive: "Default"}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := (TCloseness{T: 1, Sensitive: "Default"}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("T=1 accepted")
+	}
+	if _, err := (TCloseness{T: 0.3, Sensitive: "Nope"}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("unknown sensitive attribute accepted")
+	}
+	if _, err := (TCloseness{T: 0.3, Sensitive: "Area", Attrs: []string{"Area"}}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("sensitive attribute in explicit grouping accepted")
+	}
+}
+
+// Suppression widens groups toward the global distribution: fully merging
+// North into everyone brings its distribution to the global one.
+func TestTClosenessSuppressionConverges(t *testing.T) {
+	d := skewedGroups()
+	for i := 0; i < 4; i++ {
+		d.Rows[i].Values[0] = d.Nulls.Fresh()
+	}
+	rs, err := TCloseness{T: 0.4, Sensitive: "Default"}.Assess(d, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if rs[i] != 0 {
+			t.Errorf("suppressed row %d risk = %g, want 0", i+1, rs[i])
+		}
+	}
+}
+
+// An all-null sensitive column is rejected rather than silently safe.
+func TestTClosenessNoSensitiveValues(t *testing.T) {
+	d := skewedGroups()
+	for _, r := range d.Rows {
+		r.Values[1] = d.Nulls.Fresh()
+	}
+	if _, err := (TCloseness{T: 0.4, Sensitive: "Default"}).Assess(d, mdb.MaybeMatch); err == nil {
+		t.Error("all-null sensitive column accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package synth provides the datasets of the paper's evaluation: the
+// Inflation & Growth fixture of Figure 1, the local-suppression example of
+// Figure 5, and seeded generators for the R<t>A<q><dist> dataset family of
+// Figure 6 with the real-world-like (W), unbalanced (U) and very unbalanced
+// (V) distributions.
+package synth
+
+import (
+	"strconv"
+
+	"vadasa/internal/mdb"
+)
+
+// InflationGrowth returns the 20-tuple fragment of the Bank of Italy
+// Inflation and Growth Survey shown in Figure 1. Attribute categories follow
+// Section 2.2: Id is a direct identifier; Area, Sector, Employees,
+// ResidentialRevenue and ExportRevenue are quasi-identifiers; ExportToDE and
+// Growth6mos are non-identifying; Weight is the sampling weight.
+func InflationGrowth() *mdb.Dataset {
+	attrs := []mdb.Attribute{
+		{Name: "Id", Description: "Company Identifier", Category: mdb.Identifier},
+		{Name: "Area", Description: "Geographic Area", Category: mdb.QuasiIdentifier},
+		{Name: "Sector", Description: "Product Sector", Category: mdb.QuasiIdentifier},
+		{Name: "Employees", Description: "Num. of employees", Category: mdb.QuasiIdentifier},
+		{Name: "ResidentialRevenue", Description: "Rev. from internal market", Category: mdb.QuasiIdentifier},
+		{Name: "ExportRevenue", Description: "Rev. from external market", Category: mdb.QuasiIdentifier},
+		{Name: "ExportToDE", Description: "Rev. from DE market", Category: mdb.NonIdentifying},
+		{Name: "Growth6mos", Description: "Rev. growth last 6 mths", Category: mdb.NonIdentifying},
+		{Name: "Weight", Description: "Sampling Weight", Category: mdb.Weight},
+	}
+	rows := []struct {
+		id       string
+		area     string
+		sector   string
+		emp      string
+		res, exp string
+		expDE    string
+		growth   string
+		w        float64
+	}{
+		{"612276", "North", "Public Service", "50-200", "0-30", "0-30", "30-60", "2", 230},
+		{"737536", "South", "Commerce", "201-1000", "0-30", "90+", "0-30", "-1", 190},
+		{"971906", "Center", "Commerce", "1000+", "0-30", "30-60", "0-30", "4", 70},
+		{"589681", "North", "Textiles", "1000+", "90+", "0-30", "0-30", "30", 60},
+		{"419410", "North", "Construction", "1000+", "90+", "0-30", "0-30", "300", 50},
+		{"972915", "North", "Other", "1000+", "0-30", "0-30", "30-60", "50", 70},
+		{"501118", "North", "Other", "201-1000", "60-90", "90+", "90+", "-20", 300},
+		{"815363", "North", "Textiles", "201-1000", "60-90", "30-60", "90+", "2", 230},
+		{"490065", "South", "Public Service", "50-200", "0-30", "0-30", "0-30", "12", 123},
+		{"415487", "South", "Commerce", "1000+", "0-30", "0-30", "90+", "3", 145},
+		{"399087", "South", "Commerce", "50-200", "30-60", "0-30", "30-60", "2", 70},
+		{"170034", "Center", "Commerce", "1000+", "60-90", "0-30", "0-30", "45", 90},
+		{"724905", "Center", "Construction", "201-1000", "0-30", "30-60", "0-30", "2", 200},
+		{"554475", "Center", "Other", "50-200", "0-30", "90+", "0-30", "0", 104},
+		{"946251", "Center", "Public Service", "201-1000", "30-60", "90+", "90+", "150", 30},
+		{"581077", "North", "Textiles", "50-200", "0-30", "60-90", "30-60", "-20", 160},
+		{"765562", "South", "Textiles", "50-200", "0-30", "60-90", "0-30", "-7", 200},
+		{"154840", "Center", "Commerce", "201-1000", "0-30", "60-90", "0-30", "4", 220},
+		{"600837", "Center", "Construction", "50-200", "0-30", "60-90", "0-30", "20", 190},
+		{"220712", "Center", "Financial", "1000+", "30-60", "60-90", "30-60", "-30", 90},
+	}
+	d := mdb.NewDataset("I&G", attrs)
+	for i, r := range rows {
+		d.Append(&mdb.Row{
+			ID: i + 1,
+			Values: []mdb.Value{
+				mdb.Const(r.id), mdb.Const(r.area), mdb.Const(r.sector),
+				mdb.Const(r.emp), mdb.Const(r.res), mdb.Const(r.exp),
+				mdb.Const(r.expDE), mdb.Const(r.growth),
+				mdb.Const(strconv.FormatFloat(r.w, 'g', -1, 64)),
+			},
+			Weight: r.w,
+		})
+	}
+	return d
+}
+
+// Figure5 returns the 7-tuple microdata DB of Figure 5a, where every
+// attribute is a quasi-identifier (the Id column is a direct identifier and
+// the sampling weight is omitted in the paper; weights default to 1 here so
+// weight-based heuristics remain usable).
+func Figure5() *mdb.Dataset {
+	attrs := []mdb.Attribute{
+		{Name: "Id", Category: mdb.Identifier},
+		{Name: "Area", Category: mdb.QuasiIdentifier},
+		{Name: "Sector", Category: mdb.QuasiIdentifier},
+		{Name: "Employees", Category: mdb.QuasiIdentifier},
+		{Name: "ResidentialRevenue", Category: mdb.QuasiIdentifier},
+	}
+	rows := [][5]string{
+		{"099876", "Roma", "Textiles", "1000+", "0-30"},
+		{"765389", "Roma", "Commerce", "1000+", "0-30"},
+		{"231654", "Roma", "Commerce", "1000+", "0-30"},
+		{"097302", "Roma", "Financial", "1000+", "0-30"},
+		{"120967", "Roma", "Financial", "1000+", "0-30"},
+		{"232498", "Milano", "Construction", "0-200", "60-90"},
+		{"340901", "Torino", "Construction", "0-200", "60-90"},
+	}
+	d := mdb.NewDataset("fig5", attrs)
+	for i, r := range rows {
+		d.Append(&mdb.Row{
+			ID:     i + 1,
+			Values: []mdb.Value{mdb.Const(r[0]), mdb.Const(r[1]), mdb.Const(r[2]), mdb.Const(r[3]), mdb.Const(r[4])},
+			Weight: 1,
+		})
+	}
+	return d
+}

@@ -1,0 +1,254 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"vadasa/internal/mdb"
+)
+
+// Dist selects the value distribution of a generated dataset (Figure 6).
+type Dist int
+
+// Distribution families of the paper's evaluation.
+const (
+	// DistW fits the real-world Inflation & Growth distribution: a skewed
+	// bulk with very few selective quasi-identifier combinations.
+	DistW Dist = iota
+	// DistU is unbalanced: noticeably more tuples carry very selective
+	// combinations and therefore exhibit high disclosure risk.
+	DistU
+	// DistV is very unbalanced: an even larger share of selective,
+	// high-risk combinations.
+	DistV
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case DistW:
+		return "W"
+	case DistU:
+		return "U"
+	case DistV:
+		return "V"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// rareFraction is the share of tuples drawn uniformly from the full value
+// cross-product, producing the selective (risky) combinations that each
+// distribution family is characterized by.
+func (d Dist) rareFraction() float64 {
+	switch d {
+	case DistW:
+		return 0.0012
+	case DistU:
+		return 0.015
+	default: // DistV
+		return 0.05
+	}
+}
+
+// attrPool is the quasi-identifier pool; Generate takes a prefix of it, so
+// R50A4W uses the first four and R50A9W all nine (Figure 7f).
+var attrPool = []struct {
+	name   string
+	values []string
+}{
+	// Area values are the cities of hierarchy.ItalianGeography so that
+	// global recoding can roll generated data up to macro-regions.
+	{"Area", []string{
+		"Milano", "Roma", "Napoli", "Torino", "Firenze", "Bari", "Venezia",
+		"Palermo", "Bologna", "Genova", "Perugia", "Ancona", "Catanzaro"}},
+	{"Sector", []string{
+		"Commerce", "Public Service", "Textiles", "Construction", "Other",
+		"Financial", "Agriculture", "Chemicals", "Machinery", "Food",
+		"Energy", "Transport", "Tourism", "Media", "Health", "Education",
+		"Mining", "Real Estate"}},
+	{"Employees", []string{"0-9", "10-19", "20-49", "50-200", "201-500", "501-1000", "1001-5000", "5000+"}},
+	{"ResidentialRevenue", []string{"0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90", "90+"}},
+	{"ExportRevenue", []string{"0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90", "90+"}},
+	{"ExportToDE", []string{"0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90", "90+"}},
+	{"Growth6mos", []string{"<-50", "-50--20", "-20--10", "-10--5", "-5-0", "0-5", "5-10", "10-20", "20-50", "50-100", "100-300", ">300"}},
+	{"LegalForm", []string{"SpA", "Srl", "Coop", "Sole", "SApA", "Snc"}},
+	{"FoundedEra", []string{"<1900", "1900-29", "1930-49", "1950-69", "1970-79", "1980-89", "1990-99", "2000-09", ">2010"}},
+}
+
+// MaxQIs is the largest supported number of quasi-identifiers.
+const MaxQIs = 9
+
+// Config parameterizes Generate.
+type Config struct {
+	Tuples int
+	QIs    int // 1..MaxQIs
+	Dist   Dist
+	Seed   int64
+	// PopulationScale is the ratio between the population an identity
+	// oracle would hold and the sample; it calibrates sampling weights.
+	// Zero selects the default of 30.
+	PopulationScale float64
+}
+
+// Name returns the paper's dataset naming scheme, e.g. R25A4W for 25k tuples,
+// 4 quasi-identifiers, real-world-like distribution.
+func (c Config) Name() string {
+	k := c.Tuples / 1000
+	if c.Tuples%1000 != 0 {
+		return fmt.Sprintf("R%dA%d%s", c.Tuples, c.QIs, c.Dist)
+	}
+	return fmt.Sprintf("R%dA%d%s", k, c.QIs, c.Dist)
+}
+
+// Generate builds a synthetic microdata DB. The schema is Id (identifier),
+// the first cfg.QIs attributes of the pool (quasi-identifiers) and Weight.
+//
+// The bulk of the tuples follows a per-attribute skewed categorical
+// distribution fitted to look like the Inflation & Growth survey; a
+// distribution-dependent fraction is drawn uniformly from the whole value
+// cross-product, yielding the selective combinations that carry high
+// disclosure risk. Sampling weights estimate the number of population
+// entities sharing the tuple's combination: frequent combinations get
+// weights around PopulationScale × sample frequency, while the selective
+// tail gets small weights — the outliers of Section 2.2.
+func Generate(cfg Config) *mdb.Dataset {
+	if cfg.QIs < 1 || cfg.QIs > MaxQIs {
+		panic(fmt.Sprintf("synth: QIs must be in [1,%d], got %d", MaxQIs, cfg.QIs))
+	}
+	if cfg.Tuples < 0 {
+		panic("synth: negative tuple count")
+	}
+	scale := cfg.PopulationScale
+	if scale == 0 {
+		scale = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	attrs := make([]mdb.Attribute, 0, cfg.QIs+2)
+	attrs = append(attrs, mdb.Attribute{Name: "Id", Description: "Company Identifier", Category: mdb.Identifier})
+	for i := 0; i < cfg.QIs; i++ {
+		attrs = append(attrs, mdb.Attribute{Name: attrPool[i].name, Category: mdb.QuasiIdentifier})
+	}
+	attrs = append(attrs, mdb.Attribute{Name: "Weight", Description: "Sampling Weight", Category: mdb.Weight})
+	d := mdb.NewDataset(cfg.Name(), attrs)
+
+	// Skewed per-attribute cumulative distributions for the bulk: value i
+	// has probability proportional to decay^i. The bulk only uses the more
+	// common half of each domain — and just the top two values of the
+	// attributes beyond the fourth, mirroring how supplementary survey
+	// attributes (legal form, founding era, ...) are heavily concentrated —
+	// while the remaining values appear exclusively in the selective tail,
+	// as rare categories do in real surveys. This keeps the joint
+	// selectivity of the W family driven by the core attributes, so adding
+	// quasi-identifiers stresses the risk estimators (Figure 7f) without
+	// exploding the number of risky tuples.
+	const decay = 0.30
+	cdfs := make([][]float64, cfg.QIs)
+	for i := 0; i < cfg.QIs; i++ {
+		bulk := (len(attrPool[i].values) + 1) / 2
+		if i >= 4 && bulk > 2 {
+			bulk = 2
+		}
+		vals := attrPool[i].values[:bulk]
+		cdf := make([]float64, len(vals))
+		total, p := 0.0, 1.0
+		for j := range vals {
+			total += p
+			cdf[j] = total
+			p *= decay
+		}
+		for j := range cdf {
+			cdf[j] /= total
+		}
+		cdfs[i] = cdf
+	}
+	pick := func(cdf []float64) int {
+		x := rng.Float64()
+		for j, c := range cdf {
+			if x <= c {
+				return j
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	rare := cfg.Dist.rareFraction()
+	type rowval struct {
+		vals   []int
+		isRare bool
+	}
+	rows := make([]rowval, cfg.Tuples)
+	comboFreq := make(map[string]int, cfg.Tuples)
+	comboKey := func(vals []int) string {
+		k := make([]byte, 0, len(vals)*2)
+		for _, v := range vals {
+			k = append(k, byte(v), ',')
+		}
+		return string(k)
+	}
+	for t := 0; t < cfg.Tuples; t++ {
+		vals := make([]int, cfg.QIs)
+		isRare := rng.Float64() < rare
+		for i := 0; i < cfg.QIs; i++ {
+			if isRare {
+				vals[i] = rng.Intn(len(attrPool[i].values))
+			} else {
+				vals[i] = pick(cdfs[i])
+			}
+		}
+		rows[t] = rowval{vals: vals, isRare: isRare}
+		comboFreq[comboKey(vals)]++
+	}
+
+	for t, rv := range rows {
+		f := comboFreq[comboKey(rv.vals)]
+		var w float64
+		if rv.isRare && f <= 2 {
+			// Outlier: low representativeness.
+			w = float64(1 + rng.Intn(4))
+		} else {
+			noise := 0.8 + 0.4*rng.Float64()
+			w = float64(int(scale*float64(f)*noise) + 1)
+		}
+		values := make([]mdb.Value, 0, cfg.QIs+2)
+		values = append(values, mdb.Const(fmt.Sprintf("%06d", 100000+t)))
+		for i, v := range rv.vals {
+			values = append(values, mdb.Const(attrPool[i].values[v]))
+		}
+		values = append(values, mdb.Const(strconv.FormatFloat(w, 'g', -1, 64)))
+		d.Append(&mdb.Row{ID: t + 1, Values: values, Weight: w})
+	}
+	return d
+}
+
+// StandardConfigs returns the dataset family of Figure 6, in the paper's
+// order. Seeds are fixed so every run regenerates identical data.
+func StandardConfigs() []Config {
+	return []Config{
+		{Tuples: 6_000, QIs: 4, Dist: DistU, Seed: 1},
+		{Tuples: 12_000, QIs: 4, Dist: DistU, Seed: 2},
+		{Tuples: 25_000, QIs: 4, Dist: DistW, Seed: 3},
+		{Tuples: 25_000, QIs: 4, Dist: DistU, Seed: 4},
+		{Tuples: 25_000, QIs: 4, Dist: DistV, Seed: 5},
+		{Tuples: 50_000, QIs: 4, Dist: DistW, Seed: 6},
+		{Tuples: 50_000, QIs: 4, Dist: DistU, Seed: 7},
+		{Tuples: 50_000, QIs: 5, Dist: DistW, Seed: 8},
+		{Tuples: 50_000, QIs: 6, Dist: DistW, Seed: 9},
+		{Tuples: 50_000, QIs: 8, Dist: DistW, Seed: 10},
+		{Tuples: 50_000, QIs: 9, Dist: DistW, Seed: 11},
+		{Tuples: 100_000, QIs: 4, Dist: DistU, Seed: 12},
+	}
+}
+
+// ByName generates the Figure 6 dataset with the given paper name
+// (e.g. "R25A4W"), or returns an error for unknown names.
+func ByName(name string) (*mdb.Dataset, error) {
+	for _, cfg := range StandardConfigs() {
+		if cfg.Name() == name {
+			return Generate(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("synth: unknown dataset %q (see Figure 6 for valid names)", name)
+}

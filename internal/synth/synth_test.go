@@ -1,0 +1,237 @@
+package synth
+
+import (
+	"testing"
+
+	"vadasa/internal/mdb"
+)
+
+func TestInflationGrowthFixture(t *testing.T) {
+	d := InflationGrowth()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(d.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(d.Rows))
+	}
+	if got := len(d.QuasiIdentifiers()); got != 5 {
+		t.Fatalf("quasi-identifiers = %d, want 5", got)
+	}
+	// Section 2.2: tuple 15 weight 30, tuple 7 weight 300, tuple 4 weight 60.
+	if d.Rows[14].Weight != 30 || d.Rows[6].Weight != 300 || d.Rows[3].Weight != 60 {
+		t.Errorf("weights of tuples 15/7/4 = %g/%g/%g",
+			d.Rows[14].Weight, d.Rows[6].Weight, d.Rows[3].Weight)
+	}
+	// Tuple 4 is the only North/Textiles/1000+ company (Section 2.2).
+	count := 0
+	for _, r := range d.Rows {
+		if r.Values[1] == mdb.Const("North") && r.Values[2] == mdb.Const("Textiles") &&
+			r.Values[3] == mdb.Const("1000+") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("North/Textiles/1000+ count = %d, want 1", count)
+	}
+}
+
+func TestFigure5Fixture(t *testing.T) {
+	d := Figure5()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(d.Rows) != 7 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	freqs := mdb.Frequencies(d, d.QuasiIdentifiers(), mdb.MaybeMatch)
+	want := []int{1, 2, 2, 2, 2, 1, 1}
+	for i := range want {
+		if freqs[i] != want[i] {
+			t.Errorf("row %d freq = %d, want %d", i+1, freqs[i], want[i])
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Tuples: 2000, QIs: 4, Dist: DistU, Seed: 42}
+	d := Generate(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(d.Rows) != 2000 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if got := len(d.QuasiIdentifiers()); got != 4 {
+		t.Fatalf("QIs = %d", got)
+	}
+	if d.WeightIndex() == -1 {
+		t.Fatal("no weight attribute")
+	}
+	if d.Name != "R2A4U" {
+		t.Fatalf("name = %q", d.Name)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Tuples: 500, QIs: 5, Dist: DistV, Seed: 7}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.Rows {
+		if a.Rows[i].Weight != b.Rows[i].Weight {
+			t.Fatalf("row %d weights differ", i)
+		}
+		for j := range a.Rows[i].Values {
+			if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+				t.Fatalf("row %d value %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Tuples: 500, QIs: 4, Dist: DistW, Seed: 1})
+	b := Generate(Config{Tuples: 500, QIs: 4, Dist: DistW, Seed: 2})
+	same := 0
+	for i := range a.Rows {
+		if a.Rows[i].Values[1] == b.Rows[i].Values[1] {
+			same++
+		}
+	}
+	if same == len(a.Rows) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// riskyCount counts tuples violating k-anonymity with k=2, the measure the
+// distribution families are defined by: W ≪ U < V.
+func riskyCount(d *mdb.Dataset) int {
+	n := 0
+	for _, f := range mdb.Frequencies(d, d.QuasiIdentifiers(), mdb.MaybeMatch) {
+		if f < 2 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDistributionFamiliesOrdered(t *testing.T) {
+	const n = 25000
+	w := riskyCount(Generate(Config{Tuples: n, QIs: 4, Dist: DistW, Seed: 3}))
+	u := riskyCount(Generate(Config{Tuples: n, QIs: 4, Dist: DistU, Seed: 4}))
+	v := riskyCount(Generate(Config{Tuples: n, QIs: 4, Dist: DistV, Seed: 5}))
+	t.Logf("unique tuples at 25k: W=%d U=%d V=%d", w, u, v)
+	if !(w < u && u < v) {
+		t.Fatalf("risky counts not ordered: W=%d U=%d V=%d", w, u, v)
+	}
+	if w == 0 {
+		t.Fatal("W has no risky tuples at all; anonymization experiments would be vacuous")
+	}
+	if w > u/2 {
+		t.Fatalf("W (%d) not clearly below U (%d)", w, u)
+	}
+}
+
+func TestGenerateWeightsPositive(t *testing.T) {
+	d := Generate(Config{Tuples: 3000, QIs: 6, Dist: DistV, Seed: 9})
+	for _, r := range d.Rows {
+		if r.Weight < 1 {
+			t.Fatalf("row %d weight %g < 1", r.ID, r.Weight)
+		}
+	}
+}
+
+func TestStandardConfigsMatchFigure6(t *testing.T) {
+	names := []string{
+		"R6A4U", "R12A4U", "R25A4W", "R25A4U", "R25A4V", "R50A4W",
+		"R50A4U", "R50A5W", "R50A6W", "R50A8W", "R50A9W", "R100A4U",
+	}
+	cfgs := StandardConfigs()
+	if len(cfgs) != len(names) {
+		t.Fatalf("got %d configs, want %d", len(cfgs), len(names))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Name() != names[i] {
+			t.Errorf("config %d name = %q, want %q", i, cfg.Name(), names[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("R6A4U")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(d.Rows) != 6000 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if _, err := ByName("R1A1X"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Tuples: 10, QIs: 0},
+		{Tuples: 10, QIs: MaxQIs + 1},
+		{Tuples: -1, QIs: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Generate(%+v) did not panic", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestHouseholdGenerator(t *testing.T) {
+	d, households := Household(HouseholdConfig{Households: 100, Seed: 4})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(households) != 100 {
+		t.Fatalf("households = %d", len(households))
+	}
+	total := 0
+	for hid, members := range households {
+		if len(members) < 1 || len(members) > 5 {
+			t.Fatalf("household %s has %d members", hid, len(members))
+		}
+		total += len(members)
+	}
+	if total != len(d.Rows) {
+		t.Fatalf("members %d != rows %d", total, len(d.Rows))
+	}
+	// Members of a household share a municipality.
+	muni := d.AttrIndex("Municipality")
+	hh := d.AttrIndex("HouseholdId")
+	byHH := map[string]string{}
+	for _, r := range d.Rows {
+		h := r.Values[hh].Constant()
+		m := r.Values[muni].Constant()
+		if prev, ok := byHH[h]; ok && prev != m {
+			t.Fatalf("household %s spans municipalities %s and %s", h, prev, m)
+		}
+		byHH[h] = m
+	}
+	// Two direct identifiers, four quasi-identifiers.
+	ids := 0
+	for _, a := range d.Attrs {
+		if a.Category == mdb.Identifier {
+			ids++
+		}
+	}
+	if ids != 2 || len(d.QuasiIdentifiers()) != 4 {
+		t.Fatalf("schema: %d identifiers, %d QIs", ids, len(d.QuasiIdentifiers()))
+	}
+}
+
+func TestHouseholdPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero households")
+		}
+	}()
+	Household(HouseholdConfig{Households: 0})
+}

@@ -1,0 +1,189 @@
+package vadasa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"vadasa/internal/categorize"
+	"vadasa/internal/mdb"
+)
+
+// The enterprise Knowledge Base of Section 4 is long-lived state: the
+// metadata dictionary, the categorization experience base, the domain
+// hierarchies and the ownership graph all accumulate expert knowledge across
+// sessions. SaveKB/LoadKB persist it as a single JSON document so a Research
+// Data Center can version it next to its reasoning programs.
+
+type kbDoc struct {
+	Experience []kbExperience `json:"experience,omitempty"`
+	Hierarchy  kbHierarchy    `json:"hierarchy"`
+	Ownership  []kbEdge       `json:"ownership,omitempty"`
+	Dictionary []kbMicroDB    `json:"dictionary,omitempty"`
+}
+
+type kbExperience struct {
+	Attr     string `json:"attr"`
+	Category string `json:"category"`
+}
+
+type kbHierarchy struct {
+	AttributeTypes map[string]string `json:"attributeTypes,omitempty"`
+	SubTypes       map[string]string `json:"subTypes,omitempty"`
+	Instances      map[string]string `json:"instances,omitempty"`
+	Parents        map[string]string `json:"parents,omitempty"`
+}
+
+type kbEdge struct {
+	Owner string  `json:"owner"`
+	Owned string  `json:"owned"`
+	Share float64 `json:"share"`
+}
+
+type kbMicroDB struct {
+	Name       string   `json:"name"`
+	Attributes []kbAttr `json:"attributes"`
+}
+
+type kbAttr struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Category    string `json:"category"`
+}
+
+// SaveKB writes the framework's knowledge base — experience base, domain
+// hierarchy, ownership graph and metadata dictionary — as indented JSON.
+func (f *Framework) SaveKB(w io.Writer) error {
+	doc := kbDoc{
+		Hierarchy: kbHierarchy{
+			AttributeTypes: map[string]string{},
+			SubTypes:       map[string]string{},
+			Instances:      map[string]string{},
+			Parents:        map[string]string{},
+		},
+	}
+	for _, e := range f.experience {
+		doc.Experience = append(doc.Experience, kbExperience{
+			Attr: e.Attr, Category: e.Category.String(),
+		})
+	}
+	for _, fact := range f.hier.Facts() {
+		switch fact.Pred {
+		case "typeof":
+			doc.Hierarchy.AttributeTypes[fact.Args[0]] = fact.Args[1]
+		case "subtypeof":
+			doc.Hierarchy.SubTypes[fact.Args[0]] = fact.Args[1]
+		case "instof":
+			doc.Hierarchy.Instances[fact.Args[0]] = fact.Args[1]
+		case "isa":
+			doc.Hierarchy.Parents[fact.Args[0]] = fact.Args[1]
+		}
+	}
+	for _, e := range f.ownership.Edges() {
+		doc.Ownership = append(doc.Ownership, kbEdge{Owner: e.Owner, Owned: e.Owned, Share: e.Share})
+	}
+	sort.Slice(doc.Ownership, func(i, j int) bool {
+		a, b := doc.Ownership[i], doc.Ownership[j]
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Owned < b.Owned
+	})
+	for _, name := range f.dict.MicroDBs() {
+		attrs, err := f.dict.Attributes(name)
+		if err != nil {
+			return err
+		}
+		db := kbMicroDB{Name: name}
+		for _, a := range attrs {
+			db.Attributes = append(db.Attributes, kbAttr{
+				Name: a.Name, Description: a.Description, Category: a.Category.String(),
+			})
+		}
+		doc.Dictionary = append(doc.Dictionary, db)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("vadasa: saving KB: %w", err)
+	}
+	return nil
+}
+
+// LoadKB replaces the framework's knowledge base with the one read from r
+// (previously written by SaveKB).
+func (f *Framework) LoadKB(r io.Reader) error {
+	var doc kbDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("vadasa: loading KB: %w", err)
+	}
+
+	var exp []categorize.Entry
+	for _, e := range doc.Experience {
+		cat, err := mdb.ParseCategory(e.Category)
+		if err != nil {
+			return fmt.Errorf("vadasa: loading KB: experience entry %q: %w", e.Attr, err)
+		}
+		exp = append(exp, categorize.Entry{Attr: e.Attr, Category: cat})
+	}
+
+	hier := NewHierarchy()
+	for attr, typ := range doc.Hierarchy.AttributeTypes {
+		hier.SetAttributeType(attr, typ)
+	}
+	// Types and instances first so isA consistency checks can fire.
+	for value, typ := range doc.Hierarchy.Instances {
+		hier.AddInstance(value, typ)
+	}
+	for _, p := range sortedKeys(doc.Hierarchy.SubTypes) {
+		if err := hier.AddSubType(p, doc.Hierarchy.SubTypes[p]); err != nil {
+			return fmt.Errorf("vadasa: loading KB: %w", err)
+		}
+	}
+	for _, v := range sortedKeys(doc.Hierarchy.Parents) {
+		if err := hier.AddIsA(v, doc.Hierarchy.Parents[v]); err != nil {
+			return fmt.Errorf("vadasa: loading KB: %w", err)
+		}
+	}
+
+	own := NewOwnershipGraph()
+	for _, e := range doc.Ownership {
+		if err := own.AddOwnership(e.Owner, e.Owned, e.Share); err != nil {
+			return fmt.Errorf("vadasa: loading KB: %w", err)
+		}
+	}
+
+	dict := mdb.NewDictionary()
+	for _, db := range doc.Dictionary {
+		attrs := make([]Attribute, len(db.Attributes))
+		for i, a := range db.Attributes {
+			cat, err := mdb.ParseCategory(a.Category)
+			if err != nil {
+				return fmt.Errorf("vadasa: loading KB: microdata DB %q attribute %q: %w",
+					db.Name, a.Name, err)
+			}
+			attrs[i] = Attribute{Name: a.Name, Description: a.Description, Category: cat}
+		}
+		if err := dict.Register(db.Name, attrs); err != nil {
+			return fmt.Errorf("vadasa: loading KB: %w", err)
+		}
+	}
+
+	f.experience = exp
+	f.hier = hier
+	f.ownership = own
+	f.dict = dict
+	return nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package vadasa
+
+import (
+	"vadasa/internal/datalog"
+)
+
+// Reasoning surface: the warded-Datalog±-style engine Vada-SA builds on.
+// Business experts encode risk measures, anonymization criteria and
+// surrounding business knowledge as declarative programs; the engine
+// evaluates them with chase-based semantics (labelled-null invention for
+// existential heads, stratified negation, monotonic aggregations with
+// contributor semantics, EGDs) and full provenance.
+type (
+	// Program is a parsed reasoning program.
+	Program = datalog.Program
+	// FactDB is an extensional database of ground facts.
+	FactDB = datalog.Database
+	// ReasoningResult is a derived database with provenance and EGD
+	// violations.
+	ReasoningResult = datalog.Result
+	// Fact is a tuple of runtime values.
+	Fact = datalog.Tuple
+	// Val is a runtime value: string, number, labelled null, or set.
+	Val = datalog.Val
+	// ReasoningOptions bounds a run (fact and round caps).
+	ReasoningOptions = datalog.Options
+)
+
+// ParseProgram parses a reasoning program in the Vadalog-flavoured syntax:
+//
+//	own("a","b",0.6).
+//	rel(X,Y) :- own(X,Y,W), W > 0.5.
+//	rel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
+func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
+
+// MustParseProgram is ParseProgram for embedded programs; it panics on
+// syntax errors.
+func MustParseProgram(src string) *Program { return datalog.MustParse(src) }
+
+// NewFactDB returns an empty extensional database.
+func NewFactDB() *FactDB { return datalog.NewDatabase() }
+
+// Reason evaluates a program over the extensional database (which is not
+// modified) and returns the derived database. A nil opts selects the
+// defaults.
+func Reason(p *Program, edb *FactDB, opts *ReasoningOptions) (*ReasoningResult, error) {
+	return datalog.Run(p, edb, opts)
+}
+
+// CheckWarded validates the wardedness restriction that guarantees
+// PTIME-decidable reasoning; the framework's built-in programs pass it.
+func CheckWarded(p *Program) error { return datalog.CheckWarded(p) }
+
+// StrVal returns a string value.
+func StrVal(s string) Val { return datalog.Str(s) }
+
+// NumVal returns a numeric value.
+func NumVal(n float64) Val { return datalog.Num(n) }
+
+// QueryBinding is one solution of a query pattern over a reasoning result.
+type QueryBinding = datalog.Binding
+
+// QueryTerm is a pattern term: a variable (Var) or constant (Const).
+type QueryTerm = datalog.Term
+
+// Var returns a query-pattern variable.
+func Var(name string) QueryTerm { return datalog.V(name) }
+
+// Bound returns a query-pattern constant.
+func Bound(v Val) QueryTerm { return datalog.C(v) }

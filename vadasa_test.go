@@ -1,0 +1,352 @@
+package vadasa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The full Vada-SA session: register (categorize), assess, anonymize,
+// explain, validate against the attack model.
+func TestEndToEndSession(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	// Wipe the declared categories: Register must recover them.
+	for i := range d.Attrs {
+		d.Attrs[i].Category = NonIdentifying
+	}
+	report, err := f.Register(d)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if len(report.Conflicts) != 0 || len(report.Unknown) != 0 {
+		t.Fatalf("categorization: conflicts %v, unknown %v", report.Conflicts, report.Unknown)
+	}
+	if d.AttrIndex("Id") < 0 || d.Attrs[d.AttrIndex("Id")].Category != Identifier {
+		t.Fatal("Id not categorized as identifier")
+	}
+	if d.Attrs[d.AttrIndex("Weight")].Category != Weight {
+		t.Fatal("Weight not categorized")
+	}
+	if got := len(d.QuasiIdentifiers()); got == 0 {
+		t.Fatal("no quasi-identifiers recovered")
+	}
+
+	// The oracle must be built before anonymization.
+	oracle, truth, err := BuildOracle(d, 1000)
+	if err != nil {
+		t.Fatalf("BuildOracle: %v", err)
+	}
+	before, err := oracle.Run(d, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	risks, err := f.AssessRisk(d, KAnonymity{K: 2})
+	if err != nil {
+		t.Fatalf("AssessRisk: %v", err)
+	}
+	if len(risks) != len(d.Rows) {
+		t.Fatalf("risks = %d values", len(risks))
+	}
+
+	res, err := f.Anonymize(d, CycleOptions{Measure: KAnonymity{K: 2}, Threshold: 0.5})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	for _, dec := range res.Decisions {
+		if !strings.Contains(dec.String(), "local-suppression") {
+			t.Fatalf("unexpected decision: %v", dec)
+		}
+	}
+	after, err := oracle.Run(res.Dataset, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ExpectedSuccesses >= before.ExpectedSuccesses {
+		t.Fatalf("attack not weakened: %g -> %g", before.ExpectedSuccesses, after.ExpectedSuccesses)
+	}
+}
+
+func TestFrameworkMeasureRegistry(t *testing.T) {
+	f := New()
+	names := f.MeasureNames()
+	want := []string{"individual-risk", "k-anonymity", "re-identification", "suda"}
+	if len(names) != len(want) {
+		t.Fatalf("measures = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("measures = %v, want %v", names, want)
+		}
+	}
+	m, err := f.Measure("k-anonymity")
+	if err != nil || m.Name() == "" {
+		t.Fatalf("Measure: %v, %v", m, err)
+	}
+	if _, err := f.Measure("nope"); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+	f.RegisterMeasure("custom", func() RiskMeasure { return KAnonymity{K: 7} })
+	if m, _ := f.Measure("custom"); m.(KAnonymity).K != 7 {
+		t.Fatal("custom measure not registered")
+	}
+}
+
+func TestFrameworkClusterPropagation(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	// Link two companies: tuple 15 is unique under 2-anonymity, so its
+	// cluster partner tuple 1 must inherit risk 1.
+	id15 := d.Rows[14].Values[0].Constant()
+	id1 := d.Rows[0].Values[0].Constant()
+	if err := f.Ownership().AddOwnership(id15, id1, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	risks, err := f.AssessRisk(d, KAnonymity{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risks[0] != 1 || risks[14] != 1 {
+		t.Fatalf("cluster risks = %g/%g, want 1/1", risks[0], risks[14])
+	}
+}
+
+func TestFrameworkAnonymizeWithRecoding(t *testing.T) {
+	f := New()
+	d := Generate(GeneratorConfig{Tuples: 600, QIs: 4, Dist: DistV, Seed: 2})
+	res, err := f.Anonymize(d, CycleOptions{
+		Measure:     KAnonymity{K: 2},
+		Threshold:   0.5,
+		UseRecoding: true,
+	})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	recoded := false
+	for _, dec := range res.Decisions {
+		if dec.Method == "global-recoding" {
+			recoded = true
+			break
+		}
+	}
+	if !recoded {
+		t.Fatal("recoding never used despite UseRecoding (Area values are cities)")
+	}
+	if len(res.Residual) != 0 {
+		t.Fatalf("residual: %v", res.Residual)
+	}
+}
+
+func TestFrameworkAnonymizeValidates(t *testing.T) {
+	f := New()
+	d := Figure5like(t)
+	if _, err := f.Anonymize(d, CycleOptions{Threshold: 0.5}); err == nil {
+		t.Fatal("missing measure accepted")
+	}
+}
+
+// Figure5like builds a tiny dataset through the public API only.
+func Figure5like(t *testing.T) *Dataset {
+	t.Helper()
+	d := NewDataset("tiny", []Attribute{
+		{Name: "Area", Category: QuasiIdentifier},
+		{Name: "Sector", Category: QuasiIdentifier},
+	})
+	for _, r := range [][2]string{{"Roma", "Textiles"}, {"Roma", "Commerce"}, {"Roma", "Commerce"}} {
+		d.Append(&Row{Values: []Value{Const(r[0]), Const(r[1])}, Weight: 1})
+	}
+	return d
+}
+
+func TestFrameworkRegisterRejectsDuplicates(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	if _, err := f.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Register(d); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestFrameworkUnknownAttributesLeftAlone(t *testing.T) {
+	f := New()
+	d := NewDataset("odd", []Attribute{
+		{Name: "ZorbFactor", Category: QuasiIdentifier}, // declared by hand
+		{Name: "Weight", Category: Weight},
+	})
+	d.Append(&Row{Values: []Value{Const("x"), Const("1")}, Weight: 1})
+	report, err := f.Register(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Unknown) != 1 || report.Unknown[0] != "ZorbFactor" {
+		t.Fatalf("unknown = %v", report.Unknown)
+	}
+	// The hand-declared category must survive.
+	if d.Attrs[0].Category != QuasiIdentifier {
+		t.Fatal("declared category overwritten")
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	d := InflationGrowth()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, d.Name, d.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(d.Rows) {
+		t.Fatalf("rows = %d", len(back.Rows))
+	}
+}
+
+func TestGenerateByNamePublic(t *testing.T) {
+	d, err := GenerateByName("R6A4U")
+	if err != nil || len(d.Rows) != 6000 {
+		t.Fatalf("GenerateByName: %v, %d rows", err, len(d.Rows))
+	}
+	if _, err := GenerateByName("bogus"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+func TestHierarchyExtension(t *testing.T) {
+	f := New()
+	h := f.Hierarchy()
+	h.AddInstance("Bolzano", "City")
+	if err := h.AddIsA("Bolzano", "North"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := h.RollUp("Area", "Bolzano"); !ok || got != "North" {
+		t.Fatalf("RollUp(Bolzano) = %q, %v", got, ok)
+	}
+}
+
+func TestExplainRisk(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	// Tuple 4 is the unique North/Textiles/1000+ company.
+	for _, m := range []RiskMeasure{
+		ReIdentification{}, KAnonymity{K: 2},
+		IndividualRisk{Estimator: RatioEstimator},
+	} {
+		ex, err := f.ExplainRisk(d, m, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !strings.Contains(ex, "riskout(4,") {
+			t.Errorf("%s explanation missing riskout fact:\n%s", m.Name(), ex)
+		}
+		if !strings.Contains(ex, "[extensional]") {
+			t.Errorf("%s explanation not grounded in extensional facts", m.Name())
+		}
+	}
+}
+
+func TestExplainRiskSUDA(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	// Restrict via a copy with only the four example attributes as QIs so
+	// the Section 4.2 example (tuple 20, MSUs {Sector} and
+	// {Employees, ResidentialRevenue}) is reproduced.
+	c := d.Clone()
+	keep := map[string]bool{"Area": true, "Sector": true, "Employees": true, "ResidentialRevenue": true}
+	for i := range c.Attrs {
+		if c.Attrs[i].Category == QuasiIdentifier && !keep[c.Attrs[i].Name] {
+			c.Attrs[i].Category = NonIdentifying
+		}
+	}
+	ex, err := f.ExplainRisk(c, SUDA{Threshold: 3}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"{Sector}", "{Employees, ResidentialRevenue}", "risk 1"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("SUDA explanation missing %q:\n%s", want, ex)
+		}
+	}
+	// A safe tuple gets a safe explanation.
+	ex, err = f.ExplainRisk(c, SUDA{Threshold: 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "risk 0") {
+		t.Errorf("threshold-1 SUDA explanation should be safe:\n%s", ex)
+	}
+}
+
+func TestExplainRiskErrors(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	if _, err := f.ExplainRisk(d, KAnonymity{K: 2}, 999); err == nil {
+		t.Error("unknown tuple id accepted")
+	}
+	if _, err := f.ExplainRisk(d, KAnonymity{K: 2, Attrs: []string{"Area"}}, 4); err == nil {
+		t.Error("attribute-restricted measure accepted")
+	}
+	if _, err := f.ExplainRisk(d, LDiversity{L: 2, Sensitive: "Growth6mos"}, 4); err == nil {
+		t.Error("unsupported measure accepted")
+	}
+}
+
+func TestLDiversityPublic(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	rs, err := f.AssessRisk(d, LDiversity{L: 2, Sensitive: "Growth6mos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every QI combination in Figure 1 is unique, so every group has one
+	// sensitive value: all dangerous.
+	for i, r := range rs {
+		if r != 1 {
+			t.Errorf("tuple %d risk = %g, want 1", i+1, r)
+		}
+	}
+}
+
+func TestAssessAllRegistered(t *testing.T) {
+	f := New()
+	d := InflationGrowth()
+	scorecard := f.AssessAllRegistered(d, 0.5)
+	if len(scorecard) != 4 {
+		t.Fatalf("scorecard has %d entries", len(scorecard))
+	}
+	byName := map[string]MeasureSummary{}
+	for _, ms := range scorecard {
+		byName[ms.Name] = ms
+		if ms.Err != nil {
+			t.Errorf("%s errored: %v", ms.Name, ms.Err)
+		}
+	}
+	// Every Figure 1 combination is unique: k-anonymity flags all 20.
+	if got := byName["k-anonymity"].Summary.OverThreshold; got != 20 {
+		t.Errorf("k-anonymity over threshold = %d, want 20", got)
+	}
+	// Re-identification risks are all under 0.5 (weights >= 30).
+	if got := byName["re-identification"].Summary.OverThreshold; got != 0 {
+		t.Errorf("re-identification over threshold = %d, want 0", got)
+	}
+	// A failing measure reports its error without breaking the others.
+	f.RegisterMeasure("broken", func() RiskMeasure {
+		return LDiversity{L: 2, Sensitive: "NoSuchAttr"}
+	})
+	scorecard = f.AssessAllRegistered(d, 0.5)
+	found := false
+	for _, ms := range scorecard {
+		if ms.Name == "broken" && ms.Err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("broken measure's error not surfaced")
+	}
+}
