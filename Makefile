@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite (fault-injection tests included) under the race
+# detector; the cancellation paths are only trustworthy if they are
+# race-clean.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -3,28 +3,52 @@
 // pipelines submit microdata for categorization, risk assessment and
 // anonymization without linking the Go library.
 //
-//	vadasad [-addr :8321] [-kb kb.json]
+//	vadasad [-addr :8321] [-kb kb.json] [-request-timeout 30s]
+//	        [-read-timeout 10s] [-shutdown-grace 10s]
+//	        [-max-inflight 64] [-max-budget 1000000000]
 //
 // Endpoints (all POST bodies are CSV with a header row; attribute categories
 // are inferred from the header names and can be overridden with the id/qi/
 // weight query parameters, comma-separated):
 //
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness (exempt from load shedding)
 //	GET  /measures             registered risk measures
 //	POST /categorize           attribute categorization report (JSON)
 //	POST /assess?measure=&k=   risk summary + risky tuple ids (JSON)
 //	POST /anonymize?measure=&k=&threshold=&recode=
 //	                           anonymized CSV + decision log (JSON)
+//	POST /explain?measure=&tuple=
+//	                           derivation-tree explanation (JSON)
+//
+// Operational hardening. Every request runs under a wall-clock deadline
+// (-request-timeout; 503 with a JSON error when it expires, 499-style when
+// the client disconnects first) threaded as a context.Context down to the
+// risk measures, the anonymization cycle and the reasoning engine, so a
+// timed-out request stops consuming CPU promptly. At most -max-inflight
+// requests are served concurrently; the excess is shed with 429 and a
+// Retry-After header instead of queueing unboundedly. Request bodies are
+// capped at 64 MiB (413 beyond that). The reasoning engine's join-work
+// budget can be lowered per request with ?budget=N, capped by -max-budget.
+// A panicking handler is logged with its stack and answered with 500; the
+// daemon keeps serving. -read-timeout bounds how long a client may take to
+// send its request (slowloris protection); write and idle timeouts are
+// derived from the request timeout. On SIGINT/SIGTERM the listener closes,
+// in-flight requests drain for up to -shutdown-grace, then the process
+// exits.
 //
 // The server is stateless across requests; the knowledge base is loaded at
 // startup.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vadasa"
 )
@@ -32,6 +56,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	kbPath := flag.String("kb", "", "knowledge-base JSON to load at startup")
+	requestTimeout := flag.Duration("request-timeout", defaultRequestTimeout,
+		"per-request wall-clock deadline (0 disables)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second,
+		"maximum time to read a request, header and body included")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"how long in-flight requests may drain after SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 64,
+		"maximum concurrently served requests; the excess gets 429 (0 disables shedding)")
+	maxBudget := flag.Int64("max-budget", defaultBudgetCeiling,
+		"ceiling for the per-request ?budget= reasoning work budget")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -53,7 +87,57 @@ func main() {
 		log.Fatalf("vadasad: %v", err)
 	}
 
-	srv := &server{newFramework: newFramework}
-	log.Printf("vadasad listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	srv := &server{
+		newFramework:   newFramework,
+		requestTimeout: *requestTimeout,
+		budgetCeiling:  *maxBudget,
+	}
+	if *requestTimeout == 0 {
+		srv.requestTimeout = -1 // explicit opt-out, don't fall back to default
+	}
+	if *maxInflight > 0 {
+		srv.inflight = make(chan struct{}, *maxInflight)
+	}
+
+	httpSrv := newHTTPServer(*addr, srv, *readTimeout, *requestTimeout)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("vadasad listening on %s (request timeout %s, max in-flight %d)",
+		*addr, *requestTimeout, *maxInflight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("vadasad: %v", err)
+	case sig := <-sigc:
+		log.Printf("vadasad: received %s, draining in-flight requests (grace %s)", sig, *shutdownGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("vadasad: shutdown did not drain cleanly: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("vadasad: drained, bye")
+	}
+}
+
+// newHTTPServer builds the hardened http.Server around the handler stack:
+// explicit read/write/idle timeouts so one slow peer cannot hold a
+// connection (and its goroutine) forever. The write timeout leaves the
+// request deadline room to produce a proper 503 body before the socket is
+// closed.
+func newHTTPServer(addr string, s *server, readTimeout, requestTimeout time.Duration) *http.Server {
+	writeTimeout := requestTimeout + 10*time.Second
+	if requestTimeout <= 0 {
+		writeTimeout = 0 // no request deadline -> no write deadline either
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

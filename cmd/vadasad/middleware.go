@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusClientClosedRequest is the de-facto standard (nginx) status for a
+// request whose client went away before the response was produced. It never
+// reaches the disconnected client; it makes access logs and metrics
+// distinguish "we were slow" (503) from "they hung up" (499).
+const statusClientClosedRequest = 499
+
+// trackingWriter wraps the ResponseWriter so error paths can tell whether a
+// handler already started streaming a response: writing a second status line
+// onto a half-sent body corrupts the stream, so httpError logs and gives up
+// instead.
+type trackingWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	status      int
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	if t.wroteHeader {
+		return
+	}
+	t.wroteHeader = true
+	t.status = code
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	if !t.wroteHeader {
+		t.wroteHeader = true
+		t.status = http.StatusOK
+	}
+	return t.ResponseWriter.Write(b)
+}
+
+// Unwrap supports http.ResponseController pass-through (deadlines, flush).
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+// withRecovery turns a panicking handler into a logged 500 instead of a dead
+// daemon: one pathological dataset (or a buggy plug-in measure) must not
+// take the service down for every other analyst. http.ErrAbortHandler is
+// re-raised — it is the sanctioned way to abort a response.
+func (s *server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.logPrintf("vadasad: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.httpError(tw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// withLimit bounds the number of in-flight requests with a semaphore and
+// sheds the excess with 429 + Retry-After rather than queueing unboundedly.
+// The liveness probe is exempt: an overloaded server is still alive, and
+// orchestrators must be able to see that.
+func (s *server) withLimit(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d requests in flight); retry shortly", cap(s.inflight)))
+		}
+	})
+}
+
+// withDeadline attaches the per-request wall-clock budget to the request
+// context. Handlers thread this context down to the risk measures, the
+// anonymization cycle and the reasoning engine, so the deadline bounds the
+// CPU a single request can consume — the engine's work budget bounds joins,
+// this bounds everything else.
+func (s *server) withDeadline(next http.Handler) http.Handler {
+	if s.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// statusForError maps failure causes that carry their own semantics onto the
+// right status code, falling back to the handler's default otherwise:
+// oversized bodies are 413, a blown request deadline is 503 (the server gave
+// up, the client may retry later), and a client disconnect is 499.
+func statusForError(err error, fallback int) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return fallback
+}
+
+// failRequest reports a handler error, upgrading the status for cancellation
+// and size-cap causes and prefixing those with an operator-friendly hint.
+func (s *server) failRequest(w http.ResponseWriter, fallback int, err error) {
+	status := statusForError(err, fallback)
+	switch status {
+	case http.StatusServiceUnavailable:
+		err = fmt.Errorf("request deadline exceeded (raise -request-timeout or shrink the dataset): %w", err)
+	case statusClientClosedRequest:
+		err = fmt.Errorf("client cancelled the request: %w", err)
+	case http.StatusRequestEntityTooLarge:
+		err = fmt.Errorf("request body exceeds the %d-byte limit: %w", s.bodyLimit(), err)
+	}
+	s.httpError(w, status, err)
+}
+
+// defaultRequestTimeout bounds a request when the operator sets nothing: a
+// generous interactive budget.
+const defaultRequestTimeout = 30 * time.Second

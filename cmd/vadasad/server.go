@@ -5,19 +5,70 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"vadasa"
 )
 
 // server carries the handler state. A fresh framework per request keeps
 // requests isolated (categorization registers datasets in the dictionary).
+// The zero value of every tuning field selects a production-safe default.
 type server struct {
 	newFramework func() (*vadasa.Framework, error)
+
+	// requestTimeout is the per-request wall-clock budget attached to the
+	// request context by the deadline middleware (0 = defaultRequestTimeout,
+	// negative = no deadline).
+	requestTimeout time.Duration
+	// maxBody caps the request body size in bytes (0 = 64 MiB).
+	maxBody int64
+	// budgetCeiling caps the ?budget= engine work budget a client may ask
+	// for (0 = defaultBudgetCeiling).
+	budgetCeiling int64
+	// inflight, when non-nil, is the concurrency-limiting semaphore; its
+	// capacity is the -max-inflight flag.
+	inflight chan struct{}
+	// logf overrides log.Printf in tests; nil logs normally.
+	logf func(format string, args ...any)
+	// extraMeasures lets tests register fault-injection measures (slow,
+	// panicking) without widening the production query surface. Never set
+	// outside tests.
+	extraMeasures map[string]func() vadasa.RiskMeasure
 }
 
+// defaultBudgetCeiling matches the engine's own MaxWork default: clients may
+// lower the join budget per request, never raise it past the server cap.
+const defaultBudgetCeiling = 1_000_000_000
+
+func (s *server) bodyLimit() int64 {
+	if s.maxBody > 0 {
+		return s.maxBody
+	}
+	return 64 << 20
+}
+
+func (s *server) budgetCap() int64 {
+	if s.budgetCeiling > 0 {
+		return s.budgetCeiling
+	}
+	return defaultBudgetCeiling
+}
+
+func (s *server) logPrintf(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// routes assembles the mux and the hardening middleware around it: panic
+// recovery outermost (it must catch everything), then load shedding, then
+// the per-request deadline.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -26,41 +77,61 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /assess", s.handleAssess)
 	mux.HandleFunc("POST /anonymize", s.handleAnonymize)
 	mux.HandleFunc("POST /explain", s.handleExplain)
-	return mux
+	return s.withRecovery(s.withLimit(s.withDeadline(mux)))
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 	f, err := s.newFramework()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"measures": f.MeasureNames()})
+	s.writeJSON(w, http.StatusOK, map[string][]string{"measures": f.MeasureNames()})
 }
 
 // loadDataset reads the request body as CSV and categorizes attributes,
-// honouring the id/qi/weight query overrides.
-func (s *server) loadDataset(r *http.Request) (*vadasa.Framework, *vadasa.Dataset, *vadasa.CategorizationResult, error) {
+// honouring the id/qi/weight query overrides and the ?budget= engine cap.
+// Header names are cleaned of a UTF-8 BOM and surrounding whitespace before
+// categorization, so exports from spreadsheet tools categorize the same as
+// clean CSVs.
+func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Framework, *vadasa.Dataset, *vadasa.CategorizationResult, error) {
 	f, err := s.newFramework()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	budget, err := int64Param(r, "budget", 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if budget < 0 {
+		return nil, nil, nil, fmt.Errorf("budget must be positive, got %d", budget)
+	}
+	if budget > s.budgetCap() {
+		return nil, nil, nil, fmt.Errorf("budget %d exceeds the server ceiling of %d", budget, s.budgetCap())
+	}
+	if budget > 0 {
+		f.SetReasonerBudget(budget)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("reading body: %w", err)
 	}
 	if len(body) == 0 {
 		return nil, nil, nil, fmt.Errorf("empty body; POST a CSV with a header row")
 	}
-	header, _, ok := strings.Cut(string(body), "\n")
+	header, rest, ok := strings.Cut(string(body), "\n")
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("body has no data rows")
 	}
+	header = strings.TrimPrefix(header, "\ufeff")
 	names := strings.Split(strings.TrimRight(header, "\r"), ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
 
 	overrides := map[string]vadasa.Category{}
 	for _, n := range splitParam(r, "id") {
@@ -98,7 +169,10 @@ func (s *server) loadDataset(r *http.Request) (*vadasa.Framework, *vadasa.Datase
 			}
 		}
 	}
-	d, err := vadasa.ReadCSV(bytes.NewReader(body), "request", attrs)
+	// Re-assemble the CSV with the cleaned header line so the schema check
+	// in ReadCSV sees the same names categorization did.
+	cleaned := strings.Join(names, ",") + "\n" + rest
+	d, err := vadasa.ReadCSV(strings.NewReader(cleaned), "request", attrs)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -126,9 +200,9 @@ func splitParam(r *http.Request, key string) []string {
 }
 
 func (s *server) handleCategorize(w http.ResponseWriter, r *http.Request) {
-	_, d, report, err := s.loadDataset(r)
+	_, d, report, err := s.loadDataset(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
 	type attrOut struct {
@@ -152,14 +226,18 @@ func (s *server) handleCategorize(w http.ResponseWriter, r *http.Request) {
 		out.Conflicts = append(out.Conflicts, c.String())
 	}
 	out.Unknown = report.Unknown
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
-// measureFromQuery builds the risk measure from query parameters.
-func measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
+// measureFromQuery builds the risk measure from query parameters. Test-only
+// fault-injection measures registered in extraMeasures take precedence.
+func (s *server) measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
 	name := r.URL.Query().Get("measure")
 	if name == "" {
 		name = "k-anonymity"
+	}
+	if factory, ok := s.extraMeasures[name]; ok {
+		return factory(), nil
 	}
 	k, err := intParam(r, "k", 2)
 	if err != nil {
@@ -211,6 +289,18 @@ func intParam(r *http.Request, key string, def int) (int, error) {
 	return n, nil
 }
 
+func int64Param(r *http.Request, key string, def int64) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter %q", key, v)
+	}
+	return n, nil
+}
+
 func floatParam(r *http.Request, key string, def float64) (float64, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
@@ -224,24 +314,24 @@ func floatParam(r *http.Request, key string, def float64) (float64, error) {
 }
 
 func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
-	f, d, _, err := s.loadDataset(r)
+	f, d, _, err := s.loadDataset(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := measureFromQuery(r)
+	m, err := s.measureFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	threshold, err := floatParam(r, "threshold", 0.5)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	risks, err := f.AssessRisk(d, m)
+	risks, err := f.AssessRiskContext(r.Context(), d, m)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.failRequest(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	summary := vadasa.SummarizeRisks(risks, threshold)
@@ -251,7 +341,7 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 			risky = append(risky, d.Rows[i].ID)
 		}
 	}
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		Measure string             `json:"measure"`
 		Tuples  int                `json:"tuples"`
 		Summary vadasa.RiskSummary `json:"summary"`
@@ -260,33 +350,33 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
-	f, d, _, err := s.loadDataset(r)
+	f, d, _, err := s.loadDataset(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := measureFromQuery(r)
+	m, err := s.measureFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	threshold, err := floatParam(r, "threshold", 0.5)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := f.Anonymize(d, vadasa.CycleOptions{
+	res, err := f.AnonymizeContext(r.Context(), d, vadasa.CycleOptions{
 		Measure:     m,
 		Threshold:   threshold,
 		UseRecoding: r.URL.Query().Get("recode") == "true",
 	})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.failRequest(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	var csvBuf bytes.Buffer
 	if err := vadasa.WriteCSV(&csvBuf, res.Dataset); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	var decisions []string
@@ -295,10 +385,10 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := vadasa.CompareUtility(d, res.Dataset)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	s.writeJSON(w, http.StatusOK, struct {
 		CSV             string   `json:"csv"`
 		Iterations      int      `json:"iterations"`
 		NullsInjected   int      `json:"nullsInjected"`
@@ -314,37 +404,49 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	f, d, _, err := s.loadDataset(r)
+	f, d, _, err := s.loadDataset(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := measureFromQuery(r)
+	m, err := s.measureFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	tuple, err := intParam(r, "tuple", 0)
 	if err != nil || tuple == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("the tuple query parameter is required"))
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("the tuple query parameter is required"))
 		return
 	}
-	ex, err := f.ExplainRisk(d, m, tuple)
+	ex, err := f.ExplainRiskContext(r.Context(), d, m, tuple)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.failRequest(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"explanation": ex})
+	s.writeJSON(w, http.StatusOK, map[string]string{"explanation": ex})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response. Encoding failures after the status
+// line has gone out cannot be reported to the client anymore, but they must
+// not vanish either — they are logged for the operator.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logPrintf("vadasad: encoding %d response: %v", status, err)
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// httpError reports err as a JSON error body. If the handler already started
+// streaming a response (tracked by the recovery middleware's writer), a
+// second WriteHeader would corrupt the stream — log and give up instead.
+func (s *server) httpError(w http.ResponseWriter, status int, err error) {
+	if tw, ok := w.(*trackingWriter); ok && tw.wroteHeader {
+		s.logPrintf("vadasad: error after response started (status %d already sent): %v", tw.status, err)
+		return
+	}
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,6 +1,7 @@
 package vadasa
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -30,6 +31,10 @@ type Framework struct {
 	hier       *hierarchy.Hierarchy
 	ownership  *cluster.Graph
 	measures   map[string]func() RiskMeasure
+	// maxWork caps the reasoning engine's fact-match budget for calls made
+	// on behalf of this framework (ExplainRisk and friends); zero selects
+	// the engine default. See SetReasonerBudget.
+	maxWork int64
 }
 
 // New returns a framework preloaded with the default experience base, the
@@ -138,11 +143,37 @@ func (f *Framework) Register(d *Dataset) (*CategorizationResult, error) {
 	return res, nil
 }
 
+// SetReasonerBudget caps the reasoning engine's work budget (fact-match
+// attempts) for subsequent reasoning-backed calls such as ExplainRisk — the
+// per-request knob an operational deployment exposes so one expensive
+// explanation cannot monopolize the service. Zero (the default) restores
+// the engine's built-in budget.
+func (f *Framework) SetReasonerBudget(maxWork int64) { f.maxWork = maxWork }
+
+// ReasonerBudget returns the currently configured engine work budget
+// (0 = engine default).
+func (f *Framework) ReasonerBudget() int64 { return f.maxWork }
+
+func (f *Framework) reasonerOptions() *datalog.Options {
+	if f.maxWork <= 0 {
+		return nil
+	}
+	return &datalog.Options{MaxWork: f.maxWork}
+}
+
 // AssessRisk estimates per-tuple disclosure risk under maybe-match
 // semantics. Cluster propagation is applied automatically when the
 // ownership graph is non-empty (the enhanced cycle of Algorithm 9).
 func (f *Framework) AssessRisk(d *Dataset, measure RiskMeasure) ([]float64, error) {
-	return f.assessor(measure).Assess(d, MaybeMatch)
+	return f.AssessRiskContext(context.Background(), d, measure)
+}
+
+// AssessRiskContext is AssessRisk honouring ctx: the built-in measures poll
+// the context on their outer row/combination loops, so a deadline or a
+// client disconnect stops the evaluation promptly. The returned error wraps
+// ctx.Err() when cancellation was the cause.
+func (f *Framework) AssessRiskContext(ctx context.Context, d *Dataset, measure RiskMeasure) ([]float64, error) {
+	return risk.AssessContext(ctx, f.assessor(measure), d, MaybeMatch)
 }
 
 func (f *Framework) assessor(measure RiskMeasure) RiskMeasure {
@@ -163,6 +194,14 @@ func (f *Framework) assessor(measure RiskMeasure) RiskMeasure {
 // Attribute-restricted measures (Attrs set) are not supported: the
 // explanation always covers all quasi-identifiers.
 func (f *Framework) ExplainRisk(d *Dataset, measure RiskMeasure, rowID int) (string, error) {
+	return f.ExplainRiskContext(context.Background(), d, measure, rowID)
+}
+
+// ExplainRiskContext is ExplainRisk honouring ctx: the reasoning engine
+// polls the context at fixpoint-round boundaries and inside its join loops,
+// and the SUDA combination search polls it per combination, so an
+// interactive explanation can be abandoned without burning CPU.
+func (f *Framework) ExplainRiskContext(ctx context.Context, d *Dataset, measure RiskMeasure, rowID int) (string, error) {
 	qi := d.QuasiIdentifiers()
 	if len(qi) == 0 {
 		return "", fmt.Errorf("vadasa: dataset %q has no quasi-identifiers", d.Name)
@@ -196,14 +235,14 @@ func (f *Framework) ExplainRisk(d *Dataset, measure RiskMeasure, rowID int) (str
 		}
 		prog = programs.IndividualRisk(len(qi))
 	case SUDA:
-		return f.explainSUDA(d, m, rowID)
+		return f.explainSUDA(ctx, d, m, rowID)
 	default:
 		return "", fmt.Errorf("vadasa: no explanation support for measure %q", measure.Name())
 	}
 
 	edb := datalog.NewDatabase()
 	programs.TupleFacts(edb, d)
-	res, err := datalog.Run(prog, edb, nil)
+	res, err := datalog.RunContext(ctx, prog, edb, f.reasonerOptions())
 	if err != nil {
 		return "", fmt.Errorf("vadasa: explaining risk: %w", err)
 	}
@@ -216,7 +255,7 @@ func (f *Framework) ExplainRisk(d *Dataset, measure RiskMeasure, rowID int) (str
 	return "", fmt.Errorf("vadasa: no risk derived for tuple %d", rowID)
 }
 
-func (f *Framework) explainSUDA(d *Dataset, m SUDA, rowID int) (string, error) {
+func (f *Framework) explainSUDA(ctx context.Context, d *Dataset, m SUDA, rowID int) (string, error) {
 	if len(m.Attrs) > 0 {
 		return "", fmt.Errorf("vadasa: ExplainRisk does not support attribute-restricted measures")
 	}
@@ -225,7 +264,10 @@ func (f *Framework) explainSUDA(d *Dataset, m SUDA, rowID int) (string, error) {
 	if maxK == 0 {
 		maxK = m.Threshold
 	}
-	msus := risk.MSUs(d, qi, maxK, mdb.MaybeMatch)
+	msus, err := risk.MSUsContext(ctx, d, qi, maxK, mdb.MaybeMatch)
+	if err != nil {
+		return "", fmt.Errorf("vadasa: explaining risk: %w", err)
+	}
 	rowIdx := -1
 	for i, r := range d.Rows {
 		if r.ID == rowID {
@@ -288,6 +330,15 @@ type CycleOptions struct {
 // Anonymize runs the anonymization cycle of Algorithm 2 on a copy of d and
 // returns the anonymized dataset together with the full decision log.
 func (f *Framework) Anonymize(d *Dataset, opts CycleOptions) (*CycleResult, error) {
+	return f.AnonymizeContext(context.Background(), d, opts)
+}
+
+// AnonymizeContext is Anonymize honouring ctx: the cycle checks the context
+// at every iteration boundary and between per-tuple anonymization steps, so
+// a request deadline or client disconnect stops the work within one
+// risk-evaluate/anonymize round. The partial result is discarded — the
+// input dataset is never modified either way.
+func (f *Framework) AnonymizeContext(ctx context.Context, d *Dataset, opts CycleOptions) (*CycleResult, error) {
 	if opts.Measure == nil {
 		return nil, fmt.Errorf("vadasa: CycleOptions.Measure is required")
 	}
@@ -303,7 +354,7 @@ func (f *Framework) Anonymize(d *Dataset, opts CycleOptions) (*CycleResult, erro
 			method = suppress
 		}
 	}
-	return anon.Run(d, anon.Config{
+	return anon.RunContext(ctx, d, anon.Config{
 		Assessor:   f.assessor(opts.Measure),
 		Threshold:  opts.Threshold,
 		Anonymizer: method,
@@ -325,14 +376,26 @@ type MeasureSummary struct {
 // that cannot run on this dataset report their error instead of aborting the
 // scorecard.
 func (f *Framework) AssessAllRegistered(d *Dataset, threshold float64) []MeasureSummary {
+	return f.AssessAllRegisteredContext(context.Background(), d, threshold)
+}
+
+// AssessAllRegisteredContext is AssessAllRegistered honouring ctx. A
+// cancelled context aborts the scorecard: the measure being evaluated stops
+// mid-loop and the remaining measures report the cancellation error instead
+// of running.
+func (f *Framework) AssessAllRegisteredContext(ctx context.Context, d *Dataset, threshold float64) []MeasureSummary {
 	out := make([]MeasureSummary, 0, len(f.measures))
 	for _, name := range f.MeasureNames() {
+		if err := ctx.Err(); err != nil {
+			out = append(out, MeasureSummary{Name: name, Err: err})
+			continue
+		}
 		m, err := f.Measure(name)
 		if err != nil {
 			out = append(out, MeasureSummary{Name: name, Err: err})
 			continue
 		}
-		risks, err := f.AssessRisk(d, m)
+		risks, err := f.AssessRiskContext(ctx, d, m)
 		if err != nil {
 			out = append(out, MeasureSummary{Name: name, Err: err})
 			continue

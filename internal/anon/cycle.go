@@ -1,6 +1,7 @@
 package anon
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,6 +97,18 @@ type Result struct {
 // minimal anonymization step to each tuple over threshold, until every tuple
 // passes (Tuple_A) or no step can improve the stragglers.
 func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext is Run honouring ctx: the cycle polls the context at every
+// iteration boundary and between per-tuple anonymization steps, and risk
+// assessment is dispatched through risk.AssessContext so cancellable
+// measures stop mid-evaluation too. The returned error wraps ctx.Err() for
+// errors.Is against context.Canceled / context.DeadlineExceeded.
+func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Assessor == nil {
 		return nil, fmt.Errorf("anon: Config.Assessor is required")
 	}
@@ -125,9 +138,12 @@ func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
 		if iter >= maxIter {
 			return nil, fmt.Errorf("anon: cycle did not converge within %d iterations", maxIter)
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("anon: cycle cancelled at iteration %d: %w", iter, err)
+		}
 		t0 := time.Now()
 		var err error
-		risks, err = cfg.Assessor.Assess(work, cfg.Semantics)
+		risks, err = risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
 		res.RiskEvalTime += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("anon: risk assessment: %w", err)
@@ -167,9 +183,12 @@ func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
 		}
 
 		t0 = time.Now()
-		ctx := NewContext(work, qi)
+		actx := NewContext(work, qi)
 		for _, row := range risky {
-			decisions, ok := cfg.Anonymizer.Step(ctx, row)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("anon: cycle cancelled at iteration %d: %w", iter, err)
+			}
+			decisions, ok := cfg.Anonymizer.Step(actx, row)
 			if !ok {
 				// Nothing more can be done for this tuple; it is
 				// excluded from future batches and ends up in the
@@ -190,7 +209,7 @@ func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
 	// Final pass for the residual report (risks holds the last assessment;
 	// re-assess only if anonymization happened after it).
 	t0 := time.Now()
-	final, err := cfg.Assessor.Assess(work, cfg.Semantics)
+	final, err := risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
 	res.RiskEvalTime += time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("anon: final risk assessment: %w", err)

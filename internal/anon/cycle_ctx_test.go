@@ -1,0 +1,67 @@
+package anon
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/synth"
+)
+
+// cancelOnAssess cancels the run's context from inside its first assessment
+// and reports every tuple as maximally risky, so a cycle that ignored the
+// context would keep iterating forever (suppression never lowers the risk).
+type cancelOnAssess struct {
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (c *cancelOnAssess) Name() string { return "cancel-on-assess" }
+
+func (c *cancelOnAssess) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	c.calls++
+	c.cancel()
+	out := make([]float64, len(d.Rows))
+	for i := range out {
+		out[i] = 1
+	}
+	return out, nil
+}
+
+func TestCycleRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	probe := &cancelOnAssess{cancel: func() {}}
+	_, err := RunContext(ctx, synth.Figure5(), Config{
+		Assessor:   probe,
+		Threshold:  0.5,
+		Anonymizer: LocalSuppression{Choice: AttrMostSelective},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if probe.calls != 0 {
+		t.Fatalf("assessor ran %d times on an already-cancelled context", probe.calls)
+	}
+}
+
+// TestCycleRunContextStopsWithinOneIteration is the acceptance check for the
+// cycle: cancellation raised during iteration N must stop the cycle before
+// iteration N+1 assesses again.
+func TestCycleRunContextStopsWithinOneIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &cancelOnAssess{cancel: cancel}
+	_, err := RunContext(ctx, synth.Figure5(), Config{
+		Assessor:   probe,
+		Threshold:  0.5,
+		Anonymizer: LocalSuppression{Choice: AttrMostSelective},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if probe.calls != 1 {
+		t.Fatalf("assessor ran %d times, want exactly 1 (cancel must land at the iteration boundary)", probe.calls)
+	}
+}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -226,12 +227,22 @@ func (a Assessor) Name() string {
 
 // Assess implements risk.Assessor.
 func (a Assessor) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements risk.ContextAssessor by forwarding the context to
+// the base measure (the decorator must not make a cancellable measure
+// uncancellable) and polling it around the propagation passes.
+func (a Assessor) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if a.Base == nil || a.Graph == nil {
 		return nil, fmt.Errorf("cluster: Assessor needs both Base and Graph")
 	}
-	base, err := a.Base.Assess(d, sem)
+	base, err := risk.AssessContext(ctx, a.Base, d, sem)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: propagation cancelled: %w", err)
 	}
 	entAttr := -1
 	if a.EntityAttr != "" {

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -223,6 +224,7 @@ type derivation struct {
 
 // evaluator carries the mutable state of one reasoning run.
 type evaluator struct {
+	ctx      context.Context
 	prog     *Program
 	opt      Options
 	db       *Database
@@ -248,11 +250,25 @@ type aggGroup struct {
 // Run evaluates the program over the extensional database and returns the
 // derived database. The input database is not modified.
 func Run(p *Program, edb *Database, opt *Options) (*Result, error) {
+	return RunContext(context.Background(), p, edb, opt)
+}
+
+// RunContext is Run with cancellation support: the evaluator polls ctx at
+// every fixpoint-round boundary and every few thousand fact-match attempts,
+// so a cancelled or expired context stops a runaway chase promptly instead
+// of burning CPU until the MaxWork budget trips. The returned error wraps
+// ctx.Err(), so callers can errors.Is against context.Canceled and
+// context.DeadlineExceeded.
+func RunContext(ctx context.Context, p *Program, edb *Database, opt *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	strata, n, err := stratify(p)
 	if err != nil {
 		return nil, err
 	}
 	ev := &evaluator{
+		ctx:     ctx,
 		prog:    p,
 		opt:     opt.withDefaults(),
 		db:      edb.clone(),
@@ -292,6 +308,9 @@ func Run(p *Program, edb *Database, opt *Options) (*Result, error) {
 	for pass := 0; ; pass++ {
 		if pass > ev.opt.MaxRounds {
 			return nil, fmt.Errorf("datalog: EGD unification did not converge")
+		}
+		if err := ev.ctxErr(); err != nil {
+			return nil, err
 		}
 		if err := ev.runStrata(); err != nil {
 			return nil, err
@@ -465,6 +484,9 @@ func (ev *evaluator) fixpoint(stratum int, rules []int) error {
 		if round > ev.opt.MaxRounds {
 			return fmt.Errorf("datalog: stratum %d exceeded %d rounds", stratum, ev.opt.MaxRounds)
 		}
+		if err := ev.ctxErr(); err != nil {
+			return err
+		}
 		if ev.db.Len() > ev.opt.MaxFacts {
 			return fmt.Errorf("datalog: database exceeded %d facts (runaway chase?)", ev.opt.MaxFacts)
 		}
@@ -560,8 +582,8 @@ func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, 
 		case LAtom:
 			if order[step] == restrict {
 				for _, f := range restrictTo {
-					if ev.spend() {
-						evalErr = ev.workErr()
+					if err := ev.spend(); err != nil {
+						evalErr = err
 						return
 					}
 					undo, ok := match(l.Atom, f, env)
@@ -590,8 +612,8 @@ func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, 
 				if fv, ok := boundTermVal(l.Atom.Args[0], env); ok {
 					bucket := rel.byFirst[fv.Key()]
 					for bi := 0; bi < len(bucket); bi++ {
-						if ev.spend() {
-							evalErr = ev.workErr()
+						if err := ev.spend(); err != nil {
+							evalErr = err
 							return
 						}
 						f := rel.facts[bucket[bi]]
@@ -612,8 +634,8 @@ func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, 
 				}
 			}
 			for fi := 0; fi < len(rel.facts); fi++ {
-				if ev.spend() {
-					evalErr = ev.workErr()
+				if err := ev.spend(); err != nil {
+					evalErr = err
 					return
 				}
 				f := rel.facts[fi]
@@ -693,14 +715,32 @@ func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, 
 	return out, nil
 }
 
-// spend consumes one unit of the work budget and reports exhaustion.
-func (ev *evaluator) spend() bool {
+// ctxPollMask throttles cancellation polling inside the innermost join
+// loops: the context is checked every 8192 fact-match attempts, cheap enough
+// to be invisible next to the matching work while still bounding the latency
+// between cancellation and the evaluator unwinding.
+const ctxPollMask = 8192 - 1
+
+// spend consumes one unit of the work budget; it returns a non-nil error
+// when the budget is exhausted or the run's context is done.
+func (ev *evaluator) spend() error {
 	ev.work++
-	return ev.work > ev.opt.MaxWork
+	if ev.work > ev.opt.MaxWork {
+		return fmt.Errorf("datalog: exceeded the work budget of %d match attempts (join explosion?)", ev.opt.MaxWork)
+	}
+	if ev.work&ctxPollMask == 0 {
+		return ev.ctxErr()
+	}
+	return nil
 }
 
-func (ev *evaluator) workErr() error {
-	return fmt.Errorf("datalog: exceeded the work budget of %d match attempts (join explosion?)", ev.opt.MaxWork)
+// ctxErr reports a cancelled or expired run context, wrapping ctx.Err() so
+// errors.Is sees context.Canceled / context.DeadlineExceeded.
+func (ev *evaluator) ctxErr() error {
+	if err := ev.ctx.Err(); err != nil {
+		return fmt.Errorf("datalog: evaluation cancelled after %d match attempts: %w", ev.work, err)
+	}
+	return nil
 }
 
 func (ev *evaluator) factsFor(pred string) []Tuple {
@@ -1108,6 +1148,9 @@ func (ev *evaluator) runEGDs() (unified bool, viols []Violation, err error) {
 		r := &ev.prog.Rules[ri]
 		if !r.IsEGD {
 			continue
+		}
+		if err := ev.ctxErr(); err != nil {
+			return false, nil, err
 		}
 		env := make(map[string]Val)
 		var evalErr error

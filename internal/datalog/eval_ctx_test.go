@@ -1,0 +1,62 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	p := MustParse(`
+		f(a).
+		g(X) :- f(X).
+	`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, p, NewDatabase(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextNilIsBackground(t *testing.T) {
+	p := MustParse(`
+		f(a).
+		g(X) :- f(X).
+	`)
+	res, err := RunContext(nil, p, NewDatabase(), nil)
+	if err != nil {
+		t.Fatalf("RunContext(nil, ...) = %v", err)
+	}
+	if !res.Has("g", Str("a")) {
+		t.Fatal("derivation missing")
+	}
+}
+
+// TestRunContextCancelsLongChase points the engine at a four-way cross join
+// far beyond anything it could finish, blows a short deadline, and requires
+// the fixpoint to stop within the poll interval instead of burning through
+// the (deliberately enormous) work budget.
+func TestRunContextCancelsLongChase(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "a(%d).\n", i)
+	}
+	sb.WriteString("hit(X) :- a(X), a(Y), a(Z), a(W), X > Y, Y > Z, Z > W.\n")
+	p := MustParse(sb.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, p, NewDatabase(), &Options{MaxWork: 1 << 62})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s; the fixpoint is not polling the context", elapsed)
+	}
+}

@@ -1,0 +1,74 @@
+package risk
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/synth"
+)
+
+// TestAssessContextCancelledMeasures: every built-in measure must notice a
+// cancelled context before doing real work, and its plain Assess must stay
+// uninterruptible (context.Background) for library callers.
+func TestAssessContextCancelledMeasures(t *testing.T) {
+	d := synth.InflationGrowth()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	measures := []ContextAssessor{
+		ReIdentification{},
+		KAnonymity{K: 2},
+		IndividualRisk{Estimator: PosteriorSeries},
+		SUDA{Threshold: 2},
+		LDiversity{L: 2, Sensitive: "Growth6mos"},
+		TCloseness{T: 0.3, Sensitive: "Growth6mos"},
+	}
+	for _, m := range measures {
+		if _, err := m.AssessContext(ctx, d, mdb.MaybeMatch); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: AssessContext err = %v, want context.Canceled", m.Name(), err)
+		}
+		if _, err := m.Assess(d, mdb.MaybeMatch); err != nil {
+			t.Errorf("%s: plain Assess failed: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestAssessContextDispatcher: the single dispatch point refuses a cancelled
+// context even for assessors that never implemented ContextAssessor.
+func TestAssessContextDispatcher(t *testing.T) {
+	d := synth.InflationGrowth()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AssessContext(ctx, ReIdentification{}, d, mdb.MaybeMatch); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rs, err := AssessContext(nil, ReIdentification{}, d, mdb.MaybeMatch); err != nil || len(rs) != len(d.Rows) {
+		t.Fatalf("nil ctx: rs = %d, err = %v", len(rs), err)
+	}
+}
+
+// TestSUDACancelNoGoroutineLeak drives the worker-pool measure with a
+// cancelled context repeatedly: the pool must always be drained, never
+// abandoned.
+func TestSUDACancelNoGoroutineLeak(t *testing.T) {
+	d := synth.InflationGrowth()
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 25; i++ {
+		if _, err := (SUDA{Threshold: 2}).AssessContext(ctx, d, mdb.MaybeMatch); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}

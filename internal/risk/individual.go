@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -63,6 +64,14 @@ func (a IndividualRisk) Name() string {
 
 // Assess implements Assessor.
 func (a IndividualRisk) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor. The posterior estimation is
+// cached per (f, ΣW) pair, so the context is polled on the outer group loop
+// — each uncached estimate is itself bounded (series cutoffs, fixed sample
+// counts) and cannot stall cancellation for long.
+func (a IndividualRisk) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	idx, err := attrsOrQIs(d, a.Attrs)
 	if err != nil {
 		return nil, err
@@ -81,6 +90,9 @@ func (a IndividualRisk) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, er
 	cache := make(map[gkey]float64)
 	out := make([]float64, len(groups))
 	for i, g := range groups {
+		if err := pollCtx(ctx, i, a.Name()); err != nil {
+			return nil, err
+		}
 		if g.WeightSum <= 0 {
 			return nil, fmt.Errorf("risk: row %d has non-positive group weight %g", d.Rows[i].ID, g.WeightSum)
 		}

@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 
 	"vadasa/internal/mdb"
@@ -21,6 +22,11 @@ func (a KAnonymity) Name() string { return fmt.Sprintf("k-anonymity(k=%d)", a.K)
 
 // Assess implements Assessor.
 func (a KAnonymity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor.
+func (a KAnonymity) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if a.K < 2 {
 		return nil, fmt.Errorf("risk: k-anonymity needs K >= 2, got %d", a.K)
 	}
@@ -30,6 +36,9 @@ func (a KAnonymity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error)
 	}
 	out := make([]float64, len(d.Rows))
 	for i, f := range mdb.Frequencies(d, idx, sem) {
+		if err := pollCtx(ctx, i, a.Name()); err != nil {
+			return nil, err
+		}
 		if f < a.K {
 			out[i] = 1
 		}

@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 
 	"vadasa/internal/mdb"
@@ -31,6 +32,12 @@ func (a LDiversity) Name() string {
 
 // Assess implements Assessor.
 func (a LDiversity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor: the per-tuple compatibility scan
+// (quadratic in the null-bearing case) polls ctx on its outer row loop.
+func (a LDiversity) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if a.L < 2 {
 		return nil, fmt.Errorf("risk: l-diversity needs L >= 2, got %d", a.L)
 	}
@@ -106,8 +113,12 @@ func (a LDiversity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error)
 
 	if hasNull || sem == mdb.StandardNulls {
 		// Per-tuple scan; null-bearing datasets are small by the time
-		// they matter (only anonymized tuples carry nulls).
+		// they matter (only anonymized tuples carry nulls). Each step is
+		// a full-dataset compatibility pass, so poll ctx on every row.
 		for row := range d.Rows {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("risk: %s cancelled at row %d: %w", a.Name(), row, err)
+			}
 			if diversity(row) < a.L {
 				out[row] = 1
 			}
@@ -123,6 +134,9 @@ func (a LDiversity) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error)
 	}
 	groups := make(map[string]*groupStat)
 	for row, r := range d.Rows {
+		if err := pollCtx(ctx, row, a.Name()); err != nil {
+			return nil, err
+		}
 		key := ""
 		for _, i := range idx {
 			v := r.Values[i].Constant()

@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 
 	"vadasa/internal/mdb"
@@ -21,6 +22,11 @@ func (ReIdentification) Name() string { return "re-identification" }
 
 // Assess implements Assessor.
 func (a ReIdentification) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor.
+func (a ReIdentification) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	idx, err := attrsOrQIs(d, a.Attrs)
 	if err != nil {
 		return nil, err
@@ -28,6 +34,9 @@ func (a ReIdentification) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, 
 	groups := mdb.ComputeGroups(d, idx, sem)
 	out := make([]float64, len(groups))
 	for i, g := range groups {
+		if err := pollCtx(ctx, i, a.Name()); err != nil {
+			return nil, err
+		}
 		if g.WeightSum <= 0 {
 			return nil, fmt.Errorf("risk: row %d has non-positive group weight %g", d.Rows[i].ID, g.WeightSum)
 		}

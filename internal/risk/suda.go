@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -37,6 +38,13 @@ func (a SUDA) Name() string { return fmt.Sprintf("suda(msu<%d)", a.Threshold) }
 
 // Assess implements Assessor.
 func (a SUDA) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor: the combination search polls the
+// context between attribute combinations, so even the exponential part of
+// SUDA stops within one combination's worth of work.
+func (a SUDA) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if a.Threshold < 1 {
 		return nil, fmt.Errorf("risk: SUDA needs Threshold >= 1, got %d", a.Threshold)
 	}
@@ -48,7 +56,10 @@ func (a SUDA) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if maxK == 0 {
 		maxK = a.Threshold
 	}
-	msus := MSUs(d, idx, maxK, sem)
+	msus, err := MSUsContext(ctx, d, idx, maxK, sem)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(d.Rows))
 	for i, ms := range msus {
 		if a.UseMeanSize {
@@ -86,6 +97,15 @@ func (a SUDA) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 // pruning that keeps the enumeration polynomial per tuple and reproduces the
 // non-blowup behaviour of Figure 7f.
 func MSUs(d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) [][]uint32 {
+	out, _ := MSUsContext(context.Background(), d, idx, maxK, sem)
+	return out
+}
+
+// MSUsContext is MSUs honouring ctx: the mask dispatch loop polls the
+// context before handing each combination to the worker pool, and on
+// cancellation it drains the pool (no goroutine leaks) before returning an
+// error wrapping ctx.Err(). With a background context it never fails.
+func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) ([][]uint32, error) {
 	if len(idx) > 30 {
 		panic(fmt.Sprintf("risk: MSU search supports at most 30 attributes, got %d", len(idx)))
 	}
@@ -138,11 +158,19 @@ func MSUs(d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) [][]uint32 {
 				}
 			}()
 		}
+		var cancelled error
 		for mi := range masks {
+			if err := ctx.Err(); err != nil {
+				cancelled = fmt.Errorf("risk: MSU search cancelled at combination size %d: %w", s, err)
+				break
+			}
 			next <- mi
 		}
 		close(next)
 		wg.Wait()
+		if cancelled != nil {
+			return nil, cancelled
+		}
 
 		for mi, mask := range masks {
 			for _, row := range unique[mi] {
@@ -159,7 +187,7 @@ func MSUs(d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) [][]uint32 {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Scores computes a DIS-SUDA-style score per row: every MSU of size s

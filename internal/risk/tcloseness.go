@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 
 	"vadasa/internal/mdb"
@@ -34,6 +35,12 @@ func (a TCloseness) Name() string {
 
 // Assess implements Assessor.
 func (a TCloseness) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.AssessContext(context.Background(), d, sem)
+}
+
+// AssessContext implements ContextAssessor: ctx is polled on the outer
+// per-tuple loop, whose group-distribution scan dominates the cost.
+func (a TCloseness) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
 	if a.T <= 0 || a.T >= 1 {
 		return nil, fmt.Errorf("risk: t-closeness needs T in (0,1), got %g", a.T)
 	}
@@ -86,6 +93,9 @@ func (a TCloseness) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error)
 	}
 	cache := make(map[string]cacheEntry)
 	for row, r := range d.Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("risk: %s cancelled at row %d: %w", a.Name(), row, err)
+		}
 		key, exact := exactKey(r, idx)
 		if exact {
 			if e, ok := cache[key]; ok {

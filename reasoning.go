@@ -1,6 +1,8 @@
 package vadasa
 
 import (
+	"context"
+
 	"vadasa/internal/datalog"
 )
 
@@ -45,6 +47,14 @@ func NewFactDB() *FactDB { return datalog.NewDatabase() }
 // defaults.
 func Reason(p *Program, edb *FactDB, opts *ReasoningOptions) (*ReasoningResult, error) {
 	return datalog.Run(p, edb, opts)
+}
+
+// ReasonContext is Reason honouring ctx: the engine polls the context at
+// fixpoint-round boundaries and every few thousand fact-match attempts, so
+// a deadline or cancellation stops a runaway chase promptly. The returned
+// error wraps ctx.Err() for errors.Is.
+func ReasonContext(ctx context.Context, p *Program, edb *FactDB, opts *ReasoningOptions) (*ReasoningResult, error) {
+	return datalog.RunContext(ctx, p, edb, opts)
 }
 
 // CheckWarded validates the wardedness restriction that guarantees

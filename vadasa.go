@@ -101,6 +101,11 @@ func WriteCSV(w io.Writer, d *Dataset) error { return mdb.WriteCSV(w, d) }
 type (
 	// RiskMeasure estimates per-tuple disclosure risk in [0,1].
 	RiskMeasure = risk.Assessor
+	// ContextRiskMeasure is a RiskMeasure that can be cancelled
+	// mid-evaluation: all built-in measures implement it, and custom
+	// measures that do are stopped promptly by AssessRiskContext /
+	// AnonymizeContext when the request's context is done.
+	ContextRiskMeasure = risk.ContextAssessor
 	// ReIdentification is Algorithm 3: risk 1/ΣW over the tuple's group.
 	ReIdentification = risk.ReIdentification
 	// KAnonymity is Algorithm 4: risk 1 when the combination occurs
