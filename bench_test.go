@@ -192,11 +192,14 @@ func BenchmarkIndividualRisk(b *testing.B) {
 // BenchmarkReasoningEngine measures the Datalog± substrate on a recursive
 // program with aggregation (the company-control rules).
 func BenchmarkReasoningEngine(b *testing.B) {
-	prog := datalog.MustParse(`
+	prog, err := datalog.Parse(`
 		ctr(X,X) :- own(X,Y,W).
 		rel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
 		ctr(X,Y) :- rel(X,Y).
 	`)
+	if err != nil {
+		b.Fatal(err)
+	}
 	edb := datalog.NewDatabase()
 	// A chain of holdings with side ownership.
 	for i := 0; i < 100; i++ {

@@ -6,6 +6,8 @@
 //	vadasad [-addr :8321] [-kb kb.json] [-request-timeout 30s]
 //	        [-read-timeout 10s] [-shutdown-grace 10s]
 //	        [-max-inflight 64] [-max-budget 1000000000]
+//	        [-job-dir DIR] [-job-workers 2] [-job-retries 3]
+//	        [-job-retry-base 100ms] [-job-retry-cap 5s]
 //
 // Endpoints (all POST bodies are CSV with a header row; attribute categories
 // are inferred from the header names and can be overridden with the id/qi/
@@ -19,6 +21,19 @@
 //	                           anonymized CSV + decision log (JSON)
 //	POST /explain?measure=&tuple=
 //	                           derivation-tree explanation (JSON)
+//
+// With -job-dir set, anonymization also runs as durable asynchronous jobs:
+// every committed cycle iteration is journaled to an fsync'd write-ahead
+// journal in that directory, interrupted jobs are resumed on startup by
+// deterministic replay, and transient assessor failures retry with
+// exponential backoff (-job-retries, -job-retry-base, -job-retry-cap) on a
+// bounded worker pool (-job-workers):
+//
+//	POST /jobs/anonymize?...   submit (same parameters as /anonymize); 202
+//	GET  /jobs                 list jobs, newest first
+//	GET  /jobs/{id}            state, attempts, error, outcome counters
+//	GET  /jobs/{id}/result     anonymized CSV (409 while running, 410 failed)
+//	POST /jobs/{id}/cancel     cancel; terminal across restarts
 //
 // Operational hardening. Every request runs under a wall-clock deadline
 // (-request-timeout; 503 with a JSON error when it expires, 499-style when
@@ -51,6 +66,7 @@ import (
 	"time"
 
 	"vadasa"
+	"vadasa/internal/jobs"
 )
 
 func main() {
@@ -66,6 +82,12 @@ func main() {
 		"maximum concurrently served requests; the excess gets 429 (0 disables shedding)")
 	maxBudget := flag.Int64("max-budget", defaultBudgetCeiling,
 		"ceiling for the per-request ?budget= reasoning work budget")
+	jobDir := flag.String("job-dir", "",
+		"directory for durable anonymization jobs (journals, inputs, outputs); empty disables the /jobs API")
+	jobWorkers := flag.Int("job-workers", 2, "concurrent anonymization jobs")
+	jobRetries := flag.Int("job-retries", 3, "attempts per job including the first; only transient failures retry")
+	jobRetryBase := flag.Duration("job-retry-base", 100*time.Millisecond, "first retry delay; doubles per attempt")
+	jobRetryCap := flag.Duration("job-retry-cap", 5*time.Second, "upper bound on the retry delay")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -97,6 +119,28 @@ func main() {
 	}
 	if *maxInflight > 0 {
 		srv.inflight = make(chan struct{}, *maxInflight)
+	}
+	if *jobDir != "" {
+		srv.jobDir = *jobDir
+		mgr, err := jobs.NewManager(&jobRunner{srv: srv}, jobs.Options{
+			Dir:         *jobDir,
+			Workers:     *jobWorkers,
+			MaxAttempts: *jobRetries,
+			RetryBase:   *jobRetryBase,
+			RetryCap:    *jobRetryCap,
+		})
+		if err != nil {
+			log.Fatalf("vadasad: %v", err)
+		}
+		srv.jobs = mgr
+		defer mgr.Close()
+		resumed, err := mgr.Recover()
+		if err != nil {
+			log.Printf("vadasad: job recovery: %v", err)
+		}
+		if len(resumed) > 0 {
+			log.Printf("vadasad: resumed %d interrupted job(s): %v", len(resumed), resumed)
+		}
 	}
 
 	httpSrv := newHTTPServer(*addr, srv, *readTimeout, *requestTimeout)

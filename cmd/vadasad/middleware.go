@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"vadasa/internal/risk"
 )
 
 // statusClientClosedRequest is the de-facto standard (nginx) status for a
@@ -109,12 +111,17 @@ func (s *server) withDeadline(next http.Handler) http.Handler {
 // statusForError maps failure causes that carry their own semantics onto the
 // right status code, falling back to the handler's default otherwise:
 // oversized bodies are 413, a blown request deadline is 503 (the server gave
-// up, the client may retry later), and a client disconnect is 499.
+// up, the client may retry later), a client disconnect is 499, and a dataset
+// whose quasi-identifier set exceeds a combinatorial measure's limit is 422
+// (the request is well-formed; this data cannot be evaluated that way).
 func statusForError(err error, fallback int) int {
 	var tooBig *http.MaxBytesError
+	var tooMany *risk.ErrTooManyAttributes
 	switch {
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &tooMany):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):

@@ -7,11 +7,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"vadasa"
+	"vadasa/internal/jobs"
 )
 
 // server carries the handler state. A fresh framework per request keeps
@@ -38,6 +40,10 @@ type server struct {
 	// panicking) without widening the production query surface. Never set
 	// outside tests.
 	extraMeasures map[string]func() vadasa.RiskMeasure
+	// jobs, when non-nil, enables the asynchronous job API (-job-dir);
+	// jobDir is where inputs, outputs and journals live.
+	jobs   *jobs.Manager
+	jobDir string
 }
 
 // defaultBudgetCeiling matches the engine's own MaxWork default: clients may
@@ -77,6 +83,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /assess", s.handleAssess)
 	mux.HandleFunc("POST /anonymize", s.handleAnonymize)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	if s.jobs != nil {
+		s.jobRoutes(mux)
+	}
 	return s.withRecovery(s.withLimit(s.withDeadline(mux)))
 }
 
@@ -95,37 +104,55 @@ func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 
 // loadDataset reads the request body as CSV and categorizes attributes,
 // honouring the id/qi/weight query overrides and the ?budget= engine cap.
-// Header names are cleaned of a UTF-8 BOM and surrounding whitespace before
-// categorization, so exports from spreadsheet tools categorize the same as
-// clean CSVs.
 func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Framework, *vadasa.Dataset, *vadasa.CategorizationResult, error) {
 	f, err := s.newFramework()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	budget, err := int64Param(r, "budget", 0)
-	if err != nil {
+	if err := s.applyBudget(f, r.URL.Query()); err != nil {
 		return nil, nil, nil, err
-	}
-	if budget < 0 {
-		return nil, nil, nil, fmt.Errorf("budget must be positive, got %d", budget)
-	}
-	if budget > s.budgetCap() {
-		return nil, nil, nil, fmt.Errorf("budget %d exceeds the server ceiling of %d", budget, s.budgetCap())
-	}
-	if budget > 0 {
-		f.SetReasonerBudget(budget)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("reading body: %w", err)
 	}
+	d, report, err := buildDataset(f, body, r.URL.Query())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return f, d, report, nil
+}
+
+// applyBudget validates and applies the ?budget= engine work cap.
+func (s *server) applyBudget(f *vadasa.Framework, q url.Values) error {
+	budget, err := int64Value(q, "budget", 0)
+	if err != nil {
+		return err
+	}
+	if budget < 0 {
+		return fmt.Errorf("budget must be positive, got %d", budget)
+	}
+	if budget > s.budgetCap() {
+		return fmt.Errorf("budget %d exceeds the server ceiling of %d", budget, s.budgetCap())
+	}
+	if budget > 0 {
+		f.SetReasonerBudget(budget)
+	}
+	return nil
+}
+
+// buildDataset categorizes and parses a CSV body under query-style options \u2014
+// shared between the synchronous handlers (live request) and the job runner
+// (parameters replayed from the journal). Header names are cleaned of a
+// UTF-8 BOM and surrounding whitespace before categorization, so exports
+// from spreadsheet tools categorize the same as clean CSVs.
+func buildDataset(f *vadasa.Framework, body []byte, q url.Values) (*vadasa.Dataset, *vadasa.CategorizationResult, error) {
 	if len(body) == 0 {
-		return nil, nil, nil, fmt.Errorf("empty body; POST a CSV with a header row")
+		return nil, nil, fmt.Errorf("empty body; POST a CSV with a header row")
 	}
 	header, rest, ok := strings.Cut(string(body), "\n")
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("body has no data rows")
+		return nil, nil, fmt.Errorf("body has no data rows")
 	}
 	header = strings.TrimPrefix(header, "\ufeff")
 	names := strings.Split(strings.TrimRight(header, "\r"), ",")
@@ -134,16 +161,16 @@ func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Fr
 	}
 
 	overrides := map[string]vadasa.Category{}
-	for _, n := range splitParam(r, "id") {
+	for _, n := range splitValues(q, "id") {
 		overrides[n] = vadasa.Identifier
 	}
-	for _, n := range splitParam(r, "qi") {
+	for _, n := range splitValues(q, "qi") {
 		overrides[n] = vadasa.QuasiIdentifier
 	}
-	for _, n := range splitParam(r, "weight") {
+	for _, n := range splitValues(q, "weight") {
 		overrides[n] = vadasa.Weight
 	}
-	for _, n := range splitParam(r, "plain") {
+	for _, n := range splitValues(q, "plain") {
 		overrides[n] = vadasa.NonIdentifying
 	}
 
@@ -160,7 +187,7 @@ func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Fr
 	tmp := vadasa.NewDataset("request", toAttrs(toInfer))
 	report, err := f.Register(tmp)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	for i := range attrs {
 		if c, ok := report.Categories[attrs[i].Name]; ok {
@@ -174,9 +201,9 @@ func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Fr
 	cleaned := strings.Join(names, ",") + "\n" + rest
 	d, err := vadasa.ReadCSV(strings.NewReader(cleaned), "request", attrs)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return f, d, report, nil
+	return d, report, nil
 }
 
 func toAttrs(names []string) []vadasa.Attribute {
@@ -187,8 +214,8 @@ func toAttrs(names []string) []vadasa.Attribute {
 	return attrs
 }
 
-func splitParam(r *http.Request, key string) []string {
-	v := r.URL.Query().Get(key)
+func splitValues(q url.Values, key string) []string {
+	v := q.Get(key)
 	if v == "" {
 		return nil
 	}
@@ -229,21 +256,22 @@ func (s *server) handleCategorize(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// measureFromQuery builds the risk measure from query parameters. Test-only
+// measureFromValues builds the risk measure from query-style parameters —
+// live request query or journal-replayed job params. Test-only
 // fault-injection measures registered in extraMeasures take precedence.
-func (s *server) measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
-	name := r.URL.Query().Get("measure")
+func (s *server) measureFromValues(q url.Values) (vadasa.RiskMeasure, error) {
+	name := q.Get("measure")
 	if name == "" {
 		name = "k-anonymity"
 	}
 	if factory, ok := s.extraMeasures[name]; ok {
 		return factory(), nil
 	}
-	k, err := intParam(r, "k", 2)
+	k, err := intValue(q, "k", 2)
 	if err != nil {
 		return nil, err
 	}
-	msu, err := intParam(r, "msu", 3)
+	msu, err := intValue(q, "msu", 3)
 	if err != nil {
 		return nil, err
 	}
@@ -257,17 +285,17 @@ func (s *server) measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
 	case "suda":
 		return vadasa.SUDA{Threshold: msu}, nil
 	case "l-diversity":
-		sens := r.URL.Query().Get("sensitive")
+		sens := q.Get("sensitive")
 		if sens == "" {
 			return nil, fmt.Errorf("l-diversity needs the sensitive query parameter")
 		}
 		return vadasa.LDiversity{L: k, Sensitive: sens}, nil
 	case "t-closeness":
-		sens := r.URL.Query().Get("sensitive")
+		sens := q.Get("sensitive")
 		if sens == "" {
 			return nil, fmt.Errorf("t-closeness needs the sensitive query parameter")
 		}
-		tv, err := floatParam(r, "t", 0.3)
+		tv, err := floatValue(q, "t", 0.3)
 		if err != nil {
 			return nil, err
 		}
@@ -277,8 +305,8 @@ func (s *server) measureFromQuery(r *http.Request) (vadasa.RiskMeasure, error) {
 	}
 }
 
-func intParam(r *http.Request, key string, def int) (int, error) {
-	v := r.URL.Query().Get(key)
+func intValue(q url.Values, key string, def int) (int, error) {
+	v := q.Get(key)
 	if v == "" {
 		return def, nil
 	}
@@ -289,8 +317,8 @@ func intParam(r *http.Request, key string, def int) (int, error) {
 	return n, nil
 }
 
-func int64Param(r *http.Request, key string, def int64) (int64, error) {
-	v := r.URL.Query().Get(key)
+func int64Value(q url.Values, key string, def int64) (int64, error) {
+	v := q.Get(key)
 	if v == "" {
 		return def, nil
 	}
@@ -301,8 +329,8 @@ func int64Param(r *http.Request, key string, def int64) (int64, error) {
 	return n, nil
 }
 
-func floatParam(r *http.Request, key string, def float64) (float64, error) {
-	v := r.URL.Query().Get(key)
+func floatValue(q url.Values, key string, def float64) (float64, error) {
+	v := q.Get(key)
 	if v == "" {
 		return def, nil
 	}
@@ -319,12 +347,12 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.measureFromQuery(r)
+	m, err := s.measureFromValues(r.URL.Query())
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	threshold, err := floatParam(r, "threshold", 0.5)
+	threshold, err := floatValue(r.URL.Query(), "threshold", 0.5)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
@@ -355,12 +383,12 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.measureFromQuery(r)
+	m, err := s.measureFromValues(r.URL.Query())
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	threshold, err := floatParam(r, "threshold", 0.5)
+	threshold, err := floatValue(r.URL.Query(), "threshold", 0.5)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
@@ -409,12 +437,12 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
-	m, err := s.measureFromQuery(r)
+	m, err := s.measureFromValues(r.URL.Query())
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tuple, err := intParam(r, "tuple", 0)
+	tuple, err := intValue(r.URL.Query(), "tuple", 0)
 	if err != nil || tuple == 0 {
 		s.httpError(w, http.StatusBadRequest, fmt.Errorf("the tuple query parameter is required"))
 		return

@@ -325,6 +325,10 @@ type CycleOptions struct {
 	// UseRecoding prepends hierarchy-based global recoding to the default
 	// suppression method.
 	UseRecoding bool
+	// Checkpoint, when set, receives every committed cycle iteration before
+	// the next one may start — the hook a durable job manager journals
+	// through. An error from it aborts the cycle.
+	Checkpoint CheckpointFunc
 }
 
 // Anonymize runs the anonymization cycle of Algorithm 2 on a copy of d and
@@ -339,8 +343,28 @@ func (f *Framework) Anonymize(d *Dataset, opts CycleOptions) (*CycleResult, erro
 // risk-evaluate/anonymize round. The partial result is discarded — the
 // input dataset is never modified either way.
 func (f *Framework) AnonymizeContext(ctx context.Context, d *Dataset, opts CycleOptions) (*CycleResult, error) {
+	return f.ResumeAnonymizeContext(ctx, d, opts, nil)
+}
+
+// ResumeAnonymizeContext continues a cycle interrupted mid-run: the
+// checkpoints — committed iterations journaled through CycleOptions.Checkpoint
+// by a previous run — are replayed onto a fresh clone of d, and the cycle
+// proceeds from the first uncommitted iteration. The options must match the
+// interrupted run's exactly; the cycle is deterministic, so the combined
+// result is identical to an uninterrupted run. Nil checkpoints make this
+// AnonymizeContext.
+func (f *Framework) ResumeAnonymizeContext(ctx context.Context, d *Dataset, opts CycleOptions, checkpoints []CycleCheckpoint) (*CycleResult, error) {
+	cfg, err := f.cycleConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return anon.ResumeContext(ctx, d, cfg, checkpoints)
+}
+
+// cycleConfig translates the public options into the cycle's configuration.
+func (f *Framework) cycleConfig(opts CycleOptions) (anon.Config, error) {
 	if opts.Measure == nil {
-		return nil, fmt.Errorf("vadasa: CycleOptions.Measure is required")
+		return anon.Config{}, fmt.Errorf("vadasa: CycleOptions.Measure is required")
 	}
 	method := opts.Method
 	if method == nil {
@@ -354,13 +378,14 @@ func (f *Framework) AnonymizeContext(ctx context.Context, d *Dataset, opts Cycle
 			method = suppress
 		}
 	}
-	return anon.RunContext(ctx, d, anon.Config{
+	return anon.Config{
 		Assessor:   f.assessor(opts.Measure),
 		Threshold:  opts.Threshold,
 		Anonymizer: method,
 		Semantics:  opts.Semantics,
 		Order:      opts.Order,
-	})
+		Checkpoint: opts.Checkpoint,
+	}, nil
 }
 
 // MeasureSummary pairs a registered measure's name with its risk summary.

@@ -63,7 +63,35 @@ type Config struct {
 	// values are removed overall — at the price of more risk evaluations.
 	// Set to 1 to anonymize every risky tuple each iteration.
 	BatchFraction float64
+	// Checkpoint, when set, receives one Checkpoint after every committed
+	// iteration — the write-ahead hook a durable job manager journals
+	// through. An error from the hook aborts the cycle: if progress cannot
+	// be made durable, continuing would let a crash silently lose it.
+	Checkpoint CheckpointFunc
 }
+
+// Checkpoint is the durable summary of one committed cycle iteration: enough
+// state to replay the iteration onto a fresh clone of the input (the
+// decisions, with their injected null ids) and to rebuild the loop's control
+// state (which rows are exhausted, which were ever risky). Row references in
+// Exhausted and NewRisky are indexes into Dataset.Rows — stable because the
+// cycle never reorders rows; Decisions reference rows by their artificial ID.
+type Checkpoint struct {
+	// Iteration is the 0-based loop index this checkpoint commits.
+	Iteration int
+	// Decisions lists the anonymization steps applied this iteration.
+	Decisions []Decision
+	// Exhausted lists rows newly marked unanonymizable this iteration.
+	Exhausted []int
+	// NewRisky lists rows first observed over threshold this iteration.
+	NewRisky []int
+	// RiskEval and Anon split this iteration's elapsed time.
+	RiskEval, Anon time.Duration
+}
+
+// CheckpointFunc commits one iteration to durable storage. It must return
+// only after the checkpoint is persistent; a returned error aborts the cycle.
+type CheckpointFunc func(cp Checkpoint) error
 
 // Result is the outcome of an anonymization cycle.
 type Result struct {
@@ -106,6 +134,19 @@ func Run(d *mdb.Dataset, cfg Config) (*Result, error) {
 // measures stop mid-evaluation too. The returned error wraps ctx.Err() for
 // errors.Is against context.Canceled / context.DeadlineExceeded.
 func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error) {
+	return ResumeContext(ctx, d, cfg, nil)
+}
+
+// ResumeContext continues an interrupted cycle from its journaled
+// checkpoints: the recorded decisions are replayed onto a fresh clone of the
+// input dataset (no assessor or anonymizer work — the outcomes are already
+// known), the loop's control state is rebuilt, and the cycle proceeds from
+// the first uncommitted iteration. Because the cycle is deterministic for a
+// given configuration, a run killed mid-cycle and resumed this way produces
+// a dataset and decision log identical to an uninterrupted run.
+//
+// An empty checkpoint slice makes ResumeContext identical to RunContext.
+func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints []Checkpoint) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -133,8 +174,22 @@ func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error
 	exhausted := make(map[int]bool)
 	everRisky := make(map[int]bool)
 
+	startIter := 0
+	for _, cp := range checkpoints {
+		if cp.Iteration != startIter {
+			return nil, fmt.Errorf("anon: resume checkpoint out of order: got iteration %d, want %d", cp.Iteration, startIter)
+		}
+		if err := replayCheckpoint(work, cp, res, exhausted, everRisky); err != nil {
+			return nil, err
+		}
+		startIter++
+	}
+	if startIter >= maxIter {
+		return nil, fmt.Errorf("anon: cycle did not converge within %d iterations", maxIter)
+	}
+
 	var risks []float64
-	for iter := 0; ; iter++ {
+	for iter := startIter; ; iter++ {
 		if iter >= maxIter {
 			return nil, fmt.Errorf("anon: cycle did not converge within %d iterations", maxIter)
 		}
@@ -144,16 +199,18 @@ func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error
 		t0 := time.Now()
 		var err error
 		risks, err = risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
-		res.RiskEvalTime += time.Since(t0)
+		evalTime := time.Since(t0)
+		res.RiskEvalTime += evalTime
 		if err != nil {
 			return nil, fmt.Errorf("anon: risk assessment: %w", err)
 		}
 
-		var risky []int
+		var risky, newRisky []int
 		for row, r := range risks {
 			if r > cfg.Threshold {
 				if !everRisky[row] {
 					everRisky[row] = true
+					newRisky = append(newRisky, row)
 					if iter == 0 {
 						res.InitialRisky++
 					}
@@ -184,6 +241,8 @@ func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error
 
 		t0 = time.Now()
 		actx := NewContext(work, qi)
+		var iterDecisions []Decision
+		var iterExhausted []int
 		for _, row := range risky {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("anon: cycle cancelled at iteration %d: %w", iter, err)
@@ -195,26 +254,40 @@ func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error
 				// residual report. Other risky tuples still get their
 				// turn in later iterations.
 				exhausted[row] = true
+				iterExhausted = append(iterExhausted, row)
 				continue
 			}
 			for i := range decisions {
 				decisions[i].Iteration = iter + 1
 				decisions[i].Risk = risks[row]
 			}
-			res.Decisions = append(res.Decisions, decisions...)
+			iterDecisions = append(iterDecisions, decisions...)
 		}
-		res.AnonTime += time.Since(t0)
+		res.Decisions = append(res.Decisions, iterDecisions...)
+		anonTime := time.Since(t0)
+		res.AnonTime += anonTime
+
+		if cfg.Checkpoint != nil {
+			cp := Checkpoint{
+				Iteration: iter,
+				Decisions: iterDecisions,
+				Exhausted: iterExhausted,
+				NewRisky:  newRisky,
+				RiskEval:  evalTime,
+				Anon:      anonTime,
+			}
+			if err := cfg.Checkpoint(cp); err != nil {
+				return nil, fmt.Errorf("anon: committing iteration %d checkpoint: %w", iter, err)
+			}
+		}
 	}
 
-	// Final pass for the residual report (risks holds the last assessment;
-	// re-assess only if anonymization happened after it).
-	t0 := time.Now()
-	final, err := risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
-	res.RiskEvalTime += time.Since(t0)
-	if err != nil {
-		return nil, fmt.Errorf("anon: final risk assessment: %w", err)
-	}
-	for row, r := range final {
+	// Residual report. The loop only exits right after an assessment that
+	// found no actionable risky tuples, and nothing mutates the dataset
+	// between that assessment and here — so the last risk vector is still
+	// current and a final re-assessment would only repeat it (on a clean
+	// run it would double the total risk-evaluation cost).
+	for row, r := range risks {
 		if r > cfg.Threshold {
 			res.Residual = append(res.Residual, work.Rows[row].ID)
 		}
@@ -226,6 +299,76 @@ func RunContext(ctx context.Context, d *mdb.Dataset, cfg Config) (*Result, error
 		res.InfoLoss = float64(res.NullsInjected) / float64(denom)
 	}
 	return res, nil
+}
+
+// replayCheckpoint applies one journaled iteration to the working dataset:
+// decisions are re-applied verbatim (labelled-null ids included, with the
+// allocator advanced past them so later fresh nulls cannot collide) and the
+// control-state deltas are folded in.
+func replayCheckpoint(work *mdb.Dataset, cp Checkpoint, res *Result, exhausted, everRisky map[int]bool) error {
+	for _, dec := range cp.Decisions {
+		rowIdx := -1
+		for i, r := range work.Rows {
+			if r.ID == dec.RowID {
+				rowIdx = i
+				break
+			}
+		}
+		if rowIdx < 0 {
+			return fmt.Errorf("anon: replay iteration %d: no tuple with id %d", cp.Iteration, dec.RowID)
+		}
+		attr := work.AttrIndex(dec.Attr)
+		if attr < 0 {
+			return fmt.Errorf("anon: replay iteration %d: no attribute %q", cp.Iteration, dec.Attr)
+		}
+		switch dec.Method {
+		case "local-suppression":
+			if !dec.New.IsNull() {
+				return fmt.Errorf("anon: replay iteration %d: suppression of tuple %d recorded a non-null value", cp.Iteration, dec.RowID)
+			}
+			work.Rows[rowIdx].Values[attr] = dec.New
+			work.Nulls.Observe(dec.New.NullID())
+		case "global-recoding":
+			if dec.AffectedRows <= 1 {
+				// Either per-tuple mode or a global roll-up whose value
+				// only the triggering row carried — same single write.
+				work.Rows[rowIdx].Values[attr] = dec.New
+			} else {
+				n := 0
+				for _, r := range work.Rows {
+					if r.Values[attr] == dec.Old {
+						r.Values[attr] = dec.New
+						n++
+					}
+				}
+				if n != dec.AffectedRows {
+					return fmt.Errorf("anon: replay iteration %d: recoding %s %v touched %d rows, journal says %d — journal does not match this dataset",
+						cp.Iteration, dec.Attr, dec.Old, n, dec.AffectedRows)
+				}
+			}
+		default:
+			return fmt.Errorf("anon: replay iteration %d: unknown method %q", cp.Iteration, dec.Method)
+		}
+	}
+	res.Decisions = append(res.Decisions, cp.Decisions...)
+	for _, row := range cp.Exhausted {
+		if row < 0 || row >= len(work.Rows) {
+			return fmt.Errorf("anon: replay iteration %d: exhausted row %d out of range", cp.Iteration, row)
+		}
+		exhausted[row] = true
+	}
+	for _, row := range cp.NewRisky {
+		if row < 0 || row >= len(work.Rows) {
+			return fmt.Errorf("anon: replay iteration %d: risky row %d out of range", cp.Iteration, row)
+		}
+		everRisky[row] = true
+	}
+	if cp.Iteration == 0 {
+		res.InitialRisky = len(cp.NewRisky)
+	}
+	res.RiskEvalTime += cp.RiskEval
+	res.AnonTime += cp.Anon
+	return nil
 }
 
 func orderRisky(d *mdb.Dataset, risks []float64, risky []int, order TupleOrder) {

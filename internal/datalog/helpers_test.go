@@ -1,0 +1,12 @@
+package datalog
+
+// MustParse is a test-only convenience. The library deliberately does not
+// export a panicking parse: production callers go through Parse, whose error
+// return means malformed program text can never take a process down.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -219,15 +219,6 @@ func Parse(src string) (*Program, error) {
 	return prog, nil
 }
 
-// MustParse parses a program and panics on error; for embedded programs.
-func MustParse(src string) *Program {
-	p, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func (p *parser) peek() token  { return p.toks[p.pos] }
 func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
 

@@ -164,13 +164,15 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
+func TestParseRejectsBadInputWithoutPanicking(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Fatal("MustParse on bad input did not panic")
+		if r := recover(); r != nil {
+			t.Fatalf("Parse panicked on bad input: %v", r)
 		}
 	}()
-	MustParse(`f(X).`)
+	if _, err := Parse(`f(X).`); err == nil {
+		t.Fatal("Parse accepted an unsafe fact")
+	}
 }
 
 func TestRuleStringRoundTrip(t *testing.T) {

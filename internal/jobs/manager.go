@@ -1,0 +1,505 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/journal"
+	"vadasa/internal/risk"
+)
+
+// Options tunes a Manager. The zero value is usable: sensible defaults are
+// filled in by NewManager.
+type Options struct {
+	// Dir is the journal directory. Required.
+	Dir string
+	// Workers bounds concurrent cycles (default 2).
+	Workers int
+	// MaxAttempts bounds runs per job including the first (default 3).
+	// Only transient failures (risk.IsTransient) consume retries.
+	MaxAttempts int
+	// RetryBase is the first retry delay (default 100ms); each further
+	// attempt doubles it up to RetryCap (default 5s). Actual delays are
+	// jittered to 50–100% of the nominal value.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// QueueDepth bounds jobs waiting for a worker (default 256). Submit
+	// fails fast when the queue is full rather than blocking the caller.
+	QueueDepth int
+}
+
+// Manager owns the worker pool and the journal directory. Create one with
+// NewManager, call Recover once to re-queue interrupted jobs, and Close on
+// shutdown; Close leaves running jobs' journals un-terminated on purpose so
+// the next Recover resumes them.
+type Manager struct {
+	runner Runner
+	opts   Options
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	writers map[string]*journal.Writer
+	cancels map[string]context.CancelFunc
+	closed  bool
+}
+
+// NewManager starts a manager with its worker pool. The journal directory is
+// created if missing.
+func NewManager(runner Runner, opts Options) (*Manager, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("jobs: Runner is required")
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("jobs: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating journal dir: %w", err)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = 5 * time.Second
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		runner:  runner,
+		opts:    opts,
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+		writers: make(map[string]*journal.Writer),
+		cancels: make(map[string]context.CancelFunc),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Close stops accepting submissions, cancels running cycles, and waits for
+// the workers. Interrupted jobs keep their journals un-terminated — unlike a
+// user Cancel, shutdown is not a verdict on the job, and Recover on the next
+// start re-queues them from the last committed iteration.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, w := range m.writers {
+		w.Close()
+		delete(m.writers, id)
+	}
+}
+
+// Submit journals and enqueues a new job. The start record — spec plus the
+// input file's SHA-256 — hits disk before Submit returns, so a crash a
+// microsecond later loses nothing.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	digest, err := digestFile(spec.Dataset)
+	if err != nil {
+		return Job{}, fmt.Errorf("jobs: digesting input: %w", err)
+	}
+	id, err := newID()
+	if err != nil {
+		return Job{}, err
+	}
+	w, err := journal.Create(m.journalPath(id))
+	if err != nil {
+		return Job{}, fmt.Errorf("jobs: creating journal: %w", err)
+	}
+	now := time.Now()
+	if err := w.Append(journal.TypeStart, startPayload{JobID: id, Spec: spec, Digest: digest, Created: now}); err != nil {
+		w.Close()
+		return Job{}, fmt.Errorf("jobs: journaling start: %w", err)
+	}
+	j := &Job{ID: id, Spec: spec, State: StatePending, Created: now}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		w.Close()
+		return Job{}, fmt.Errorf("jobs: manager is closed")
+	}
+	m.jobs[id] = j
+	m.writers[id] = w
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Lock()
+		delete(m.jobs, id)
+		delete(m.writers, id)
+		m.mu.Unlock()
+		w.Close()
+		os.Remove(m.journalPath(id))
+		return Job{}, fmt.Errorf("jobs: queue full (%d pending)", m.opts.QueueDepth)
+	}
+	return m.snapshot(j), nil
+}
+
+// Get returns a copy of the job's current state.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return *j, nil
+}
+
+// List returns all known jobs, newest first.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.After(out[k].Created)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel aborts a job. A queued job is finalized immediately; a running one
+// has its context cancelled and the worker writes the terminal record. In
+// both cases the journal gets a done record with state "cancelled" — unlike
+// Close, a user cancel IS a verdict and the job must not resurrect on the
+// next restart.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.State {
+	case StatePending:
+		m.finishLocked(j, StateCancelled, nil, "cancelled before execution")
+		m.mu.Unlock()
+		return nil
+	case StateRunning:
+		j.userCancel = true
+		cancel := m.cancels[id]
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.State)
+	}
+}
+
+// Recover scans the journal directory: journals ending in a done record are
+// materialized as terminal jobs (status survives restarts); journals without
+// one are jobs the previous process never finished — their committed
+// iterations are decoded and the job re-queued to resume right after the
+// last of them. Torn trailing records were, by the write-ahead contract,
+// never acted upon, so truncating them loses no work. Returns the ids of
+// re-queued jobs.
+func (m *Manager) Recover() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(m.opts.Dir, "*.journal"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var resumed []string
+	for _, path := range paths {
+		id := strings.TrimSuffix(filepath.Base(path), ".journal")
+		m.mu.Lock()
+		_, known := m.jobs[id]
+		m.mu.Unlock()
+		if known {
+			continue
+		}
+		if rid, err := m.recoverOne(id, path); err != nil {
+			return resumed, fmt.Errorf("jobs: recovering %s: %w", filepath.Base(path), err)
+		} else if rid != "" {
+			resumed = append(resumed, rid)
+		}
+	}
+	return resumed, nil
+}
+
+// recoverOne loads one journal; it returns the job id when the job was
+// re-queued, "" when it was terminal or unusable.
+func (m *Manager) recoverOne(id, path string) (string, error) {
+	scan, err := journal.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	if len(scan.Records) == 0 || scan.Records[0].Type != journal.TypeStart {
+		// Nothing durable ever committed (the crash landed inside the very
+		// first append): there is no spec to resume, and nothing is lost.
+		return "", nil
+	}
+	var start startPayload
+	if err := scan.Records[0].Decode(&start); err != nil {
+		return "", fmt.Errorf("decoding start record: %w", err)
+	}
+	if start.JobID != "" && start.JobID != id {
+		return "", fmt.Errorf("journal %s claims job id %s", id, start.JobID)
+	}
+	j := &Job{ID: id, Spec: start.Spec, Created: start.Created, Recovered: true}
+
+	if last := scan.Last(); last.Type == journal.TypeDone {
+		var done donePayload
+		if err := last.Decode(&done); err != nil {
+			return "", fmt.Errorf("decoding done record: %w", err)
+		}
+		j.State = done.State
+		j.Error = done.Error
+		j.Attempts = done.Attempts
+		j.Outcome = done.Outcome
+		m.mu.Lock()
+		m.jobs[id] = j
+		m.mu.Unlock()
+		return "", nil
+	}
+
+	// Unterminated: the job was live when the process died. Reopen (which
+	// truncates any torn tail) and rebuild the committed progress.
+	w, scan, err := journal.OpenAppend(path)
+	if err != nil {
+		return "", err
+	}
+	for _, rec := range scan.Records[1:] {
+		if rec.Type != journal.TypeIter {
+			w.Close()
+			return "", fmt.Errorf("unterminated journal holds a %q record", rec.Type)
+		}
+		var p iterPayload
+		if err := rec.Decode(&p); err != nil {
+			w.Close()
+			return "", fmt.Errorf("decoding iteration record: %w", err)
+		}
+		cp, err := decodeCheckpoint(p)
+		if err != nil {
+			w.Close()
+			return "", err
+		}
+		j.resume = append(j.resume, cp)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		w.Close()
+		return "", fmt.Errorf("manager is closed")
+	}
+	m.jobs[id] = j
+	m.writers[id] = w
+
+	// The journal is the truth about the input it was recorded against; a
+	// dataset file that changed since would make every journaled decision
+	// meaningless. Permanent failure, not a retry.
+	digest, err := digestFile(start.Spec.Dataset)
+	if err != nil {
+		m.finishLocked(j, StateFailed, nil, fmt.Sprintf("input vanished during recovery: %v", err))
+		m.mu.Unlock()
+		return "", nil
+	}
+	if digest != start.Digest {
+		m.finishLocked(j, StateFailed, nil, fmt.Sprintf("input %s changed since submission (digest %.12s != %.12s)", start.Spec.Dataset, digest, start.Digest))
+		m.mu.Unlock()
+		return "", nil
+	}
+	j.State = StatePending
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return id, nil
+	default:
+		m.mu.Lock()
+		m.finishLocked(j, StateFailed, nil, "recovery queue full")
+		m.mu.Unlock()
+		return "", nil
+	}
+}
+
+func (m *Manager) journalPath(id string) string {
+	return filepath.Join(m.opts.Dir, id+".journal")
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.execute(j)
+		}
+	}
+}
+
+// execute drives one job to a terminal state — or, when the manager itself
+// shuts down mid-run, abandons it with the journal left open for recovery.
+func (m *Manager) execute(j *Job) {
+	m.mu.Lock()
+	if j.State != StatePending { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	m.cancels[j.ID] = cancel
+	j.State = StateRunning
+	j.Started = time.Now()
+	m.mu.Unlock()
+	defer func() {
+		cancel()
+		m.mu.Lock()
+		delete(m.cancels, j.ID)
+		m.mu.Unlock()
+	}()
+
+	for {
+		m.mu.Lock()
+		j.Attempts++
+		attempt := j.Attempts
+		m.mu.Unlock()
+
+		out, err := m.attempt(ctx, j)
+		switch {
+		case err == nil:
+			m.mu.Lock()
+			m.finishLocked(j, StateDone, out, "")
+			m.mu.Unlock()
+			return
+		case ctx.Err() != nil:
+			m.mu.Lock()
+			if j.userCancel {
+				m.finishLocked(j, StateCancelled, nil, err.Error())
+			}
+			// Manager shutdown: no terminal record — Recover resumes the
+			// job from its last committed iteration on the next start.
+			m.mu.Unlock()
+			return
+		case risk.IsTransient(err) && attempt < m.opts.MaxAttempts:
+			delay := m.backoff(attempt)
+			select {
+			case <-ctx.Done():
+				// Raced with cancel/shutdown while waiting: settle it on
+				// the next loop entry via the ctx.Err branch above —
+				// attempt counting stays consistent.
+			case <-time.After(delay):
+			}
+		default:
+			m.mu.Lock()
+			m.finishLocked(j, StateFailed, nil, err.Error())
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// attempt runs the Runner once with panic isolation: a panicking measure or
+// anonymizer fails this job (permanently — a deterministic cycle panics the
+// same way on every retry) instead of killing the whole worker pool.
+func (m *Manager) attempt(ctx context.Context, j *Job) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("jobs: cycle panicked: %v", r)
+		}
+	}()
+	m.mu.Lock()
+	resume := j.resume[:len(j.resume):len(j.resume)]
+	m.mu.Unlock()
+	checkpoint := func(cp anon.Checkpoint) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		w := m.writers[j.ID]
+		if w == nil {
+			return fmt.Errorf("jobs: journal for %s is closed", j.ID)
+		}
+		if err := w.Append(journal.TypeIter, encodeCheckpoint(cp)); err != nil {
+			return err
+		}
+		j.resume = append(j.resume, cp)
+		return nil
+	}
+	return m.runner.Run(ctx, j.ID, j.Spec, resume, checkpoint)
+}
+
+// finishLocked writes the terminal journal record and settles the in-memory
+// state. Callers hold m.mu.
+func (m *Manager) finishLocked(j *Job, state State, out *Outcome, errMsg string) {
+	if w := m.writers[j.ID]; w != nil {
+		p := donePayload{State: state, Error: errMsg, Attempts: j.Attempts, Outcome: out}
+		if aerr := w.Append(journal.TypeDone, p); aerr != nil && errMsg == "" {
+			errMsg = fmt.Sprintf("journaling terminal state: %v", aerr)
+		}
+		w.Close()
+		delete(m.writers, j.ID)
+	}
+	j.State = state
+	j.Outcome = out
+	j.Error = errMsg
+	j.Finished = time.Now()
+}
+
+// snapshot copies a job under the lock.
+func (m *Manager) snapshot(j *Job) Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return *j
+}
+
+// backoff returns the jittered delay before retry number attempt+1:
+// exponential in the attempt count, capped, and scattered over 50–100% of
+// the nominal value so a burst of failures does not retry in lockstep.
+func (m *Manager) backoff(attempt int) time.Duration {
+	d := m.opts.RetryBase
+	for i := 1; i < attempt && d < m.opts.RetryCap; i++ {
+		d *= 2
+	}
+	if d > m.opts.RetryCap {
+		d = m.opts.RetryCap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + rand.N(half+1)
+}

@@ -1,0 +1,483 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/journal"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+)
+
+// testInput writes a throwaway dataset file (the manager only digests it).
+func testInput(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte("I,Area\n1,Roma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fastOpts(t *testing.T) Options {
+	return Options{
+		Dir:         t.TempDir(),
+		Workers:     2,
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond,
+		RetryCap:    4 * time.Millisecond,
+	}
+}
+
+// waitState polls until the job reaches a terminal state or the deadline.
+func waitState(t *testing.T, m *Manager, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job settled at %s (%q), want %s", j.State, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job never reached %s", want)
+	return Job{}
+}
+
+// scriptRunner runs a fixed number of fake iterations, failing per script.
+type scriptRunner struct {
+	mu         sync.Mutex
+	iterations int           // checkpoints to emit per full run
+	failUntil  int           // attempts 1..failUntil-1 fail...
+	transient  bool          // ...with a transient error when true
+	failAfter  int           // checkpoints to emit before failing (per attempt)
+	calls      int           // attempts observed
+	resumeLens []int         // len(resume) seen at each attempt
+	block      chan struct{} // when non-nil, Run blocks here after failAfter checkpoints
+}
+
+func (r *scriptRunner) Run(ctx context.Context, id string, spec Spec, resume []anon.Checkpoint, checkpoint anon.CheckpointFunc) (*Outcome, error) {
+	r.mu.Lock()
+	r.calls++
+	call := r.calls
+	r.resumeLens = append(r.resumeLens, len(resume))
+	r.mu.Unlock()
+
+	emit := func(i int) error {
+		return checkpoint(anon.Checkpoint{
+			Iteration: i,
+			Decisions: []anon.Decision{{
+				RowID: i + 1, Attr: "Area", Old: mdb.Const("Roma"),
+				New: mdb.Null(uint64(i + 1)), Method: "local-suppression",
+				Risk: 1, Iteration: i + 1, AffectedRows: 1,
+			}},
+			NewRisky: []int{i},
+		})
+	}
+	done := len(resume)
+	for i := done; i < r.iterations; i++ {
+		if call < r.failUntil && i-done == r.failAfter {
+			err := fmt.Errorf("attempt %d: assessor hiccup", call)
+			if r.transient {
+				return nil, risk.MarkTransient(err)
+			}
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := emit(i); err != nil {
+			return nil, err
+		}
+		if r.block != nil && i-done+1 == r.failAfter {
+			select {
+			case <-r.block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return &Outcome{Iterations: r.iterations, Decisions: r.iterations}, nil
+}
+
+func TestJobHappyPath(t *testing.T) {
+	r := &scriptRunner{iterations: 3, failUntil: 0}
+	opts := fastOpts(t)
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t), Params: map[string][]string{"measure": {"k-anonymity"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Outcome == nil || got.Outcome.Iterations != 3 {
+		t.Fatalf("outcome = %+v", got.Outcome)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d", got.Attempts)
+	}
+
+	scan, err := journal.ReadFile(filepath.Join(opts.Dir, j.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make([]journal.Type, 0, len(scan.Records))
+	for _, rec := range scan.Records {
+		types = append(types, rec.Type)
+	}
+	want := []journal.Type{journal.TypeStart, journal.TypeIter, journal.TypeIter, journal.TypeIter, journal.TypeDone}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Fatalf("journal records = %v, want %v", types, want)
+	}
+}
+
+func TestTransientFailureRetriedFromJournaledProgress(t *testing.T) {
+	// Attempts 1 and 2 die (transiently) after committing 1 new iteration
+	// each; attempt 3 finishes. The resume slice must grow across attempts:
+	// committed work is never redone.
+	r := &scriptRunner{iterations: 4, failUntil: 3, transient: true, failAfter: 1}
+	m, err := NewManager(r, fastOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateDone)
+	if got.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", got.Attempts)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fmt.Sprint(r.resumeLens) != fmt.Sprint([]int{0, 1, 2}) {
+		t.Fatalf("resume lengths across attempts = %v, want [0 1 2]", r.resumeLens)
+	}
+}
+
+func TestPermanentFailureFailsFast(t *testing.T) {
+	r := &scriptRunner{iterations: 4, failUntil: 99, transient: false}
+	m, err := NewManager(r, fastOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateFailed)
+	if got.Attempts != 1 {
+		t.Fatalf("permanent failure burned %d attempts, want 1", got.Attempts)
+	}
+	if !strings.Contains(got.Error, "hiccup") {
+		t.Fatalf("error = %q", got.Error)
+	}
+}
+
+func TestTransientFailureExhaustsAttempts(t *testing.T) {
+	r := &scriptRunner{iterations: 4, failUntil: 99, transient: true}
+	m, err := NewManager(r, fastOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateFailed)
+	if got.Attempts != 3 {
+		t.Fatalf("attempts = %d, want MaxAttempts=3", got.Attempts)
+	}
+}
+
+func TestPanicIsolatedToJob(t *testing.T) {
+	boom := RunnerFunc(func(ctx context.Context, id string, spec Spec, resume []anon.Checkpoint, cp anon.CheckpointFunc) (*Outcome, error) {
+		if strings.HasSuffix(spec.Dataset, "boom.csv") {
+			panic("measure exploded")
+		}
+		return &Outcome{}, nil
+	})
+	m, err := NewManager(boom, fastOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "boom.csv")
+	good := filepath.Join(dir, "ok.csv")
+	for _, p := range []string{bad, good} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jb, err := m.Submit(Spec{Dataset: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, jb.ID, StateFailed)
+	if !strings.Contains(got.Error, "panicked") {
+		t.Fatalf("error = %q", got.Error)
+	}
+	// The pool survived: another job still executes.
+	jg, err := m.Submit(Spec{Dataset: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, jg.ID, StateDone)
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	r := &scriptRunner{iterations: 100, failAfter: 1, block: make(chan struct{})}
+	opts := fastOpts(t)
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateRunning)
+	// Let it commit its first checkpoint, then cancel while blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if jj, _ := m.Get(j.ID); len(jj.resume) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateCancelled)
+	if got.Outcome != nil {
+		t.Fatal("cancelled job has an outcome")
+	}
+	// A user cancel is terminal: the journal must carry a done record...
+	scan, err := journal.ReadFile(filepath.Join(opts.Dir, j.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Last().Type != journal.TypeDone {
+		t.Fatalf("cancelled journal ends in %q, want done", scan.Last().Type)
+	}
+	// ...and cancelling again reports the job settled.
+	if err := m.Cancel(j.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("second cancel: %v, want ErrTerminal", err)
+	}
+}
+
+func TestCloseLeavesJournalResumableAndRecoverCompletes(t *testing.T) {
+	opts := fastOpts(t)
+	input := testInput(t)
+	r := &scriptRunner{iterations: 5, failAfter: 2, block: make(chan struct{})}
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(Spec{Dataset: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateRunning)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if jj, _ := m.Get(j.ID); len(jj.resume) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close() // simulated crash/shutdown mid-run
+
+	scan, err := journal.ReadFile(filepath.Join(opts.Dir, j.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Last().Type == journal.TypeDone {
+		t.Fatal("shutdown wrote a terminal record; job would not resume")
+	}
+
+	r2 := &scriptRunner{iterations: 5}
+	m2, err := NewManager(r2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	resumed, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 || resumed[0] != j.ID {
+		t.Fatalf("resumed = %v, want [%s]", resumed, j.ID)
+	}
+	got := waitState(t, m2, j.ID, StateDone)
+	if !got.Recovered {
+		t.Fatal("resumed job not marked Recovered")
+	}
+	r2.mu.Lock()
+	lens := r2.resumeLens
+	r2.mu.Unlock()
+	if len(lens) != 1 || lens[0] != 2 {
+		t.Fatalf("resume lengths = %v, want [2]: committed iterations must not rerun", lens)
+	}
+	// The journal now ends terminally and has exactly 5 iter records total
+	// across both processes — no duplicates.
+	scan, err = journal.ReadFile(filepath.Join(opts.Dir, j.ID+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	for _, rec := range scan.Records {
+		if rec.Type == journal.TypeIter {
+			iters++
+		}
+	}
+	if iters != 5 || scan.Last().Type != journal.TypeDone {
+		t.Fatalf("recovered journal: %d iter records, last=%q", iters, scan.Last().Type)
+	}
+}
+
+func TestRecoverTerminalJournalMaterializesJob(t *testing.T) {
+	opts := fastOpts(t)
+	r := &scriptRunner{iterations: 2}
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(Spec{Dataset: testInput(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	m.Close()
+
+	m2, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	resumed, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 0 {
+		t.Fatalf("terminal job re-queued: %v", resumed)
+	}
+	got, err := m2.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Outcome == nil || got.Outcome.Iterations != 2 {
+		t.Fatalf("recovered terminal job = %+v", got)
+	}
+}
+
+func TestRecoverRefusesChangedInput(t *testing.T) {
+	opts := fastOpts(t)
+	input := testInput(t)
+	r := &scriptRunner{iterations: 5, failAfter: 1, block: make(chan struct{})}
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(Spec{Dataset: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateRunning)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if jj, _ := m.Get(j.ID); len(jj.resume) >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	if err := os.WriteFile(input, []byte("I,Area\n1,Milano\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || !strings.Contains(got.Error, "changed since submission") {
+		t.Fatalf("job over a changed input = %s (%q), want failed/digest mismatch", got.State, got.Error)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := anon.Checkpoint{
+		Iteration: 3,
+		Decisions: []anon.Decision{
+			{RowID: 7, Attr: "Area", Old: mdb.Const("Roma"), New: mdb.Null(4),
+				Method: "local-suppression", Risk: 0.75, Iteration: 4, AffectedRows: 1},
+			{RowID: 9, Attr: "Area", Old: mdb.Const("Milano"), New: mdb.Const("North"),
+				Method: "global-recoding", Risk: 1, Iteration: 4, AffectedRows: 3},
+		},
+		Exhausted: []int{1, 2},
+		NewRisky:  []int{5},
+		RiskEval:  3 * time.Millisecond,
+		Anon:      time.Millisecond,
+	}
+	back, err := decodeCheckpoint(encodeCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", back) != fmt.Sprintf("%+v", cp) {
+		t.Fatalf("round trip changed the checkpoint:\n  in:  %+v\n  out: %+v", cp, back)
+	}
+	// A suppression that somehow journaled a constant must be rejected, not
+	// replayed into the dataset.
+	bad := encodeCheckpoint(cp)
+	bad.Decisions[0].New = "Roma"
+	if _, err := decodeCheckpoint(bad); err == nil {
+		t.Fatal("non-null suppression decoded without error")
+	}
+}
+
+func TestSubmitRejectsMissingInput(t *testing.T) {
+	m, err := NewManager(&scriptRunner{}, fastOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit(Spec{Dataset: "/nonexistent/input.csv"}); err == nil {
+		t.Fatal("submit with missing input succeeded")
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(nope) = %v, want ErrNotFound", err)
+	}
+	if err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(nope) = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"fmt"
+	"time"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/mdb"
+)
+
+// The journal framing (internal/journal) carries opaque JSON payloads; the
+// schemas below are what jobs writes into them. Values travel in the textual
+// form of mdb.Value.String ("⊥7" for labelled nulls), so the journal stays
+// greppable and the parser on the way back re-observes null ids.
+
+// startPayload is the first record of every job journal: everything needed
+// to re-create the run after a crash, plus the input digest that guards
+// against resuming over a dataset that changed on disk.
+type startPayload struct {
+	JobID   string    `json:"job_id"`
+	Spec    Spec      `json:"spec"`
+	Digest  string    `json:"digest"`
+	Created time.Time `json:"created"`
+}
+
+// decisionRecord is the wire form of anon.Decision.
+type decisionRecord struct {
+	RowID        int     `json:"row"`
+	Attr         string  `json:"attr"`
+	Old          string  `json:"old"`
+	New          string  `json:"new"`
+	Method       string  `json:"method"`
+	Risk         float64 `json:"risk"`
+	Iteration    int     `json:"iter"`
+	AffectedRows int     `json:"affected"`
+}
+
+// iterPayload is one committed cycle iteration — the unit of recovery.
+type iterPayload struct {
+	Iteration  int              `json:"iteration"`
+	Decisions  []decisionRecord `json:"decisions,omitempty"`
+	Exhausted  []int            `json:"exhausted,omitempty"`
+	NewRisky   []int            `json:"new_risky,omitempty"`
+	RiskEvalNS int64            `json:"risk_eval_ns"`
+	AnonNS     int64            `json:"anon_ns"`
+}
+
+// donePayload terminates a journal. Its presence is what recovery keys on: a
+// journal without one describes a job that was still running when the
+// process died, and must be re-queued.
+type donePayload struct {
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Attempts int      `json:"attempts"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+}
+
+func encodeCheckpoint(cp anon.Checkpoint) iterPayload {
+	p := iterPayload{
+		Iteration:  cp.Iteration,
+		Exhausted:  cp.Exhausted,
+		NewRisky:   cp.NewRisky,
+		RiskEvalNS: int64(cp.RiskEval),
+		AnonNS:     int64(cp.Anon),
+	}
+	for _, d := range cp.Decisions {
+		p.Decisions = append(p.Decisions, decisionRecord{
+			RowID:        d.RowID,
+			Attr:         d.Attr,
+			Old:          d.Old.String(),
+			New:          d.New.String(),
+			Method:       d.Method,
+			Risk:         d.Risk,
+			Iteration:    d.Iteration,
+			AffectedRows: d.AffectedRows,
+		})
+	}
+	return p
+}
+
+func decodeCheckpoint(p iterPayload) (anon.Checkpoint, error) {
+	cp := anon.Checkpoint{
+		Iteration: p.Iteration,
+		Exhausted: p.Exhausted,
+		NewRisky:  p.NewRisky,
+		RiskEval:  time.Duration(p.RiskEvalNS),
+		Anon:      time.Duration(p.AnonNS),
+	}
+	// The scratch allocator only absorbs Observe calls from explicit ⊥i
+	// tokens; the resuming cycle re-observes the ids on its own dataset
+	// clone during replay.
+	var scratch mdb.NullAllocator
+	for _, d := range p.Decisions {
+		newV := mdb.ParseValue(d.New, &scratch)
+		if d.Method == "local-suppression" && !newV.IsNull() {
+			return anon.Checkpoint{}, fmt.Errorf("jobs: journaled suppression of tuple %d has non-null value %q", d.RowID, d.New)
+		}
+		cp.Decisions = append(cp.Decisions, anon.Decision{
+			RowID:        d.RowID,
+			Attr:         d.Attr,
+			Old:          mdb.ParseValue(d.Old, &scratch),
+			New:          newV,
+			Method:       d.Method,
+			Risk:         d.Risk,
+			Iteration:    d.Iteration,
+			AffectedRows: d.AffectedRows,
+		})
+	}
+	return cp, nil
+}

@@ -1,0 +1,239 @@
+// Package journal implements the write-ahead journal that makes
+// anonymization jobs durable: an append-only JSONL file where every record
+// carries a CRC-32C checksum and a strictly increasing sequence number, and
+// every append is fsync'd before it is acknowledged.
+//
+// The format is one record per line:
+//
+//	crc32c-hex8 SPACE json NEWLINE
+//
+// where the checksum covers exactly the JSON bytes. A record counts as
+// committed only once its terminating newline is on disk; the reader accepts
+// the longest valid prefix of the file and treats everything after the first
+// torn, corrupt or out-of-sequence line as lost (the standard WAL repair
+// rule). Payload schemas belong to the caller — the journal frames, checks
+// and persists opaque JSON payloads.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// Type tags a journal record. The journal itself accepts any non-empty type;
+// the conventional job-journal types are declared here so writers and readers
+// agree on spelling.
+type Type string
+
+// Record types of a durable anonymization job.
+const (
+	// TypeStart is the first record: the job spec and the input digest.
+	TypeStart Type = "start"
+	// TypeIter commits one anonymization-cycle iteration.
+	TypeIter Type = "iter"
+	// TypeDone is the terminal record: success, failure or cancellation.
+	TypeDone Type = "done"
+)
+
+// Record is one committed journal entry.
+type Record struct {
+	// Seq is the 1-based sequence number; the reader rejects gaps.
+	Seq int `json:"seq"`
+	// Type tags the payload schema.
+	Type Type `json:"type"`
+	// Time is the wall-clock append time — audit metadata only; recovery
+	// never depends on it.
+	Time time.Time `json:"time"`
+	// Payload is the caller's record body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Decode unmarshals the record payload into v.
+func (r Record) Decode(v any) error {
+	if err := json.Unmarshal(r.Payload, v); err != nil {
+		return fmt.Errorf("journal: decoding %s record %d: %w", r.Type, r.Seq, err)
+	}
+	return nil
+}
+
+// castagnoli is the CRC-32C table (the polynomial used by ext4, iSCSI and
+// most storage formats; better error detection than IEEE for short records).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends records to a journal file, fsyncing each one.
+type Writer struct {
+	f    *os.File
+	path string
+	seq  int
+}
+
+// Create creates a fresh journal at path (failing if it already exists) and
+// fsyncs the parent directory so the file itself survives a crash.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// OpenAppend opens an existing journal for appending: it scans the file,
+// truncates it to the longest valid prefix (repairing a torn tail from a
+// crash mid-append), and positions the writer after the last committed
+// record. The scan is returned so the caller can rebuild its state.
+func OpenAppend(path string) (*Writer, *Scan, error) {
+	scan, err := ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open: %w", err)
+	}
+	if scan.Torn {
+		if err := f.Truncate(scan.Valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: syncing repair: %w", err)
+		}
+	}
+	if _, err := f.Seek(scan.Valid, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seeking to tail: %w", err)
+	}
+	seq := 0
+	if n := len(scan.Records); n > 0 {
+		seq = scan.Records[n-1].Seq
+	}
+	return &Writer{f: f, path: path, seq: seq}, scan, nil
+}
+
+// Append marshals the payload, frames it with a sequence number and CRC, and
+// writes + fsyncs the record. It returns only after the record is durable.
+func (w *Writer) Append(typ Type, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling %s payload: %w", typ, err)
+	}
+	rec := Record{Seq: w.seq + 1, Type: typ, Time: time.Now().UTC(), Payload: body}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling %s record: %w", typ, err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%08x ", crc32.Checksum(line, castagnoli))
+	buf.Write(line)
+	buf.WriteByte('\n')
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: appending %s record: %w", typ, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s record: %w", typ, err)
+	}
+	w.seq = rec.Seq
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Scan is the result of validating a journal file.
+type Scan struct {
+	// Records is the longest valid prefix of the journal.
+	Records []Record
+	// Valid is the byte offset just past the last committed record;
+	// everything beyond it is a torn or corrupt tail.
+	Valid int64
+	// Torn reports whether the file had bytes past the valid prefix.
+	Torn bool
+}
+
+// Last returns the final committed record, or a zero Record if none.
+func (s *Scan) Last() Record {
+	if len(s.Records) == 0 {
+		return Record{}
+	}
+	return s.Records[len(s.Records)-1]
+}
+
+// ReadFile scans a journal, returning the longest valid prefix of records.
+// Corruption — a torn final line, a CRC mismatch, malformed JSON, a sequence
+// gap — is not an error: the scan simply stops there and reports Torn. Only
+// I/O failures are errors.
+func ReadFile(path string) (*Scan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading: %w", err)
+	}
+	scan := &Scan{}
+	offset := int64(0)
+	wantSeq := 1
+	for offset < int64(len(data)) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			break // incomplete final line: the append never committed
+		}
+		line := data[offset : offset+int64(nl)]
+		rec, ok := parseLine(line, wantSeq)
+		if !ok {
+			break
+		}
+		scan.Records = append(scan.Records, rec)
+		offset += int64(nl) + 1
+		wantSeq++
+	}
+	scan.Valid = offset
+	scan.Torn = offset < int64(len(data))
+	return scan, nil
+}
+
+// parseLine validates one framed record: 8 hex digits, a space, JSON whose
+// CRC-32C matches and whose sequence number is the expected one.
+func parseLine(line []byte, wantSeq int) (Record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	sum, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, false
+	}
+	body := line[9:]
+	if crc32.Checksum(body, castagnoli) != uint32(sum) {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, false
+	}
+	if rec.Seq != wantSeq || rec.Type == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// syncDir fsyncs a directory so a freshly created file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing dir: %w", err)
+	}
+	return nil
+}

@@ -43,7 +43,7 @@ func SuppressionProgram(q int) *datalog.Program {
 	for j := 0; j < q; j++ {
 		fmt.Fprintf(&b, "flagged(I) :- suppress%d(I).\n", j+1)
 	}
-	return datalog.MustParse(b.String())
+	return mustParse(b.String())
 }
 
 // CycleResult reports a declarative anonymization run.

@@ -29,6 +29,19 @@ import (
 	"vadasa/internal/mdb"
 )
 
+// mustParse parses one of this package's embedded program templates. The
+// templates are fixed text parameterized only by integers (schema width,
+// thresholds), so a parse failure here is a bug in this package, never bad
+// input — the regexp.MustCompile idiom. User-supplied program text goes
+// through datalog.Parse and surfaces as an error instead.
+func mustParse(src string) *datalog.Program {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		panic(fmt.Errorf("programs: embedded program: %w", err))
+	}
+	return p
+}
+
 // qiVars renders V1,..,Vq.
 func qiVars(q int) string {
 	vs := make([]string, q)
@@ -45,7 +58,7 @@ func qiVars(q int) string {
 // experience keep a labelled null as their category — the human-in-the-loop
 // queue.
 func Categorization() *datalog.Program {
-	return datalog.MustParse(`
+	return mustParse(`
 		cat(M,A,C) :- att(M,A), expbase(A1,C), sim(A,A1).
 		expbase(A,C) :- cat(M,A,C).
 		cat(M,A,C) :- att(M,A).
@@ -58,7 +71,7 @@ func Categorization() *datalog.Program {
 // monotonic msum (tuple id as contributor), and return risk 1/ΣW.
 func ReIdentification(q int) *datalog.Program {
 	v := qiVars(q)
-	return datalog.MustParse(fmt.Sprintf(`
+	return mustParse(fmt.Sprintf(`
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
 		riskout(I,R) :- tuple(I,%[1]s,W), tuplesum(%[1]s,S), R = 1 / S.
 	`, v))
@@ -69,7 +82,7 @@ func ReIdentification(q int) *datalog.Program {
 // the paper's case expression).
 func KAnonymity(q, k int) *datalog.Program {
 	v := qiVars(q)
-	return datalog.MustParse(fmt.Sprintf(`
+	return mustParse(fmt.Sprintf(`
 		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,W), C = mcount([I]).
 		riskout(I,1) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,C), C < %[2]d.
 		riskout(I,0) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,C), C >= %[2]d.
@@ -81,7 +94,7 @@ func KAnonymity(q, k int) *datalog.Program {
 // combination.
 func IndividualRisk(q int) *datalog.Program {
 	v := qiVars(q)
-	return datalog.MustParse(fmt.Sprintf(`
+	return mustParse(fmt.Sprintf(`
 		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,W), F = mcount([I]).
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
 		riskout(I,R) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S), R = F / S.
@@ -95,7 +108,7 @@ func IndividualRisk(q int) *datalog.Program {
 // built-in is what makes the closed form expressible declaratively.
 func IndividualRiskPosterior(q int) *datalog.Program {
 	v := qiVars(q)
-	return datalog.MustParse(fmt.Sprintf(`
+	return mustParse(fmt.Sprintf(`
 		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,W), F = mcount([I]).
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
 		riskout(I,R) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
@@ -112,7 +125,7 @@ func IndividualRiskPosterior(q int) *datalog.Program {
 // its quasi-identifier combination (the estimator Section 2.1 sketches).
 func WeightEstimation(q int, populationScale float64) *datalog.Program {
 	v := qiVars(q)
-	return datalog.MustParse(fmt.Sprintf(`
+	return mustParse(fmt.Sprintf(`
 		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,W), C = mcount([I]).
 		weightout(I,W) :- tuple(I,%[1]s,W0), tuplecnt(%[1]s,C), W = %[2]g * C.
 	`, v, populationScale))
@@ -122,7 +135,7 @@ func WeightEstimation(q int, populationScale float64) *datalog.Program {
 // ownership, or joint majority through already-controlled companies — the
 // msum-guarded recursion with rel(X,X) assumed, as the paper notes.
 func Control() *datalog.Program {
-	return datalog.MustParse(`
+	return mustParse(`
 		ctr(X,X) :- own(X,Y,W).
 		ctr(X,X) :- own(Y,X,W).
 		rel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
@@ -134,7 +147,7 @@ func Control() *datalog.Program {
 // 1 − Π(1 − ρ) over its cluster, computed with the monotonic product mprod.
 // Extensional predicates: entity(X), rel(X,Y) (control links), risk(X,R).
 func ClusterRisk() *datalog.Program {
-	return datalog.MustParse(`
+	return mustParse(`
 		samecluster(X,X) :- entity(X).
 		link(X,Y) :- rel(X,Y).
 		link(X,Y) :- rel(Y,X).
@@ -148,7 +161,7 @@ func ClusterRisk() *datalog.Program {
 // value that needs recoding. Extensional predicates: needrecode(attr, value)
 // plus the hierarchy facts typeof/subtypeof/isa/instof.
 func Recoding() *datalog.Program {
-	return datalog.MustParse(`
+	return mustParse(`
 		recode(A,V,Z) :- needrecode(A,V), typeof(A,X), subtypeof(X,Y), isa(V,Z), instof(Z,Y).
 	`)
 }
@@ -160,7 +173,7 @@ func Recoding() *datalog.Program {
 // numeric position used to extend combinations in increasing attribute
 // order (replacing the paper's non-stratified `not In(A,Z1)` guard).
 func Combinations() *datalog.Program {
-	return datalog.MustParse(`
+	return mustParse(`
 		comb(Z,I,N), inc(A,Z) :- tuplei(I), qiord(A,N).
 		comb(Z,I,N), ext(Z,Z1), inc(A,Z) :- comb(Z1,I,N1), qiord(A,N), N > N1.
 		inc(B,Z) :- ext(Z,Z1), inc(B,Z1).

@@ -1,0 +1,62 @@
+package risk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxMSUAttributes is the hard ceiling on the quasi-identifier count the MSU
+// combination search accepts: masks are 32-bit and the subset lattice beyond
+// 30 attributes is computationally out of reach anyway.
+const MaxMSUAttributes = 30
+
+// ErrTooManyAttributes reports a dataset whose quasi-identifier set exceeds
+// what a combinatorial risk measure can search. It is a permanent error: the
+// same dataset will fail the same way on every retry, so callers (job
+// managers, HTTP servers) should reject the request rather than retry it.
+type ErrTooManyAttributes struct {
+	// Count is the number of attributes requested; Max the supported limit.
+	Count, Max int
+}
+
+// Error implements error.
+func (e *ErrTooManyAttributes) Error() string {
+	return fmt.Sprintf("risk: MSU search supports at most %d attributes, got %d", e.Max, e.Count)
+}
+
+// transientError marks an error as worth retrying. It stays unexported: the
+// taxonomy is consumed through MarkTransient and IsTransient so the wrapped
+// chain keeps working with errors.Is/As.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient implements the classification probe used by IsTransient.
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true for it — the way a
+// plug-in assessor backed by a remote service (a reasoning cluster, a
+// database) labels I/O hiccups as retryable. A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in the chain declares itself
+// transient via a `Transient() bool` method. Everything else — including
+// context cancellation, which signals deliberate abandonment, and typed
+// permanent errors like ErrTooManyAttributes — is permanent: retrying cannot
+// help, so a job manager must fail the job instead of burning attempts.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}

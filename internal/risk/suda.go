@@ -96,6 +96,9 @@ func (a SUDA) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semanti
 // minimal exactly when no previously recorded MSU is a subset of it — the
 // pruning that keeps the enumeration polynomial per tuple and reproduces the
 // non-blowup behaviour of Figure 7f.
+//
+// MSUs requires len(idx) <= MaxMSUAttributes; beyond that it returns nil.
+// Use MSUsContext to receive the typed ErrTooManyAttributes instead.
 func MSUs(d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) [][]uint32 {
 	out, _ := MSUsContext(context.Background(), d, idx, maxK, sem)
 	return out
@@ -106,8 +109,8 @@ func MSUs(d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) [][]uint32 {
 // cancellation it drains the pool (no goroutine leaks) before returning an
 // error wrapping ctx.Err(). With a background context it never fails.
 func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem mdb.Semantics) ([][]uint32, error) {
-	if len(idx) > 30 {
-		panic(fmt.Sprintf("risk: MSU search supports at most 30 attributes, got %d", len(idx)))
+	if len(idx) > MaxMSUAttributes {
+		return nil, &ErrTooManyAttributes{Count: len(idx), Max: MaxMSUAttributes}
 	}
 	if maxK > len(idx) {
 		maxK = len(idx)

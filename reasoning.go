@@ -35,9 +35,17 @@ type (
 //	rel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
 func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
 
-// MustParseProgram is ParseProgram for embedded programs; it panics on
-// syntax errors.
-func MustParseProgram(src string) *Program { return datalog.MustParse(src) }
+// MustParseProgram is ParseProgram for programs embedded in source code —
+// the regexp.MustCompile idiom. It panics on syntax errors and must never be
+// fed user input; servers and pipelines parse untrusted program text with
+// ParseProgram, whose error return cannot take a daemon down.
+func MustParseProgram(src string) *Program {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // NewFactDB returns an empty extensional database.
 func NewFactDB() *FactDB { return datalog.NewDatabase() }

@@ -149,6 +149,12 @@ type (
 	AttrChoice = anon.AttrChoice
 	// TupleOrder picks which risky tuples to anonymize first.
 	TupleOrder = anon.TupleOrder
+	// CycleCheckpoint is one committed cycle iteration — the unit a durable
+	// job manager journals and later replays through ResumeAnonymizeContext.
+	CycleCheckpoint = anon.Checkpoint
+	// CheckpointFunc receives each committed iteration; an error aborts the
+	// cycle (write-ahead: un-journaled progress must not happen).
+	CheckpointFunc = anon.CheckpointFunc
 )
 
 // Runtime heuristics (Section 4.4).
