@@ -89,7 +89,7 @@ func faultServer(t *testing.T, measures map[string]func() vadasa.RiskMeasure, mu
 }
 
 // TestDeadlineExceededMidAssess blows the per-request deadline while the risk
-// measure is running and expects a prompt 503 — the request must not keep
+// measure is running and expects a prompt 504 — the request must not keep
 // burning CPU until the client gives up.
 func TestDeadlineExceededMidAssess(t *testing.T) {
 	m := newBlockingMeasure()
@@ -101,8 +101,8 @@ func TestDeadlineExceededMidAssess(t *testing.T) {
 	rec := do(t, h, "POST", "/assess?measure=blocking", figure1CSV(t))
 	elapsed := time.Since(start)
 
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503: %s", rec.Code, rec.Body)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rec.Code, rec.Body)
 	}
 	if !strings.Contains(rec.Body.String(), "deadline") {
 		t.Fatalf("body = %s, want a deadline hint", rec.Body)
@@ -129,8 +129,8 @@ func TestDeadlineExceededMidAnonymize(t *testing.T) {
 		func(s *server) { s.requestTimeout = 100 * time.Millisecond })
 
 	rec := do(t, h, "POST", "/anonymize?measure=blocking", figure1CSV(t))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503: %s", rec.Code, rec.Body)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rec.Code, rec.Body)
 	}
 	select {
 	case err := <-m.got:

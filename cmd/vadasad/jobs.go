@@ -31,6 +31,15 @@ func (s *server) jobRoutes(mux *http.ServeMux) {
 // returns 202 with the job id immediately. The cycle runs on the manager's
 // worker pool, journaling every iteration; progress survives crashes.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission control: while any server budget is saturated or the job
+	// volume is below its disk-headroom floor, a new job could only run
+	// straight into a pause — refuse it up front so the client retries
+	// against a server that can actually make progress. Existing paused
+	// jobs keep their claim on the capacity that frees up.
+	if err := s.govern.Err(); err != nil {
+		s.failRequest(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err != nil {
 		s.failRequest(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -51,8 +60,8 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if _, _, err := buildDataset(f, body, r.URL.Query()); err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+	if _, _, err := buildDataset(f, body, r.URL.Query(), s.cellCap()); err != nil {
+		s.failRequest(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -174,7 +183,7 @@ func (jr *jobRunner) Run(ctx context.Context, id string, spec jobs.Spec, resume 
 	if err != nil {
 		return nil, fmt.Errorf("reading spooled input: %w", err)
 	}
-	d, _, err := buildDataset(f, body, q)
+	d, _, err := buildDataset(f, body, q, s.cellCap())
 	if err != nil {
 		return nil, err
 	}

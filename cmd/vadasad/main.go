@@ -6,6 +6,7 @@
 //	vadasad [-addr :8321] [-kb kb.json] [-request-timeout 30s]
 //	        [-read-timeout 10s] [-shutdown-grace 10s]
 //	        [-max-inflight 64] [-max-budget 1000000000]
+//	        [-max-cells 10000000] [-mem-budget 0] [-disk-headroom 0]
 //	        [-job-dir DIR] [-job-workers 2] [-job-retries 3]
 //	        [-job-retry-base 100ms] [-job-retry-cap 5s]
 //
@@ -14,6 +15,9 @@
 // weight query parameters, comma-separated):
 //
 //	GET  /healthz              liveness (exempt from load shedding)
+//	GET  /readyz               readiness: 503 while startup recovery is
+//	                           replaying job journals or a resource budget
+//	                           is saturated; 200 once traffic is welcome
 //	GET  /measures             registered risk measures
 //	POST /categorize           attribute categorization report (JSON)
 //	POST /assess?measure=&k=   risk summary + risky tuple ids (JSON)
@@ -36,13 +40,14 @@
 //	POST /jobs/{id}/cancel     cancel; terminal across restarts
 //
 // Operational hardening. Every request runs under a wall-clock deadline
-// (-request-timeout; 503 with a JSON error when it expires, 499-style when
+// (-request-timeout; 504 with a JSON error when it expires, 499-style when
 // the client disconnects first) threaded as a context.Context down to the
 // risk measures, the anonymization cycle and the reasoning engine, so a
 // timed-out request stops consuming CPU promptly. At most -max-inflight
 // requests are served concurrently; the excess is shed with 429 and a
 // Retry-After header instead of queueing unboundedly. Request bodies are
-// capped at 64 MiB (413 beyond that). The reasoning engine's join-work
+// capped at 64 MiB (413 beyond that), and decoded CSVs at -max-cells
+// rows×columns (also 413; 0 disables). The reasoning engine's join-work
 // budget can be lowered per request with ?budget=N, capped by -max-budget.
 // A panicking handler is logged with its stack and answered with 500; the
 // daemon keeps serving. -read-timeout bounds how long a client may take to
@@ -50,6 +55,14 @@
 // derived from the request timeout. On SIGINT/SIGTERM the listener closes,
 // in-flight requests drain for up to -shutdown-grace, then the process
 // exits.
+//
+// Resource governance. -mem-budget caps the estimated bytes the server will
+// hold across all requests, jobs and engine evaluations at once (0 =
+// unlimited); -disk-headroom is the free-byte floor the job volume must
+// retain (0 = disabled). Requests that would overrun answer 503; running
+// jobs pause at their last journaled checkpoint and resume automatically
+// when pressure clears; /readyz turns not-ready so load balancers steer
+// traffic away while the server is saturated.
 //
 // The server is stateless across requests; the knowledge base is loaded at
 // startup.
@@ -66,6 +79,7 @@ import (
 	"time"
 
 	"vadasa"
+	"vadasa/internal/govern"
 	"vadasa/internal/jobs"
 )
 
@@ -82,6 +96,12 @@ func main() {
 		"maximum concurrently served requests; the excess gets 429 (0 disables shedding)")
 	maxBudget := flag.Int64("max-budget", defaultBudgetCeiling,
 		"ceiling for the per-request ?budget= reasoning work budget")
+	maxCells := flag.Int64("max-cells", defaultMaxCells,
+		"maximum rows×columns of a decoded CSV; larger datasets get 413 (0 disables)")
+	memBudget := flag.Int64("mem-budget", 0,
+		"server-wide estimated-memory budget in bytes; saturation 503s new work and pauses jobs (0 = unlimited)")
+	diskHeadroom := flag.Int64("disk-headroom", 0,
+		"free-byte floor for the job volume; below it journal appends pause their jobs (0 disables)")
 	jobDir := flag.String("job-dir", "",
 		"directory for durable anonymization jobs (journals, inputs, outputs); empty disables the /jobs API")
 	jobWorkers := flag.Int("job-workers", 2, "concurrent anonymization jobs")
@@ -113,34 +133,56 @@ func main() {
 		newFramework:   newFramework,
 		requestTimeout: *requestTimeout,
 		budgetCeiling:  *maxBudget,
+		maxCells:       *maxCells,
 	}
 	if *requestTimeout == 0 {
 		srv.requestTimeout = -1 // explicit opt-out, don't fall back to default
 	}
+	if *maxCells == 0 {
+		srv.maxCells = -1 // explicit opt-out, don't fall back to default
+	}
 	if *maxInflight > 0 {
 		srv.inflight = make(chan struct{}, *maxInflight)
+	}
+	if *memBudget > 0 || *diskHeadroom > 0 {
+		srv.govern = govern.New("server", govern.Limits{
+			MaxBytes:     *memBudget,
+			DiskDir:      *jobDir, // "" disables the disk check
+			DiskHeadroom: *diskHeadroom,
+		})
 	}
 	if *jobDir != "" {
 		srv.jobDir = *jobDir
 		mgr, err := jobs.NewManager(&jobRunner{srv: srv}, jobs.Options{
-			Dir:         *jobDir,
-			Workers:     *jobWorkers,
-			MaxAttempts: *jobRetries,
-			RetryBase:   *jobRetryBase,
-			RetryCap:    *jobRetryCap,
+			Dir:          *jobDir,
+			Workers:      *jobWorkers,
+			MaxAttempts:  *jobRetries,
+			RetryBase:    *jobRetryBase,
+			RetryCap:     *jobRetryCap,
+			DiskHeadroom: *diskHeadroom,
+			Governor:     srv.govern,
 		})
 		if err != nil {
 			log.Fatalf("vadasad: %v", err)
 		}
 		srv.jobs = mgr
 		defer mgr.Close()
-		resumed, err := mgr.Recover()
-		if err != nil {
-			log.Printf("vadasad: job recovery: %v", err)
-		}
-		if len(resumed) > 0 {
-			log.Printf("vadasad: resumed %d interrupted job(s): %v", len(resumed), resumed)
-		}
+		// Recovery replays journals and re-runs interrupted cycles; with
+		// many or large jobs that takes real time, and holding the
+		// listener closed meanwhile turns one restart into an outage.
+		// Serve immediately, answer /readyz with 503 until the replay is
+		// queued, and let load balancers decide what to do with that.
+		srv.recovering.Store(true)
+		go func() {
+			defer srv.recovering.Store(false)
+			resumed, err := mgr.Recover()
+			if err != nil {
+				log.Printf("vadasad: job recovery: %v", err)
+			}
+			if len(resumed) > 0 {
+				log.Printf("vadasad: resumed %d interrupted job(s): %v", len(resumed), resumed)
+			}
+		}()
 	}
 
 	httpSrv := newHTTPServer(*addr, srv, *readTimeout, *requestTimeout)
@@ -169,7 +211,7 @@ func main() {
 // newHTTPServer builds the hardened http.Server around the handler stack:
 // explicit read/write/idle timeouts so one slow peer cannot hold a
 // connection (and its goroutine) forever. The write timeout leaves the
-// request deadline room to produce a proper 503 body before the socket is
+// request deadline room to produce a proper 504 body before the socket is
 // closed.
 func newHTTPServer(addr string, s *server, readTimeout, requestTimeout time.Duration) *http.Server {
 	writeTimeout := requestTimeout + 10*time.Second

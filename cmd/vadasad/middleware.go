@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"vadasa/internal/govern"
 	"vadasa/internal/risk"
 )
 
@@ -67,16 +68,22 @@ func (s *server) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
+// probePath reports whether the request is a liveness or readiness probe.
+// Probes are exempt from load shedding and resource scoping: an overloaded
+// server is still alive, and an orchestrator deciding whether to route
+// traffic here must be able to ask — especially while we are saturated.
+func probePath(r *http.Request) bool {
+	return r.URL.Path == "/healthz" || r.URL.Path == "/readyz"
+}
+
 // withLimit bounds the number of in-flight requests with a semaphore and
 // sheds the excess with 429 + Retry-After rather than queueing unboundedly.
-// The liveness probe is exempt: an overloaded server is still alive, and
-// orchestrators must be able to see that.
 func (s *server) withLimit(next http.Handler) http.Handler {
 	if s.inflight == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if probePath(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -108,22 +115,51 @@ func (s *server) withDeadline(next http.Handler) http.Handler {
 	})
 }
 
+// withGovern opens a per-request child scope under the server governor and
+// threads it through the request context, so every byte the handlers and the
+// engine reserve rolls up to the server budget and is refunded when the
+// response is done. Probes are exempt — they must answer even when the very
+// thing they report on (saturation) is happening.
+func (s *server) withGovern(next http.Handler) http.Handler {
+	if s.govern == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probePath(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		g := s.govern.Child("request "+r.URL.Path, govern.Limits{})
+		defer g.Close()
+		next.ServeHTTP(w, r.WithContext(govern.With(r.Context(), g)))
+	})
+}
+
 // statusForError maps failure causes that carry their own semantics onto the
 // right status code, falling back to the handler's default otherwise:
-// oversized bodies are 413, a blown request deadline is 503 (the server gave
-// up, the client may retry later), a client disconnect is 499, and a dataset
-// whose quasi-identifier set exceeds a combinatorial measure's limit is 422
-// (the request is well-formed; this data cannot be evaluated that way).
+// oversized bodies and cell-count violations are 413, a blown request
+// deadline is 504 (the gateway-style "upstream work did not finish in time";
+// the client may retry later), a client disconnect is 499, an exhausted
+// resource budget is 503 (the server as a whole is over capacity, not this
+// request), and a dataset whose quasi-identifier set exceeds a combinatorial
+// measure's limit is 422 (the request is well-formed; this data cannot be
+// evaluated that way).
 func statusForError(err error, fallback int) int {
 	var tooBig *http.MaxBytesError
 	var tooMany *risk.ErrTooManyAttributes
+	var tooWide *cellLimitError
+	var overBudget *govern.ErrBudgetExceeded
 	switch {
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &tooWide):
+		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &tooMany):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.As(err, &overBudget):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
 	}
@@ -135,12 +171,19 @@ func statusForError(err error, fallback int) int {
 func (s *server) failRequest(w http.ResponseWriter, fallback int, err error) {
 	status := statusForError(err, fallback)
 	switch status {
-	case http.StatusServiceUnavailable:
+	case http.StatusGatewayTimeout:
 		err = fmt.Errorf("request deadline exceeded (raise -request-timeout or shrink the dataset): %w", err)
+	case http.StatusServiceUnavailable:
+		err = fmt.Errorf("server resource budget exhausted; retry when load drops: %w", err)
 	case statusClientClosedRequest:
 		err = fmt.Errorf("client cancelled the request: %w", err)
 	case http.StatusRequestEntityTooLarge:
-		err = fmt.Errorf("request body exceeds the %d-byte limit: %w", s.bodyLimit(), err)
+		// The cell-limit error explains itself; only the opaque stdlib
+		// body-cap error needs the limit spelled out.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			err = fmt.Errorf("request body exceeds the %d-byte limit: %w", s.bodyLimit(), err)
+		}
 	}
 	s.httpError(w, status, err)
 }

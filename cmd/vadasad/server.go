@@ -10,9 +10,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vadasa"
+	"vadasa/internal/govern"
 	"vadasa/internal/jobs"
 )
 
@@ -44,17 +46,43 @@ type server struct {
 	// jobDir is where inputs, outputs and journals live.
 	jobs   *jobs.Manager
 	jobDir string
+	// govern, when non-nil, is the server-wide resource governor: every
+	// request and job runs under a child scope of it, and /readyz turns
+	// not-ready while any of its budgets are saturated.
+	govern *govern.Governor
+	// maxCells caps rows×columns of a decoded CSV (0 = defaultMaxCells,
+	// negative = disabled). Oversized datasets are refused with 413
+	// before any parsing or categorization work is spent on them.
+	maxCells int64
+	// recovering is set while startup job recovery replays journals in
+	// the background; /readyz answers 503 until it clears.
+	recovering atomic.Bool
 }
 
 // defaultBudgetCeiling matches the engine's own MaxWork default: clients may
 // lower the join budget per request, never raise it past the server cap.
 const defaultBudgetCeiling = 1_000_000_000
 
+// defaultMaxCells bounds rows×columns of a decoded CSV when the operator
+// sets nothing: ten million cells is far beyond any interactive dataset but
+// well below what would stall the categorizer and the risk measures.
+const defaultMaxCells = 10_000_000
+
 func (s *server) bodyLimit() int64 {
 	if s.maxBody > 0 {
 		return s.maxBody
 	}
 	return 64 << 20
+}
+
+func (s *server) cellCap() int64 {
+	switch {
+	case s.maxCells > 0:
+		return s.maxCells
+	case s.maxCells < 0:
+		return 0 // disabled
+	}
+	return defaultMaxCells
 }
 
 func (s *server) budgetCap() int64 {
@@ -74,10 +102,12 @@ func (s *server) logPrintf(format string, args ...any) {
 
 // routes assembles the mux and the hardening middleware around it: panic
 // recovery outermost (it must catch everything), then load shedding, then
-// the per-request deadline.
+// the per-request deadline, then the per-request resource scope (innermost,
+// so its lifetime matches the handler exactly).
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /measures", s.handleMeasures)
 	mux.HandleFunc("POST /categorize", s.handleCategorize)
 	mux.HandleFunc("POST /assess", s.handleAssess)
@@ -86,11 +116,33 @@ func (s *server) routes() http.Handler {
 	if s.jobs != nil {
 		s.jobRoutes(mux)
 	}
-	return s.withRecovery(s.withLimit(s.withDeadline(mux)))
+	return s.withRecovery(s.withLimit(s.withDeadline(s.withGovern(mux))))
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: distinct from liveness, it reports
+// whether the daemon should receive NEW traffic right now. It answers 503
+// while startup recovery is still replaying job journals (serving before
+// that would race resumed jobs against fresh submissions for the same
+// budgets) and while any governor budget is saturated (new work would only
+// be refused with 503s anyway — better to tell the load balancer up front).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "recovering", "reason": "replaying job journals",
+		})
+		return
+	}
+	if err := s.govern.Err(); err != nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "saturated", "reason": err.Error(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
@@ -116,11 +168,29 @@ func (s *server) loadDataset(w http.ResponseWriter, r *http.Request) (*vadasa.Fr
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("reading body: %w", err)
 	}
-	d, report, err := buildDataset(f, body, r.URL.Query())
+	// The raw body is the floor of what this request will hold in memory;
+	// charging it up front makes admission fail fast instead of deep in
+	// the engine. The request scope releases it when the response is done.
+	if err := govern.From(r.Context()).Reserve(govern.Memory, int64(len(body))); err != nil {
+		return nil, nil, nil, err
+	}
+	d, report, err := buildDataset(f, body, r.URL.Query(), s.cellCap())
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return f, d, report, nil
+}
+
+// cellLimitError reports a CSV whose rows×columns product exceeds the
+// server's -max-cells guard. It maps to 413 like an oversized body: the
+// bytes may fit, but the decoded table would not.
+type cellLimitError struct {
+	rows, cols, limit int64
+}
+
+func (e *cellLimitError) Error() string {
+	return fmt.Sprintf("dataset of %d rows × %d columns = %d cells exceeds the %d-cell limit (-max-cells)",
+		e.rows, e.cols, e.rows*e.cols, e.limit)
 }
 
 // applyBudget validates and applies the ?budget= engine work cap.
@@ -145,8 +215,10 @@ func (s *server) applyBudget(f *vadasa.Framework, q url.Values) error {
 // shared between the synchronous handlers (live request) and the job runner
 // (parameters replayed from the journal). Header names are cleaned of a
 // UTF-8 BOM and surrounding whitespace before categorization, so exports
-// from spreadsheet tools categorize the same as clean CSVs.
-func buildDataset(f *vadasa.Framework, body []byte, q url.Values) (*vadasa.Dataset, *vadasa.CategorizationResult, error) {
+// from spreadsheet tools categorize the same as clean CSVs. maxCells, when
+// positive, bounds the decoded table's rows\u00d7columns \u2014 checked by counting
+// newlines before any parsing work is spent on an oversized body.
+func buildDataset(f *vadasa.Framework, body []byte, q url.Values, maxCells int64) (*vadasa.Dataset, *vadasa.CategorizationResult, error) {
 	if len(body) == 0 {
 		return nil, nil, fmt.Errorf("empty body; POST a CSV with a header row")
 	}
@@ -158,6 +230,15 @@ func buildDataset(f *vadasa.Framework, body []byte, q url.Values) (*vadasa.Datas
 	names := strings.Split(strings.TrimRight(header, "\r"), ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
+	}
+	if maxCells > 0 {
+		rows := int64(strings.Count(rest, "\n"))
+		if !strings.HasSuffix(rest, "\n") {
+			rows++ // final row without a trailing newline
+		}
+		if cells := rows * int64(len(names)); cells > maxCells {
+			return nil, nil, &cellLimitError{rows: rows, cols: int64(len(names)), limit: maxCells}
+		}
 	}
 
 	overrides := map[string]vadasa.Category{}

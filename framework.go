@@ -11,6 +11,7 @@ import (
 	"vadasa/internal/categorize"
 	"vadasa/internal/cluster"
 	"vadasa/internal/datalog"
+	"vadasa/internal/govern"
 	"vadasa/internal/hierarchy"
 	"vadasa/internal/mdb"
 	"vadasa/internal/programs"
@@ -154,11 +155,27 @@ func (f *Framework) SetReasonerBudget(maxWork int64) { f.maxWork = maxWork }
 // (0 = engine default).
 func (f *Framework) ReasonerBudget() int64 { return f.maxWork }
 
-func (f *Framework) reasonerOptions() *datalog.Options {
-	if f.maxWork <= 0 {
-		return nil
+// reasonerOptions assembles the engine options for one evaluation made
+// on behalf of this framework: the configured work budget, plus — when
+// ctx carries a resource governor — a per-evaluation child scope whose
+// byte charges roll up to the request or job above it. The returned
+// cleanup must run when the evaluation ends; it releases the whole
+// evaluation footprint.
+func (f *Framework) reasonerOptions(ctx context.Context) (*datalog.Options, func()) {
+	var opt datalog.Options
+	if f.maxWork > 0 {
+		opt.MaxWork = f.maxWork
 	}
-	return &datalog.Options{MaxWork: f.maxWork}
+	cleanup := func() {}
+	if g := govern.From(ctx); g != nil {
+		eg := g.Child("evaluation", govern.Limits{})
+		opt.Governor = eg
+		cleanup = eg.Close
+	}
+	if opt.MaxWork == 0 && opt.Governor == nil {
+		return nil, cleanup
+	}
+	return &opt, cleanup
 }
 
 // AssessRisk estimates per-tuple disclosure risk under maybe-match
@@ -242,7 +259,9 @@ func (f *Framework) ExplainRiskContext(ctx context.Context, d *Dataset, measure 
 
 	edb := datalog.NewDatabase()
 	programs.TupleFacts(edb, d)
-	res, err := datalog.RunContext(ctx, prog, edb, f.reasonerOptions())
+	opt, done := f.reasonerOptions(ctx)
+	defer done()
+	res, err := datalog.RunContext(ctx, prog, edb, opt)
 	if err != nil {
 		return "", fmt.Errorf("vadasa: explaining risk: %w", err)
 	}

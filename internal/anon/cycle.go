@@ -6,9 +6,20 @@ import (
 	"sort"
 	"time"
 
+	"vadasa/internal/govern"
 	"vadasa/internal/mdb"
 	"vadasa/internal/risk"
 )
+
+// decisionBytes estimates the heap footprint of a decision batch: the
+// struct plus its string payloads.
+func decisionBytes(ds []Decision) int64 {
+	n := int64(0)
+	for _, d := range ds {
+		n += 112 + int64(len(d.Attr)+len(d.Method))
+	}
+	return n
+}
 
 // TupleOrder selects which risky tuples are anonymized first (the first
 // runtime question of Section 4.4).
@@ -164,7 +175,26 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 		maxIter = 10_000
 	}
 
+	// When ctx carries a resource governor, the working clone and the
+	// accumulated decision/checkpoint buffers are charged against the
+	// memory budget; the whole footprint is refunded when the cycle
+	// returns. A failed reservation surfaces as the governor's typed
+	// error, which the job layer treats as back-pressure, not failure.
+	gov := govern.From(ctx)
+	var charged int64
+	defer func() { gov.Release(govern.Memory, charged) }()
+	charge := func(n int64, what string) error {
+		if err := gov.Reserve(govern.Memory, n); err != nil {
+			return fmt.Errorf("anon: %s: %w", what, err)
+		}
+		charged += n
+		return nil
+	}
+
 	work := d.Clone()
+	if err := charge(work.EstimatedBytes(), "cloning working dataset"); err != nil {
+		return nil, err
+	}
 	qi := work.QuasiIdentifiers()
 	if len(qi) == 0 {
 		return nil, fmt.Errorf("anon: dataset %q has no quasi-identifiers", d.Name)
@@ -262,6 +292,10 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 				decisions[i].Risk = risks[row]
 			}
 			iterDecisions = append(iterDecisions, decisions...)
+		}
+		if err := charge(decisionBytes(iterDecisions)+int64(len(iterExhausted)+len(newRisky))*8,
+			fmt.Sprintf("iteration %d checkpoint buffers", iter)); err != nil {
+			return nil, err
 		}
 		res.Decisions = append(res.Decisions, iterDecisions...)
 		anonTime := time.Since(t0)

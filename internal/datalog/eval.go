@@ -10,7 +10,8 @@ import (
 
 // Database is a set of ground facts grouped by predicate.
 type Database struct {
-	rels map[string]*relation
+	rels  map[string]*relation
+	bytes int64 // running estimate of heap bytes held, see tupleBytes
 }
 
 type relation struct {
@@ -47,8 +48,40 @@ func (db *Database) addTuple(pred string, t Tuple) bool {
 		r.byFirst[fk] = append(r.byFirst[fk], len(r.facts))
 	}
 	r.facts = append(r.facts, t)
+	db.bytes += tupleBytes(t) + int64(2*len(k)) + 2*mapEntryOverhead
 	return true
 }
+
+// Rough per-entry cost of the index and byFirst maps (bucket slot,
+// position int, slice header amortization).
+const mapEntryOverhead = 48
+
+// tupleBytes estimates the heap footprint of one stored tuple: slice
+// header plus, per value, the Val struct and any string or nested list
+// payload. Deliberately an estimate — the point is to bound runaway
+// chases in bytes, not to mirror the allocator.
+func tupleBytes(t Tuple) int64 {
+	n := int64(24) // tuple slice header
+	for _, v := range t {
+		n += valBytes(v)
+	}
+	return n
+}
+
+func valBytes(v Val) int64 {
+	n := int64(48) // Val struct: kind, float, id, string header, slice header
+	n += int64(len(v.s))
+	for _, e := range v.l {
+		n += valBytes(e)
+	}
+	return n
+}
+
+// EstimatedBytes reports the database's running heap-size estimate,
+// maintained incrementally by fact insertion. Governed evaluations
+// charge the growth of this figure against their memory budget every
+// fixpoint round.
+func (db *Database) EstimatedBytes() int64 { return db.bytes }
 
 // Facts returns the facts of a predicate, sorted.
 func (db *Database) Facts(pred string) []Tuple {
@@ -117,6 +150,7 @@ func (db *Database) clone() *Database {
 		}
 		c.rels[p] = nr
 	}
+	c.bytes = db.bytes
 	return c
 }
 
@@ -171,6 +205,21 @@ type Options struct {
 	// the number of facts derived — the operational visibility a
 	// production reasoner needs.
 	Trace io.Writer
+	// Governor, when set, is charged the growth of the database's
+	// estimated byte size at every fixpoint-round boundary and refunded
+	// when the run ends. A failed reservation aborts the run with the
+	// governor's error, so a labelled-null-heavy chase trips a byte
+	// budget long before the fact-count cap would. Declared locally so
+	// this package needs no dependency on the governor implementation;
+	// *govern.Governor satisfies it.
+	Governor Governor
+}
+
+// Governor is the engine-facing slice of a resource governor: reserve
+// estimated bytes before growing, release them when done.
+type Governor interface {
+	ReserveBytes(n int64) error
+	ReleaseBytes(n int64)
 }
 
 func (o *Options) withDefaults() Options {
@@ -186,6 +235,7 @@ func (o *Options) withDefaults() Options {
 			out.MaxWork = o.MaxWork
 		}
 		out.Trace = o.Trace
+		out.Governor = o.Governor
 	}
 	return out
 }
@@ -235,8 +285,27 @@ type evaluator struct {
 	skolem   map[string]Val // rule/var/frontier -> invented null
 	orders   [][]int        // literal evaluation order per rule
 	work     int64          // fact-match attempts so far (vs opt.MaxWork)
+	charged  int64          // db bytes already reserved with opt.Governor
 	aggState []map[string]*aggGroup
 	subst    map[uint64]Val // labelled-null unification from EGDs
+}
+
+// chargeMemory reserves the growth of the database's estimated size
+// since the last charge. The figure only ratchets up during a run;
+// everything is released in one step when the run returns.
+func (ev *evaluator) chargeMemory() error {
+	if ev.opt.Governor == nil {
+		return nil
+	}
+	b := ev.db.EstimatedBytes()
+	if b <= ev.charged {
+		return nil
+	}
+	if err := ev.opt.Governor.ReserveBytes(b - ev.charged); err != nil {
+		return fmt.Errorf("datalog: database estimated at %d bytes: %w", b, err)
+	}
+	ev.charged = b
+	return nil
 }
 
 type aggGroup struct {
@@ -278,6 +347,12 @@ func RunContext(ctx context.Context, p *Program, edb *Database, opt *Options) (*
 		nullCtr: edb.maxNullID(),
 		skolem:  make(map[string]Val),
 		subst:   make(map[uint64]Val),
+	}
+	if ev.opt.Governor != nil {
+		defer func() { ev.opt.Governor.ReleaseBytes(ev.charged) }()
+	}
+	if err := ev.chargeMemory(); err != nil { // the cloned input database
+		return nil, err
 	}
 	ev.orders = make([][]int, len(p.Rules))
 	for i := range p.Rules {
@@ -479,6 +554,9 @@ func (ev *evaluator) fixpoint(stratum int, rules []int) error {
 		fmt.Fprintf(ev.opt.Trace, "stratum %d seed: %d rules, %d facts derived, db %d\n",
 			stratum, len(rules), len(added), ev.db.Len())
 	}
+	if err := ev.chargeMemory(); err != nil {
+		return err
+	}
 
 	for round := 0; len(delta) > 0; round++ {
 		if round > ev.opt.MaxRounds {
@@ -489,6 +567,9 @@ func (ev *evaluator) fixpoint(stratum int, rules []int) error {
 		}
 		if ev.db.Len() > ev.opt.MaxFacts {
 			return fmt.Errorf("datalog: database exceeded %d facts (runaway chase?)", ev.opt.MaxFacts)
+		}
+		if err := ev.chargeMemory(); err != nil {
+			return err
 		}
 		next := make(map[string][]Tuple)
 		for _, ri := range rules {

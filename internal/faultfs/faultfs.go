@@ -1,0 +1,82 @@
+// Package faultfs abstracts the filesystem operations the durability
+// layer (internal/journal, internal/jobs) performs, so tests can
+// inject deterministic faults — ENOSPC after N bytes, EIO on the Kth
+// fsync, torn writes — and pin the degraded-mode behaviour of the
+// pipeline instead of hoping for it. Production code passes OS, a thin
+// passthrough to package os.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"vadasa/internal/govern"
+)
+
+// File is the subset of *os.File the durability layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface accepted by journal writers and the job
+// manager. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens with the given flags, like os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens for reading, like os.Open.
+	Open(name string) (File, error)
+	// ReadFile reads a whole file, like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// Remove deletes a file, like os.Remove.
+	Remove(name string) error
+	// MkdirAll creates a directory tree, like os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Glob matches files, like filepath.Glob.
+	Glob(pattern string) ([]string, error)
+	// Free reports the free bytes available on the filesystem holding
+	// dir, for disk-headroom checks. Implementations that cannot
+	// measure return a negative value and no error; callers skip the
+	// check.
+	Free(dir string) (int64, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+
+func (osFS) Free(dir string) (int64, error) {
+	n, err := govern.DiskFree(dir)
+	if err != nil {
+		return -1, nil // unmeasurable platform: skip headroom checks
+	}
+	return n, nil
+}

@@ -1,0 +1,129 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func create(t *testing.T, fsys FS, name string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return f
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	f := create(t, OS, name)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	b, err := OS.ReadFile(name)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	free, err := OS.Free(dir)
+	if err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if free == 0 {
+		t.Fatal("Free reported an exactly full disk on a writable tempdir")
+	}
+	matches, err := OS.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob = %v, %v", matches, err)
+	}
+}
+
+// ENOSPC lands after exactly N bytes; the straddling write persists
+// its allowed prefix (a torn record) and Unlimit reopens the volume.
+func TestWriteLimitENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	faulty := NewFaulty(OS)
+	name := filepath.Join(dir, "j")
+	f := create(t, faulty, name)
+	defer f.Close()
+
+	faulty.LimitWrites(10)
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within limit: %v", err)
+	}
+	_, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("straddling write err = %v, want ENOSPC", err)
+	}
+	if b, _ := os.ReadFile(name); string(b) != "12345678ab" {
+		t.Fatalf("on-disk bytes %q, want torn prefix %q", b, "12345678ab")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-limit write err = %v, want ENOSPC", err)
+	}
+	faulty.Unlimit()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after Unlimit: %v", err)
+	}
+}
+
+func TestFailSyncEIO(t *testing.T) {
+	dir := t.TempDir()
+	faulty := NewFaulty(OS)
+	f := create(t, faulty, filepath.Join(dir, "j"))
+	defer f.Close()
+
+	faulty.FailSync(2)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2 err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	faulty := NewFaulty(OS)
+	name := filepath.Join(dir, "j")
+	f := create(t, faulty, name)
+	defer f.Close()
+
+	faulty.TearWrite(2)
+	if _, err := f.Write([]byte("first\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	_, err := f.Write([]byte("toolongtosurvive"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write err = %v, want EIO", err)
+	}
+	b, _ := os.ReadFile(name)
+	if string(b) != "first\ntoolongt" {
+		t.Fatalf("on-disk bytes %q, want half of the second write", b)
+	}
+}
+
+func TestSetFree(t *testing.T) {
+	dir := t.TempDir()
+	faulty := NewFaulty(OS)
+	faulty.SetFree(123)
+	if n, err := faulty.Free(dir); err != nil || n != 123 {
+		t.Fatalf("pinned free = %d, %v", n, err)
+	}
+	faulty.SetFree(-1)
+	if n, err := faulty.Free(dir); err != nil || n <= 0 {
+		t.Fatalf("delegated free = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,21 @@
+package govern
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying g. Layers that allocate (datalog
+// evaluation, SUDA subset pools, anonymization clones) look the
+// governor up with From and charge it; a context without one runs
+// ungoverned, preserving the behaviour of callers that opt out.
+func With(ctx context.Context, g *Governor) context.Context {
+	return context.WithValue(ctx, ctxKey{}, g)
+}
+
+// From returns the governor carried by ctx, or nil if none. All
+// Governor methods are nil-safe no-ops, so callers may charge the
+// result without checking.
+func From(ctx context.Context) *Governor {
+	g, _ := ctx.Value(ctxKey{}).(*Governor)
+	return g
+}

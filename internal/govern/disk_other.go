@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package govern
+
+import "errors"
+
+var errUnsupported = errors.New("govern: disk free measurement unsupported on this platform")
+
+// DiskFree is unsupported here; headroom checks without an injected
+// Limits.DiskFree are skipped rather than failing work.
+func DiskFree(dir string) (int64, error) {
+	return 0, errUnsupported
+}

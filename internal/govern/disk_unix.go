@@ -1,0 +1,20 @@
+//go:build linux || darwin
+
+package govern
+
+import (
+	"errors"
+	"syscall"
+)
+
+var errUnsupported = errors.New("govern: disk free measurement unsupported on this platform")
+
+// DiskFree reports the free bytes available to unprivileged writers on
+// the filesystem holding dir.
+func DiskFree(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

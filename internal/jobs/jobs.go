@@ -18,11 +18,30 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"syscall"
 	"time"
 
 	"vadasa/internal/anon"
+	"vadasa/internal/faultfs"
+	"vadasa/internal/govern"
 )
+
+// IsDiskPressure reports whether err stems from a full or
+// quota-exhausted volume (ENOSPC, EDQUOT). Disk pressure is transient
+// in a stronger sense than a flaky assessor: space can free at any
+// moment and no number of back-to-back retries helps until it does —
+// so the manager pauses the job at its journaled prefix instead of
+// burning retry attempts or failing permanently.
+func IsDiskPressure(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// pausable reports whether a run failure is back-pressure rather than
+// a verdict on the job: disk pressure or a saturated resource budget.
+func pausable(err error) bool {
+	var ebe *govern.ErrBudgetExceeded
+	return IsDiskPressure(err) || errors.As(err, &ebe)
+}
 
 // Spec describes one anonymization job. It must round-trip through JSON
 // unchanged: the journal's start record is the only copy that survives a
@@ -40,14 +59,20 @@ type Spec struct {
 // State is a job's lifecycle phase.
 type State string
 
-// Job states. Pending and Running are transient; the rest are terminal and
-// recorded in the journal's done record.
+// Job states. Pending, Running and Paused are transient; the rest are
+// terminal and recorded in the journal's done record.
 const (
 	StatePending   State = "pending"
 	StateRunning   State = "running"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StatePaused marks a job parked at its last journaled checkpoint
+	// because the disk ran out of headroom or the resource governor was
+	// saturated. Paused is not a verdict: the manager re-queues the job
+	// when pressure clears, and across a restart the un-terminated
+	// journal makes Recover resume it like any interrupted job.
+	StatePaused State = "paused"
 )
 
 // Terminal reports whether s is a final state.
@@ -123,8 +148,8 @@ func newID() (string, error) {
 
 // digestFile returns the hex SHA-256 of the file at path — the fingerprint
 // recorded at submit time and re-checked before a recovery resumes over it.
-func digestFile(path string) (string, error) {
-	f, err := os.Open(path)
+func digestFile(fsys faultfs.FS, path string) (string, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return "", err
 	}

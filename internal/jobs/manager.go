@@ -4,14 +4,16 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"vadasa/internal/anon"
+	"vadasa/internal/faultfs"
+	"vadasa/internal/govern"
 	"vadasa/internal/journal"
 	"vadasa/internal/risk"
 )
@@ -34,6 +36,23 @@ type Options struct {
 	// QueueDepth bounds jobs waiting for a worker (default 256). Submit
 	// fails fast when the queue is full rather than blocking the caller.
 	QueueDepth int
+	// FS is the filesystem journals and inputs are accessed through;
+	// nil means the real one. Tests inject faultfs.Faulty to pin
+	// disk-pressure behaviour deterministically.
+	FS faultfs.FS
+	// DiskHeadroom, when positive, is the free-byte floor for the
+	// journal directory: appends are refused below it (pausing the
+	// job), and paused jobs resume only once free space is back above
+	// it.
+	DiskHeadroom int64
+	// Governor, when non-nil, is the scope job resource charges roll up
+	// to (normally the server's root governor). Each job runs under its
+	// own child scope; a saturated budget pauses the job rather than
+	// failing it.
+	Governor *govern.Governor
+	// PauseProbe is how often paused jobs re-check for pressure to
+	// clear (default 500ms; tests shorten it).
+	PauseProbe time.Duration
 }
 
 // Manager owns the worker pool and the journal directory. Create one with
@@ -65,7 +84,10 @@ func NewManager(runner Runner, opts Options) (*Manager, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("jobs: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: creating journal dir: %w", err)
 	}
 	if opts.Workers <= 0 {
@@ -83,6 +105,9 @@ func NewManager(runner Runner, opts Options) (*Manager, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 256
 	}
+	if opts.PauseProbe <= 0 {
+		opts.PauseProbe = 500 * time.Millisecond
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		runner:  runner,
@@ -98,7 +123,14 @@ func NewManager(runner Runner, opts Options) (*Manager, error) {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	m.wg.Add(1)
+	go m.resumeLoop()
 	return m, nil
+}
+
+// journalConfig is the filesystem configuration every job journal uses.
+func (m *Manager) journalConfig() journal.Config {
+	return journal.Config{FS: m.opts.FS, DiskHeadroom: m.opts.DiskHeadroom}
 }
 
 // Close stops accepting submissions, cancels running cycles, and waits for
@@ -128,7 +160,7 @@ func (m *Manager) Close() {
 // input file's SHA-256 — hits disk before Submit returns, so a crash a
 // microsecond later loses nothing.
 func (m *Manager) Submit(spec Spec) (Job, error) {
-	digest, err := digestFile(spec.Dataset)
+	digest, err := digestFile(m.opts.FS, spec.Dataset)
 	if err != nil {
 		return Job{}, fmt.Errorf("jobs: digesting input: %w", err)
 	}
@@ -136,7 +168,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	w, err := journal.Create(m.journalPath(id))
+	w, err := journal.CreateWith(m.journalPath(id), m.journalConfig())
 	if err != nil {
 		return Job{}, fmt.Errorf("jobs: creating journal: %w", err)
 	}
@@ -165,7 +197,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		delete(m.writers, id)
 		m.mu.Unlock()
 		w.Close()
-		os.Remove(m.journalPath(id))
+		m.opts.FS.Remove(m.journalPath(id))
 		return Job{}, fmt.Errorf("jobs: queue full (%d pending)", m.opts.QueueDepth)
 	}
 	return m.snapshot(j), nil
@@ -212,7 +244,7 @@ func (m *Manager) Cancel(id string) error {
 		return ErrNotFound
 	}
 	switch j.State {
-	case StatePending:
+	case StatePending, StatePaused:
 		m.finishLocked(j, StateCancelled, nil, "cancelled before execution")
 		m.mu.Unlock()
 		return nil
@@ -238,7 +270,7 @@ func (m *Manager) Cancel(id string) error {
 // never acted upon, so truncating them loses no work. Returns the ids of
 // re-queued jobs.
 func (m *Manager) Recover() ([]string, error) {
-	paths, err := filepath.Glob(filepath.Join(m.opts.Dir, "*.journal"))
+	paths, err := m.opts.FS.Glob(filepath.Join(m.opts.Dir, "*.journal"))
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +296,7 @@ func (m *Manager) Recover() ([]string, error) {
 // recoverOne loads one journal; it returns the job id when the job was
 // re-queued, "" when it was terminal or unusable.
 func (m *Manager) recoverOne(id, path string) (string, error) {
-	scan, err := journal.ReadFile(path)
+	scan, err := journal.ReadFileIn(m.opts.FS, path)
 	if err != nil {
 		return "", err
 	}
@@ -299,7 +331,7 @@ func (m *Manager) recoverOne(id, path string) (string, error) {
 
 	// Unterminated: the job was live when the process died. Reopen (which
 	// truncates any torn tail) and rebuild the committed progress.
-	w, scan, err := journal.OpenAppend(path)
+	w, scan, err := journal.OpenAppendWith(path, m.journalConfig())
 	if err != nil {
 		return "", err
 	}
@@ -333,7 +365,7 @@ func (m *Manager) recoverOne(id, path string) (string, error) {
 	// The journal is the truth about the input it was recorded against; a
 	// dataset file that changed since would make every journaled decision
 	// meaningless. Permanent failure, not a retry.
-	digest, err := digestFile(start.Spec.Dataset)
+	digest, err := digestFile(m.opts.FS, start.Spec.Dataset)
 	if err != nil {
 		m.finishLocked(j, StateFailed, nil, fmt.Sprintf("input vanished during recovery: %v", err))
 		m.mu.Unlock()
@@ -385,8 +417,18 @@ func (m *Manager) execute(j *Job) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	m.cancels[j.ID] = cancel
 	j.State = StateRunning
-	j.Started = time.Now()
+	if j.Started.IsZero() {
+		j.Started = time.Now()
+	}
 	m.mu.Unlock()
+	if m.opts.Governor != nil {
+		// Per-job scope: the cycle's datalog, SUDA and clone charges
+		// roll up through it to the server budget, and Close refunds
+		// whatever the attempt still held, pass or fail.
+		jg := m.opts.Governor.Child("job "+j.ID, govern.Limits{})
+		defer jg.Close()
+		ctx = govern.With(ctx, jg)
+	}
 	defer func() {
 		cancel()
 		m.mu.Lock()
@@ -414,6 +456,20 @@ func (m *Manager) execute(j *Job) {
 			}
 			// Manager shutdown: no terminal record — Recover resumes the
 			// job from its last committed iteration on the next start.
+			m.mu.Unlock()
+			return
+		case pausable(err):
+			// Disk pressure or a saturated resource budget is
+			// back-pressure, not a verdict: park the job at its last
+			// journaled checkpoint with the journal open. The resume
+			// loop re-queues it once pressure clears; across a restart
+			// the un-terminated journal recovers it like any
+			// interrupted job. The attempt is refunded — waiting for
+			// space must not eat the retry budget.
+			m.mu.Lock()
+			j.Attempts--
+			j.State = StatePaused
+			j.Error = err.Error()
 			m.mu.Unlock()
 			return
 		case risk.IsTransient(err) && attempt < m.opts.MaxAttempts:
@@ -454,6 +510,14 @@ func (m *Manager) attempt(ctx context.Context, j *Job) (out *Outcome, err error)
 			return fmt.Errorf("jobs: journal for %s is closed", j.ID)
 		}
 		if err := w.Append(journal.TypeIter, encodeCheckpoint(cp)); err != nil {
+			// A failed append may have torn a partial record into the
+			// file (ENOSPC mid-write). Truncate back to the committed
+			// prefix now — shrinking needs no free space — so both an
+			// in-process resume and a post-crash recovery see a clean
+			// journal. The original error still decides the job's fate.
+			if rerr := w.Repair(); rerr != nil {
+				return fmt.Errorf("%w (and repair failed: %v)", err, rerr)
+			}
 			return err
 		}
 		j.resume = append(j.resume, cp)
@@ -484,6 +548,78 @@ func (m *Manager) snapshot(j *Job) Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return *j
+}
+
+// pressure reports why paused jobs cannot yet resume: the journal
+// volume is below the disk-headroom floor, or the governor is
+// saturated. Nil means the coast is clear.
+func (m *Manager) pressure() error {
+	if m.opts.DiskHeadroom > 0 {
+		free, err := m.opts.FS.Free(m.opts.Dir)
+		if err == nil && free >= 0 && free < m.opts.DiskHeadroom {
+			return fmt.Errorf("jobs: %d bytes free below %d headroom: %w", free, m.opts.DiskHeadroom, syscall.ENOSPC)
+		}
+	}
+	if m.opts.Governor != nil {
+		if err := m.opts.Governor.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resumeLoop periodically re-queues paused jobs once pressure clears.
+// It is the other half of the pause contract: a job parked on ENOSPC
+// or a saturated budget is the manager's to wake, not the client's.
+func (m *Manager) resumeLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opts.PauseProbe)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-ticker.C:
+			m.resumePaused()
+		}
+	}
+}
+
+func (m *Manager) resumePaused() {
+	if m.pressure() != nil {
+		return
+	}
+	m.mu.Lock()
+	var ready []*Job
+	for _, j := range m.jobs {
+		if j.State == StatePaused {
+			ready = append(ready, j)
+		}
+	}
+	// Oldest first, ties by id: deterministic wake order.
+	sort.Slice(ready, func(i, k int) bool {
+		if !ready[i].Created.Equal(ready[k].Created) {
+			return ready[i].Created.Before(ready[k].Created)
+		}
+		return ready[i].ID < ready[k].ID
+	})
+	for _, j := range ready {
+		j.State = StatePending
+		j.Error = ""
+	}
+	m.mu.Unlock()
+	for _, j := range ready {
+		select {
+		case m.queue <- j:
+		default:
+			// Queue full: park again and try at the next probe.
+			m.mu.Lock()
+			if j.State == StatePending {
+				j.State = StatePaused
+			}
+			m.mu.Unlock()
+		}
+	}
 }
 
 // backoff returns the jittered delay before retry number attempt+1:

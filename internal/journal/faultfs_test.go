@@ -1,0 +1,107 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"vadasa/internal/faultfs"
+)
+
+// An append into a volume below the configured headroom is refused
+// before any bytes are written — the record is simply absent, not torn
+// — and succeeds once space frees.
+func TestAppendHeadroomCheck(t *testing.T) {
+	dir := t.TempDir()
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	path := filepath.Join(dir, "job.journal")
+	w, err := CreateWith(path, Config{FS: faulty, DiskHeadroom: 1 << 20})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer w.Close()
+
+	if err := w.Append(TypeStart, map[string]int{"a": 1}); err != nil {
+		t.Fatalf("append with space: %v", err)
+	}
+	faulty.SetFree(100) // below the 1 MiB headroom
+	err = w.Append(TypeIter, map[string]int{"a": 2})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under pressure err = %v, want ENOSPC", err)
+	}
+	faulty.SetFree(-1) // space freed
+	if err := w.Append(TypeIter, map[string]int{"a": 3}); err != nil {
+		t.Fatalf("append after pressure cleared: %v", err)
+	}
+
+	scan, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(scan.Records) != 2 || scan.Torn {
+		t.Fatalf("got %d records (torn=%v), want 2 clean", len(scan.Records), scan.Torn)
+	}
+	if scan.Records[1].Seq != 2 {
+		t.Fatalf("second record seq = %d, want 2 (no gap from the refused append)", scan.Records[1].Seq)
+	}
+}
+
+// A write that hits the injected byte limit leaves a torn tail that
+// OpenAppendWith repairs, after which appending resumes cleanly.
+func TestTornAppendRepairedThroughFaultyFS(t *testing.T) {
+	dir := t.TempDir()
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	path := filepath.Join(dir, "job.journal")
+	w, err := CreateWith(path, Config{FS: faulty})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := w.Append(TypeStart, map[string]string{"job": "x"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	faulty.LimitWrites(20) // the next record tears mid-line
+	if err := w.Append(TypeIter, map[string]int{"iter": 0}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn append err = %v, want ENOSPC", err)
+	}
+	w.Close()
+	faulty.Unlimit()
+
+	w2, scan, err := OpenAppendWith(path, Config{FS: faulty})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(scan.Records) != 1 || !scan.Torn {
+		t.Fatalf("scan = %d records, torn=%v; want 1 record with torn tail", len(scan.Records), scan.Torn)
+	}
+	if err := w2.Append(TypeIter, map[string]int{"iter": 0}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	final, err := ReadFileIn(faulty, path)
+	if err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	if len(final.Records) != 2 || final.Torn {
+		t.Fatalf("final scan = %d records, torn=%v; want 2 clean", len(final.Records), final.Torn)
+	}
+}
+
+// An EIO on fsync surfaces as an append error; the record is not
+// acknowledged even though its bytes may have reached the page cache.
+func TestFsyncFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	faulty := faultfs.NewFaulty(faultfs.OS)
+	w, err := CreateWith(filepath.Join(dir, "j"), Config{FS: faulty})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer w.Close()
+	faulty.FailSync(1)
+	if err := w.Append(TypeStart, 1); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append err = %v, want EIO", err)
+	}
+	if err := w.Append(TypeStart, 1); err != nil {
+		t.Fatalf("append after sync fault: %v", err)
+	}
+}

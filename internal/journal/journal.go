@@ -23,7 +23,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"syscall"
 	"time"
+
+	"vadasa/internal/faultfs"
 )
 
 // Type tags a journal record. The journal itself accepts any non-empty type;
@@ -66,25 +69,60 @@ func (r Record) Decode(v any) error {
 // most storage formats; better error detection than IEEE for short records).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Config parameterizes how a journal touches the filesystem. The zero
+// Config selects the real filesystem with no headroom check, matching
+// the historical behaviour of Create/OpenAppend.
+type Config struct {
+	// FS is the filesystem the journal writes through; nil means the
+	// real one. Tests inject faultfs.Faulty here to pin crash and
+	// disk-pressure behaviour deterministically.
+	FS faultfs.FS
+	// DiskHeadroom, when positive, is the minimum number of free bytes
+	// the journal's filesystem must retain before an append is
+	// attempted. A violation fails the append with an error matching
+	// errors.Is(err, syscall.ENOSPC) — before any bytes are written, so
+	// the journal never adds a torn record to an already-full volume.
+	DiskHeadroom int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = faultfs.OS
+	}
+	return c
+}
+
 // Writer appends records to a journal file, fsyncing each one.
 type Writer struct {
-	f    *os.File
+	f    faultfs.File
+	fs   faultfs.FS
 	path string
 	seq  int
+	// off is the byte offset just past the last committed record — the
+	// truncation point Repair restores after a failed append.
+	off int64
+	// headroom is the pre-append free-space floor (0 = unchecked).
+	headroom int64
 }
 
 // Create creates a fresh journal at path (failing if it already exists) and
 // fsyncs the parent directory so the file itself survives a crash.
 func Create(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	return CreateWith(path, Config{})
+}
+
+// CreateWith is Create under an explicit filesystem configuration.
+func CreateWith(path string, cfg Config) (*Writer, error) {
+	cfg = cfg.withDefaults()
+	f, err := cfg.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := syncDir(cfg.FS, filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, path: path}, nil
+	return &Writer{f: f, fs: cfg.FS, path: path, headroom: cfg.DiskHeadroom}, nil
 }
 
 // OpenAppend opens an existing journal for appending: it scans the file,
@@ -92,11 +130,17 @@ func Create(path string) (*Writer, error) {
 // crash mid-append), and positions the writer after the last committed
 // record. The scan is returned so the caller can rebuild its state.
 func OpenAppend(path string) (*Writer, *Scan, error) {
-	scan, err := ReadFile(path)
+	return OpenAppendWith(path, Config{})
+}
+
+// OpenAppendWith is OpenAppend under an explicit filesystem configuration.
+func OpenAppendWith(path string, cfg Config) (*Writer, *Scan, error) {
+	cfg = cfg.withDefaults()
+	scan, err := ReadFileIn(cfg.FS, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := cfg.FS.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open: %w", err)
 	}
@@ -118,12 +162,23 @@ func OpenAppend(path string) (*Writer, *Scan, error) {
 	if n := len(scan.Records); n > 0 {
 		seq = scan.Records[n-1].Seq
 	}
-	return &Writer{f: f, path: path, seq: seq}, scan, nil
+	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: scan.Valid, headroom: cfg.DiskHeadroom}, scan, nil
 }
 
 // Append marshals the payload, frames it with a sequence number and CRC, and
 // writes + fsyncs the record. It returns only after the record is durable.
 func (w *Writer) Append(typ Type, payload any) error {
+	if w.headroom > 0 {
+		free, err := w.fs.Free(filepath.Dir(w.path))
+		if err == nil && free >= 0 && free < w.headroom {
+			// Refuse before writing a single byte: an append into a
+			// nearly-full volume would at best leave a torn record to
+			// repair. Wrapping ENOSPC lets the job layer classify this
+			// exactly like a write that hit the real wall.
+			return fmt.Errorf("journal: %d bytes free below %d headroom before %s append: %w",
+				free, w.headroom, typ, syscall.ENOSPC)
+		}
+	}
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("journal: marshaling %s payload: %w", typ, err)
@@ -144,6 +199,27 @@ func (w *Writer) Append(typ Type, payload any) error {
 		return fmt.Errorf("journal: syncing %s record: %w", typ, err)
 	}
 	w.seq = rec.Seq
+	w.off += int64(buf.Len())
+	return nil
+}
+
+// Repair truncates the file back to the end of the last committed
+// record, discarding whatever a failed append left behind (a torn line
+// from an ENOSPC mid-write), and repositions the writer there. A
+// writer that keeps appending after a failed Append without repairing
+// would bury its next record behind garbage the reader stops at; a
+// paused job repairs before it parks so the journal stays clean for
+// both in-process resume and post-crash recovery.
+func (w *Writer) Repair() error {
+	if err := w.f.Truncate(w.off); err != nil {
+		return fmt.Errorf("journal: repairing torn tail: %w", err)
+	}
+	if _, err := w.f.Seek(w.off, 0); err != nil {
+		return fmt.Errorf("journal: seeking after repair: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing repair: %w", err)
+	}
 	return nil
 }
 
@@ -174,7 +250,12 @@ func (s *Scan) Last() Record {
 // gap — is not an error: the scan simply stops there and reports Torn. Only
 // I/O failures are errors.
 func ReadFile(path string) (*Scan, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileIn(faultfs.OS, path)
+}
+
+// ReadFileIn is ReadFile through an explicit filesystem.
+func ReadFileIn(fsys faultfs.FS, path string) (*Scan, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: reading: %w", err)
 	}
@@ -226,8 +307,8 @@ func parseLine(line []byte, wantSeq int) (Record, bool) {
 
 // syncDir fsyncs a directory so a freshly created file's directory entry is
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("journal: opening dir for sync: %w", err)
 	}

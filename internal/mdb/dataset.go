@@ -127,6 +127,24 @@ func (d *Dataset) Append(r *Row) {
 	d.Rows = append(d.Rows, r)
 }
 
+// EstimatedBytes estimates the dataset's heap footprint: per-row
+// pointer, struct and value storage plus string payloads. Resource
+// governors charge dataset clones against their memory budget with
+// this figure; it is a sizing estimate, not an allocator mirror.
+func (d *Dataset) EstimatedBytes() int64 {
+	n := int64(len(d.Name)) + int64(len(d.Attrs))*64
+	for _, a := range d.Attrs {
+		n += int64(len(a.Name))
+	}
+	for _, r := range d.Rows {
+		n += 8 + 48 // row pointer + Row struct (ID, slice header, weight)
+		for _, v := range r.Values {
+			n += 32 + int64(len(v.s))
+		}
+	}
+	return n
+}
+
 // Clone deep-copies the dataset, including the null-allocator state, so
 // anonymization runs never disturb the original data.
 func (d *Dataset) Clone() *Dataset {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vadasa/internal/govern"
 	"vadasa/internal/mdb"
 )
 
@@ -115,7 +116,27 @@ func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem m
 	if maxK > len(idx) {
 		maxK = len(idx)
 	}
+	// When ctx carries a resource governor, the subset pool, the
+	// per-worker buffers and the recorded MSUs are charged against the
+	// memory budget and the worker pool against the goroutine budget,
+	// so a combinatorial blowup trips a typed budget error instead of
+	// exhausting the process. Everything is refunded when the search
+	// returns; govern methods are nil-safe, so the ungoverned path pays
+	// only nil checks.
+	gov := govern.From(ctx)
+	var charged int64
+	defer func() { gov.Release(govern.Memory, charged) }()
+	reserve := func(n int64, what string, s int) error {
+		if err := gov.Reserve(govern.Memory, n); err != nil {
+			return fmt.Errorf("risk: MSU search %s at combination size %d: %w", what, s, err)
+		}
+		charged += n
+		return nil
+	}
 	out := make([][]uint32, len(d.Rows))
+	if err := reserve(int64(len(d.Rows))*24, "result buffers", 0); err != nil {
+		return nil, err
+	}
 
 	var masks []uint32
 	var genMasks func(start int, mask uint32, size int)
@@ -137,6 +158,15 @@ func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem m
 	for s := 1; s <= maxK; s++ {
 		masks = masks[:0]
 		genMasks(0, 0, s)
+		// Subset pool (masks + per-mask unique-row slice headers) and
+		// per-worker scratch for this size class.
+		pool := int64(len(masks))*(4+24) + int64(workers)*int64(8*maxK+48)
+		if err := reserve(pool, "subset pool", s); err != nil {
+			return nil, err
+		}
+		if err := gov.Reserve(govern.Goroutines, int64(workers)); err != nil {
+			return nil, fmt.Errorf("risk: MSU search worker pool at combination size %d: %w", s, err)
+		}
 		unique := make([][]int, len(masks)) // rows that are sample-unique per mask
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -171,11 +201,14 @@ func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem m
 		}
 		close(next)
 		wg.Wait()
+		gov.Release(govern.Goroutines, int64(workers))
 		if cancelled != nil {
 			return nil, cancelled
 		}
 
+		var uniqueRows, recorded int64
 		for mi, mask := range masks {
+			uniqueRows += int64(len(unique[mi]))
 			for _, row := range unique[mi] {
 				minimal := true
 				for _, m := range out[row] {
@@ -186,8 +219,14 @@ func MSUsContext(ctx context.Context, d *mdb.Dataset, idx []int, maxK int, sem m
 				}
 				if minimal {
 					out[row] = append(out[row], mask)
+					recorded++
 				}
 			}
+		}
+		// Charge what this size class actually accumulated: the unique-row
+		// indexes folded above and the MSUs recorded into the result.
+		if err := reserve(uniqueRows*8+recorded*4, "recorded uniques", s); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
