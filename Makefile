@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race staticcheck govulncheck check bench
+.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,20 @@ vet:
 # race-clean.
 race:
 	$(GO) test -race ./...
+
+# lint-programs runs vadalint (internal/datalog/lint) over every Vadalog
+# artifact the repo ships: the generated template library plus the .vada
+# files under docs/programs and the clean corpus in internal/datalog/
+# testdata/programs. Any error-severity diagnostic fails the build.
+lint-programs:
+	$(GO) run ./cmd/vadalint -library internal/programs internal/datalog/testdata docs/programs
+
+# vet-analyzers builds the engine-invariant vet passes (tools/analyzers is
+# a separate stdlib-only module), runs their own test suite, then applies
+# them to this module through the `go vet -vettool` protocol.
+vet-analyzers:
+	cd tools/analyzers && $(GO) build -o vadavet ./cmd/vadavet && $(GO) test ./...
+	$(GO) vet -vettool=$(abspath tools/analyzers/vadavet) ./...
 
 # The static analyzers are separate modules, not dependencies of this one
 # (the repo stays stdlib-only). When the binaries are on PATH they run;
@@ -36,7 +50,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI runs it pinned)"; \
 	fi
 
-check: vet race staticcheck govulncheck
+check: vet lint-programs vet-analyzers race staticcheck govulncheck
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,199 @@
+// Command vadalint is the diagnostics-grade static analyzer for Vadalog
+// programs: it parses every .vada file it is given (directories are walked
+// recursively), runs the full lint pass registry, and reports structured,
+// position-tagged diagnostics instead of the engine's first-error-wins
+// strings.
+//
+// Usage:
+//
+//	vadalint [flags] [path ...]
+//
+// Paths are .vada files or directories. With -library the built-in program
+// templates are linted as well (or instead, when no paths are given).
+// Programs declare their extensional/output predicates and waivers with
+// source directives:
+//
+//	% vadalint:input tuple supervised
+//	% vadalint:output riskout
+//	% vadalint:allow VL003 reason...         (this or the next line)
+//	% vadalint:allow-file VL001 reason...    (whole file)
+//
+// or via the -inputs/-outputs/-allow flags, which apply to every file.
+//
+// Exit status: 0 when no error-severity diagnostics were found, 1 when at
+// least one error was reported, 2 on usage or I/O problems.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vadasa/internal/datalog/lint"
+	"vadasa/internal/programs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vadalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	library := fs.Bool("library", false, "also lint the built-in program templates")
+	minSev := fs.String("severity", "info", "lowest severity to report: info, warn, or error")
+	inputs := fs.String("inputs", "", "comma-separated extensional predicates (applies to every file)")
+	outputs := fs.String("outputs", "", "comma-separated output predicates (applies to every file)")
+	allow := fs.String("allow", "", "comma-separated diagnostic codes to suppress everywhere")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vadalint [flags] [path ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 && !*library {
+		fs.Usage()
+		return 2
+	}
+	floor, ok := parseSeverity(*minSev)
+	if !ok {
+		fmt.Fprintf(stderr, "vadalint: unknown severity %q\n", *minSev)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	status := 0
+	total := 0
+	for _, root := range fs.Args() {
+		files, err := collect(root)
+		if err != nil {
+			fmt.Fprintf(stderr, "vadalint: %v\n", err)
+			return 2
+		}
+		// A directory without .vada files is fine on its own (e.g. a package
+		// whose programs are generated in Go); only an entirely empty run is
+		// a usage error, checked after the loop.
+		total += len(files)
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintf(stderr, "vadalint: %v\n", err)
+				return 2
+			}
+			diags = append(diags, lint.Source(file, string(src), &lint.Options{
+				File:    file,
+				Inputs:  splitList(*inputs),
+				Outputs: splitList(*outputs),
+				Allow:   splitList(*allow),
+			})...)
+		}
+	}
+	if total == 0 && fs.NArg() > 0 && !*library {
+		fmt.Fprintf(stderr, "vadalint: no .vada files under %s\n", strings.Join(fs.Args(), " "))
+		return 2
+	}
+	if *library {
+		for _, e := range programs.Library() {
+			diags = append(diags, lint.Check(e.Build(), &lint.Options{
+				File:    "library/" + e.Name,
+				Inputs:  append(splitList(*inputs), e.Inputs...),
+				Outputs: append(splitList(*outputs), e.Outputs...),
+				Allow:   append(splitList(*allow), e.Allow...),
+			})...)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Severity >= floor {
+			kept = append(kept, d)
+		}
+		if d.Severity == lint.SeverityError {
+			status = 1
+		}
+	}
+	diags = kept
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos.File != diags[j].Pos.File {
+			return diags[i].Pos.File < diags[j].Pos.File
+		}
+		return false // per-file order is already positional
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "vadalint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, lint.FormatText(d))
+		}
+	}
+	return status
+}
+
+// collect resolves one CLI path into the .vada files underneath it.
+func collect(root string) ([]string, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{root}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".vada") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func parseSeverity(s string) (lint.Severity, bool) {
+	switch s {
+	case "info":
+		return lint.SeverityInfo, true
+	case "warn", "warning":
+		return lint.SeverityWarn, true
+	case "error":
+		return lint.SeverityError, true
+	}
+	return 0, false
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vadasa/internal/datalog/lint"
+)
+
+func writeFile(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanDirectory(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "ok.vada", "% vadalint:input q\n% vadalint:output p\np(X) :- q(X).\n")
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("want exit 0, got %d (stdout=%q stderr=%q)", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run must be silent, got %q", out.String())
+	}
+}
+
+func TestRunErrorExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "clash.vada", "% vadalint:output rel\nown(\"a\",\"b\",0.6).\nrel(X,Y) :- own(X,Y).\n")
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("want exit 1, got %d (stderr=%q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "VL002") {
+		t.Errorf("want a VL002 diagnostic on stdout, got %q", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "clash.vada", "own(\"a\",\"b\",0.6).\nrel(X,Y) :- own(X,Y).\n")
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "-outputs", "rel", dir}, &out, &errb); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a diagnostics array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Code != lint.CodeArity {
+		t.Errorf("want one VL002, got %+v", diags)
+	}
+	if diags[0].Pos.Line != 2 {
+		t.Errorf("want line 2, got %d", diags[0].Pos.Line)
+	}
+}
+
+func TestRunSeverityFloor(t *testing.T) {
+	dir := t.TempDir()
+	// Singleton Y is warn-severity: reported by default, hidden at -severity
+	// error, and the exit stays 0 either way.
+	writeFile(t, dir, "single.vada", "% vadalint:input q\n% vadalint:output p\np(X) :- q(X,Y).\n")
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("warn-only program must exit 0, got %d", code)
+	}
+	if !strings.Contains(out.String(), "VL003") {
+		t.Errorf("want the VL003 warning, got %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-severity", "error", dir}, &out, &errb); code != 0 {
+		t.Fatalf("want exit 0, got %d", code)
+	}
+	if out.String() != "" {
+		t.Errorf("-severity error must hide warnings, got %q", out.String())
+	}
+}
+
+func TestRunLibrary(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-library"}, &out, &errb); code != 0 {
+		t.Fatalf("built-in library must lint clean, got exit %d:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no arguments: want exit 2, got %d", code)
+	}
+	if code := run([]string{"-severity", "bogus", "x.vada"}, &out, &errb); code != 2 {
+		t.Errorf("bad severity: want exit 2, got %d", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.vada")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: want exit 2, got %d", code)
+	}
+}

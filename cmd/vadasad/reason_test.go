@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"vadasa/internal/datalog/lint"
+)
+
+func TestLintEndpointCleanProgram(t *testing.T) {
+	src := "% vadalint:input q\n% vadalint:output p\np(X) :- q(X).\n"
+	rec := do(t, testServer(), "POST", "/lint", src)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		Errors      int               `json:"errors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Diagnostics) != 0 || out.Errors != 0 {
+		t.Fatalf("want clean report, got %s", rec.Body)
+	}
+}
+
+func TestLintEndpointBrokenProgram(t *testing.T) {
+	// Arity clash: own/3 fact versus own/2 in the rule body. Linting a
+	// broken program still succeeds — 200 with the findings.
+	src := "own(\"a\",\"b\",0.6).\nrel(X,Y) :- own(X,Y).\n"
+	rec := do(t, testServer(), "POST", "/lint?outputs=rel", src)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		Errors      int               `json:"errors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 1 || len(out.Diagnostics) != 1 {
+		t.Fatalf("want one error, got %s", rec.Body)
+	}
+	d := out.Diagnostics[0]
+	if d.Code != lint.CodeArity || d.Pos.Line != 2 || d.Pos.Col != 13 {
+		t.Errorf("want %s at 2:13, got %s at %d:%d", lint.CodeArity, d.Code, d.Pos.Line, d.Pos.Col)
+	}
+}
+
+func TestReasonEndpoint(t *testing.T) {
+	body, _ := json.Marshal(map[string]any{
+		"program": "ctr(X,X) :- own(X,_Y,_W).\nrel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.\nctr(X,Y) :- rel(X,Y).\nctr(X,X) :- own(_Y,X,_W).",
+		"facts": map[string][][]any{
+			"own": {{"a", "b", 0.6}, {"b", "c", 0.6}},
+		},
+		"query": []string{"ctr"},
+	})
+	rec := do(t, testServer(), "POST", "/reason", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Facts map[string][][]any `json:"facts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]string]bool{}
+	for _, row := range out.Facts["ctr"] {
+		if len(row) == 2 {
+			got[[2]string{row[0].(string), row[1].(string)}] = true
+		}
+	}
+	// a controls b directly and c through b.
+	for _, want := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}} {
+		if !got[want] {
+			t.Errorf("missing ctr(%s,%s) in %s", want[0], want[1], rec.Body)
+		}
+	}
+}
+
+// TestReasonEndpointRejectsBadProgram pins the 422 contract: error-severity
+// findings refuse evaluation and the body carries the diagnostics.
+func TestReasonEndpointRejectsBadProgram(t *testing.T) {
+	body, _ := json.Marshal(map[string]any{
+		"program": "win(X) :- move(X,Y), not win(Y).",
+		"facts":   map[string][][]any{"move": {{"a", "b"}}},
+		"query":   []string{"win"},
+	})
+	rec := do(t, testServer(), "POST", "/reason", string(body))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Error       string            `json:"error"`
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" || len(out.Diagnostics) == 0 {
+		t.Fatalf("want error + diagnostics, got %s", rec.Body)
+	}
+	found := false
+	for _, d := range out.Diagnostics {
+		if d.Code == lint.CodeNotStratified {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a %s diagnostic, got %s", lint.CodeNotStratified, rec.Body)
+	}
+}
+
+func TestReasonEndpointBadRequests(t *testing.T) {
+	h := testServer()
+	if rec := do(t, h, "POST", "/reason", "{"); rec.Code != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/reason", "{}"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing program: status = %d", rec.Code)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"program": "p(X) :- q(X).",
+		"facts":   map[string][][]any{"q": {{true}}},
+	})
+	if rec := do(t, h, "POST", "/reason", string(body)); rec.Code != http.StatusBadRequest {
+		t.Errorf("boolean fact argument: status = %d", rec.Code)
+	}
+}

@@ -113,6 +113,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /assess", s.handleAssess)
 	mux.HandleFunc("POST /anonymize", s.handleAnonymize)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /lint", s.handleLint)
+	mux.HandleFunc("POST /reason", s.handleReason)
 	if s.jobs != nil {
 		s.jobRoutes(mux)
 	}

@@ -35,10 +35,14 @@ func (t Term) String() string {
 	return t.Val.String()
 }
 
-// Atom is a predicate applied to terms.
+// Atom is a predicate applied to terms. Line/Col locate the predicate name
+// in the source text when the atom came from the parser (zero for atoms
+// built programmatically); static-analysis diagnostics anchor on them.
 type Atom struct {
 	Pred string
 	Args []Term
+
+	Line, Col int
 }
 
 func (a Atom) String() string {
@@ -211,6 +215,7 @@ type Rule struct {
 	Existential []string
 
 	Line int
+	Col  int
 }
 
 func (r Rule) String() string {

@@ -301,6 +301,7 @@ func (ev *evaluator) chargeMemory() error {
 	if b <= ev.charged {
 		return nil
 	}
+	//governcharge:ok incremental charge; RunContext defers ReleaseBytes(ev.charged) for the whole run
 	if err := ev.opt.Governor.ReserveBytes(b - ev.charged); err != nil {
 		return fmt.Errorf("datalog: database estimated at %d bytes: %w", b, err)
 	}

@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vadasa/internal/datalog"
+	"vadasa/internal/datalog/lint"
+)
+
+// FuzzLintNoPanic asserts the analyzer's core robustness contract: the
+// linter never panics on any input — parser-accepted programs are analyzed,
+// parser-rejected ones become a VL000 diagnostic, and neither path is
+// allowed to crash.
+func FuzzLintNoPanic(f *testing.F) {
+	seeds := []string{
+		"",
+		"p(X) :- q(X).",
+		"own(\"a\",\"b\",0.6).\nrel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.",
+		"p(X,Z) :- q(X).\nt(Y) :- p(A,Y), p(B,Y).",
+		"win(X) :- move(X,Y), not win(Y).",
+		"total(M,S) :- val(M,I,W), S = msum(W,[I]).",
+		"C1 = C2 :- cat(M,A,C1), cat(M,A,C2).\ncat(\"db\",\"age\",\"qi\").",
+		"comb(Z,I,N) :- comb(Z1,I,N1), qiord(A,N), N > N1.",
+		"p(X) :- q(X), r(X).\np(A) :- r(A), q(A).\np(Y) :- q(Y).",
+		"% vadalint:allow VL003 reason\np(X) :- q(X,Y).",
+		"% vadalint:input q\n% vadalint:output p\np(X) :- q(X).",
+		"a(1).\na(1,2).\na(1,2,3).",
+		"p(X) :- X = 1 / 0, q(X).",
+		"s(X) :- p(X), not q(X).\np(\"a\").\nq(\"a\").",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Source must absorb both parse errors and parser-accepted
+		// programs without panicking.
+		_ = lint.Source("fuzz.vada", src, nil)
+		if p, err := datalog.Parse(src); err == nil {
+			_ = lint.Check(p, &lint.Options{File: "fuzz.vada"})
+			_ = lint.Preflight(p)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vadasa/internal/datalog/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden pins every testdata program to its exact diagnostic output:
+// codes, severities, line:col positions, messages, and related positions.
+// Run with -update after a deliberate diagnostic change.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.vada"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.vada files")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".vada")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := lint.Source(filepath.Base(file), string(src), nil)
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(lint.FormatText(d))
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			golden := strings.TrimSuffix(file, ".vada") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}

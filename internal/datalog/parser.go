@@ -42,12 +42,14 @@ type token struct {
 	text string
 	num  float64
 	line int
+	col  int // 1-based byte column of the token start
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
 }
 
 func (lx *lexer) errf(format string, args ...any) error {
@@ -61,6 +63,7 @@ func (lx *lexer) next() (token, error) {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '%':
@@ -71,10 +74,11 @@ func (lx *lexer) next() (token, error) {
 			goto scan
 		}
 	}
-	return token{kind: tEOF, line: lx.line}, nil
+	return token{kind: tEOF, line: lx.line, col: lx.pos - lx.lineStart + 1}, nil
 
 scan:
 	start := lx.pos
+	col := start - lx.lineStart + 1
 	c := lx.src[lx.pos]
 	switch {
 	case c == '"':
@@ -94,7 +98,7 @@ scan:
 					return token{}, lx.errf("bad string literal %s (%v)", lit, err)
 				}
 				lx.pos = end + 1
-				return token{kind: tStr, text: text, line: lx.line}, nil
+				return token{kind: tStr, text: text, line: lx.line, col: col}, nil
 			case '\n':
 				return token{}, lx.errf("unterminated string")
 			default:
@@ -126,7 +130,7 @@ scan:
 		if err != nil {
 			return token{}, lx.errf("bad number %q", text)
 		}
-		return token{kind: tNum, text: text, num: n, line: lx.line}, nil
+		return token{kind: tNum, text: text, num: n, line: lx.line, col: col}, nil
 
 	case isIdentStartByte(lx.src[lx.pos:]):
 		for lx.pos < len(lx.src) {
@@ -138,13 +142,13 @@ scan:
 		}
 		text := lx.src[start:lx.pos]
 		if text == "not" || text == "in" {
-			return token{kind: tOp, text: text, line: lx.line}, nil
+			return token{kind: tOp, text: text, line: lx.line, col: col}, nil
 		}
 		r, _ := utf8.DecodeRuneInString(text)
 		if unicode.IsUpper(r) || r == '_' {
-			return token{kind: tVar, text: text, line: lx.line}, nil
+			return token{kind: tVar, text: text, line: lx.line, col: col}, nil
 		}
-		return token{kind: tIdent, text: text, line: lx.line}, nil
+		return token{kind: tIdent, text: text, line: lx.line, col: col}, nil
 
 	default:
 		two := ""
@@ -154,15 +158,15 @@ scan:
 		switch two {
 		case ":-", "==", "!=", "<=", ">=":
 			lx.pos += 2
-			return token{kind: tOp, text: two, line: lx.line}, nil
+			return token{kind: tOp, text: two, line: lx.line, col: col}, nil
 		}
 		switch c {
 		case '(', ')', '[', ']', ',', '.':
 			lx.pos++
-			return token{kind: tPunct, text: string(c), line: lx.line}, nil
+			return token{kind: tPunct, text: string(c), line: lx.line, col: col}, nil
 		case '=', '<', '>', '+', '-', '*', '/':
 			lx.pos++
-			return token{kind: tOp, text: string(c), line: lx.line}, nil
+			return token{kind: tOp, text: string(c), line: lx.line, col: col}, nil
 		}
 		return token{}, lx.errf("unexpected character %q", c)
 	}
@@ -243,7 +247,7 @@ func (p *parser) expect(kind tokKind, text string) (token, error) {
 }
 
 func (p *parser) rule() (*Rule, error) {
-	r := &Rule{Line: p.peek().line}
+	r := &Rule{Line: p.peek().line, Col: p.peek().col}
 	// EGD heads start with a variable: X = Y :- body.
 	if p.peek().kind == tVar {
 		r.IsEGD = true
@@ -464,7 +468,7 @@ func (p *parser) atom() (*Atom, error) {
 		return nil, p.errf("expected predicate name, found %q", t.text)
 	}
 	p.advance()
-	a := &Atom{Pred: t.text}
+	a := &Atom{Pred: t.text, Line: t.line, Col: t.col}
 	if _, err := p.expect(tPunct, "("); err != nil {
 		return nil, err
 	}

@@ -167,10 +167,29 @@ func stratify(p *Program) (strataOf map[string]int, numStrata int, err error) {
 	return strataOf, maxS + 1, nil
 }
 
+// Stratification exposes the engine's stratification to static-analysis
+// callers: the stratum of every predicate and the number of strata, or the
+// error the evaluator itself would report for a non-stratifiable program.
+func Stratification(p *Program) (strataOf map[string]int, numStrata int, err error) {
+	return stratify(p)
+}
+
 // attrPos identifies an argument position of a predicate.
 type attrPos struct {
 	pred string
 	i    int
+}
+
+// WardViolation describes one unwarded rule: the dangerous variables — body
+// variables that may only ever bind labelled nulls and that propagate to the
+// head — and, per variable, the affected body positions (pred[i], 1-based)
+// it occurs at, i.e. the positions where a ward atom would have to cover it.
+type WardViolation struct {
+	RuleIndex int
+	Line      int
+	Dangerous []string            // sorted dangerous variable names
+	Positions map[string][]string // dangerous variable -> affected positions
+	Rule      string              // rendered rule text
 }
 
 // CheckWarded verifies the (syntactic) wardedness restriction of Warded
@@ -179,8 +198,23 @@ type attrPos struct {
 // to the head — must occur in a single body atom, the ward, which shares
 // only harmless variables with the rest of the body. Programs accepted by
 // this check have decidable, PTIME reasoning; the paper's algorithms are all
-// warded.
+// warded. It reports the first violation; WardViolations returns all of
+// them with per-variable detail for diagnostics-grade reporting.
 func CheckWarded(p *Program) error {
+	vs := WardViolations(p)
+	if len(vs) == 0 {
+		return nil
+	}
+	v := vs[0]
+	return fmt.Errorf(
+		"datalog: rule %d (line %d) is not warded: dangerous variables %v have no ward: %s",
+		v.RuleIndex, v.Line, v.Dangerous, v.Rule)
+}
+
+// WardViolations runs the wardedness analysis and returns every unwarded
+// rule with the dangerous variables and the affected positions they occur
+// at. An empty slice means the program is warded.
+func WardViolations(p *Program) []WardViolation {
 	// Step 1: affected positions fixpoint. A position pred[i] is affected
 	// if an existential variable occurs there in some head, or if a body
 	// variable occurring only in affected positions occurs there in a head.
@@ -217,6 +251,7 @@ func CheckWarded(p *Program) error {
 	}
 
 	// Step 2: per rule, find dangerous variables and check for a ward.
+	var violations []WardViolation
 	for ri, r := range p.Rules {
 		if r.IsEGD {
 			continue
@@ -279,12 +314,29 @@ func CheckWarded(p *Program) error {
 			}
 		}
 		if !ok {
-			return fmt.Errorf(
-				"datalog: rule %d (line %d) is not warded: dangerous variables %v have no ward: %s",
-				ri, r.Line, dangerous, r.String())
+			pos := make(map[string][]string, len(dangerous))
+			for _, d := range dangerous {
+				for _, l := range r.Body {
+					if l.Kind != LAtom {
+						continue
+					}
+					for i, t := range l.Atom.Args {
+						if t.Kind == TVar && t.Name == d && affected[attrPos{l.Atom.Pred, i}] {
+							pos[d] = append(pos[d], fmt.Sprintf("%s[%d]", l.Atom.Pred, i+1))
+						}
+					}
+				}
+			}
+			violations = append(violations, WardViolation{
+				RuleIndex: ri,
+				Line:      r.Line,
+				Dangerous: dangerous,
+				Positions: pos,
+				Rule:      r.String(),
+			})
 		}
 	}
-	return nil
+	return violations
 }
 
 // bodyVarsOnlyInAffected returns the body variables of r that occur in

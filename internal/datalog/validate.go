@@ -1,0 +1,68 @@
+package datalog
+
+import "fmt"
+
+// Validate is the engine's pre-flight check for a parsed program: predicate
+// arity consistency, stratifiability, and wardedness — the structural
+// properties the paper's safety argument rests on. It reports the first
+// problem found as a plain error, which makes it cheap to call on every
+// uploaded program before evaluation; callers that want the full,
+// position-tagged diagnostic list use internal/datalog/lint instead.
+//
+// Validate is opt-in: Run/RunContext do not call it, so programmatically
+// built programs (and deliberately partial test programs) evaluate
+// unchanged. Servers accepting untrusted program text should call it (or
+// the lint preflight) before spending any evaluation budget.
+func Validate(p *Program) error {
+	if err := checkArities(p); err != nil {
+		return err
+	}
+	if _, _, err := stratify(p); err != nil {
+		return err
+	}
+	return CheckWarded(p)
+}
+
+// checkArities reports the first predicate used with two different arities.
+// The evaluator never complains about this: a mismatched atom simply never
+// unifies, so the rule silently never fires — one of the hardest Datalog
+// typos to spot at runtime.
+func checkArities(p *Program) error {
+	type use struct {
+		arity int
+		line  int
+	}
+	first := make(map[string]use)
+	check := func(a *Atom, line int) error {
+		if a == nil {
+			return nil
+		}
+		if a.Line != 0 {
+			line = a.Line
+		}
+		if prev, ok := first[a.Pred]; ok {
+			if prev.arity != len(a.Args) {
+				return fmt.Errorf(
+					"datalog: line %d: predicate %s used with %d arguments, but with %d at line %d",
+					line, a.Pred, len(a.Args), prev.arity, prev.line)
+			}
+			return nil
+		}
+		first[a.Pred] = use{arity: len(a.Args), line: line}
+		return nil
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		for j := range r.Heads {
+			if err := check(&r.Heads[j], r.Line); err != nil {
+				return err
+			}
+		}
+		for j := range r.Body {
+			if err := check(r.Body[j].Atom, r.Line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package programs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,8 +37,11 @@ func SuppressionProgram(q int) *datalog.Program {
 		head := make([]string, q)
 		copy(head, vars)
 		head[j] = "Z" // existential: the invented labelled null
+		body := make([]string, q)
+		copy(body, vars)
+		body[j] = "_" + vars[j] // suppressed value: read but never propagated
 		fmt.Fprintf(&b, "tuplenext(I,%s,W) :- tuple(I,%s,W), suppress%d(I).\n",
-			strings.Join(head, ","), all, j+1)
+			strings.Join(head, ","), strings.Join(body, ","), j+1)
 	}
 	fmt.Fprintf(&b, "tuplenext(I,%s,W) :- tuple(I,%s,W), not flagged(I).\n", all, all)
 	for j := 0; j < q; j++ {
@@ -63,6 +67,13 @@ type CycleResult struct {
 // for small datasets: every iteration re-reasons over the whole microdata
 // DB.
 func DeclarativeCycle(d *mdb.Dataset, k, maxIter int) (*CycleResult, error) {
+	return DeclarativeCycleContext(context.Background(), d, k, maxIter)
+}
+
+// DeclarativeCycleContext is DeclarativeCycle with cancellation: the context
+// is threaded into every chase, so a cancelled request stops between (and
+// inside) reasoning passes instead of running the cycle to convergence.
+func DeclarativeCycleContext(ctx context.Context, d *mdb.Dataset, k, maxIter int) (*CycleResult, error) {
 	work := d.Clone()
 	qi := work.QuasiIdentifiers()
 	if len(qi) == 0 {
@@ -84,7 +95,7 @@ func DeclarativeCycle(d *mdb.Dataset, k, maxIter int) (*CycleResult, error) {
 		// Risk pass.
 		edb := datalog.NewDatabase()
 		TupleFacts(edb, work)
-		riskRes, err := datalog.Run(riskProg, edb, nil)
+		riskRes, err := datalog.RunContext(ctx, riskProg, edb, nil)
 		if err != nil {
 			return nil, fmt.Errorf("programs: risk pass: %w", err)
 		}
@@ -132,7 +143,7 @@ func DeclarativeCycle(d *mdb.Dataset, k, maxIter int) (*CycleResult, error) {
 			res.Residual = residual
 			break
 		}
-		suppRes, err := datalog.Run(suppProg, flags, nil)
+		suppRes, err := datalog.RunContext(ctx, suppProg, flags, nil)
 		if err != nil {
 			return nil, fmt.Errorf("programs: suppression pass: %w", err)
 		}

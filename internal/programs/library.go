@@ -1,0 +1,105 @@
+package programs
+
+import "vadasa/internal/datalog"
+
+// LibraryEntry is one shipped template together with its lint contract: the
+// extensional predicates it expects (Inputs), the derived predicates a
+// caller reads back (Outputs), and the diagnostic codes it intentionally
+// triggers (Allow, with the justification in the entry's comment). The
+// library is what `vadalint -library` and the programs lint test iterate,
+// so every template stays clean under the analyzer or carries an explicit,
+// reviewed waiver.
+type LibraryEntry struct {
+	Name    string
+	Build   func() *datalog.Program
+	Inputs  []string
+	Outputs []string
+	Allow   []string
+}
+
+// Library enumerates every shipped template with representative parameters
+// (schema width 4, k = 2, population scale 10 — the values the tests and the
+// experiments use). Generated templates are instantiated here so the linter
+// sees exactly what the engine will evaluate.
+func Library() []LibraryEntry {
+	return []LibraryEntry{
+		{
+			Name:    "categorization",
+			Build:   Categorization,
+			Inputs:  []string{"att", "sim", "expbase"},
+			Outputs: []string{"cat"},
+			// Rule 1's default invents a labelled-null category for
+			// unmatched attributes — the human-in-the-loop queue.
+			Allow: []string{"VL001"},
+		},
+		{
+			Name:    "reidentification-q4",
+			Build:   func() *datalog.Program { return ReIdentification(4) },
+			Inputs:  []string{"tuple"},
+			Outputs: []string{"riskout"},
+		},
+		{
+			Name:    "kanonymity-q4-k2",
+			Build:   func() *datalog.Program { return KAnonymity(4, 2) },
+			Inputs:  []string{"tuple"},
+			Outputs: []string{"riskout"},
+		},
+		{
+			Name:    "individualrisk-q4",
+			Build:   func() *datalog.Program { return IndividualRisk(4) },
+			Inputs:  []string{"tuple"},
+			Outputs: []string{"riskout"},
+		},
+		{
+			Name:    "individualposterior-q4",
+			Build:   func() *datalog.Program { return IndividualRiskPosterior(4) },
+			Inputs:  []string{"tuple"},
+			Outputs: []string{"riskout"},
+		},
+		{
+			Name:    "weightestimation-q4",
+			Build:   func() *datalog.Program { return WeightEstimation(4, 10) },
+			Inputs:  []string{"tuple"},
+			Outputs: []string{"weightout"},
+		},
+		{
+			Name:    "control",
+			Build:   Control,
+			Inputs:  []string{"own"},
+			Outputs: []string{"ctr"},
+		},
+		{
+			Name:    "clusterrisk",
+			Build:   ClusterRisk,
+			Inputs:  []string{"entity", "rel", "risk"},
+			Outputs: []string{"riskclust"},
+		},
+		{
+			Name:    "recoding",
+			Build:   Recoding,
+			Inputs:  []string{"needrecode", "typeof", "subtypeof", "isa", "instof"},
+			Outputs: []string{"recode"},
+		},
+		{
+			Name:    "combinations",
+			Build:   Combinations,
+			Inputs:  []string{"tuplei", "qiord"},
+			Outputs: []string{"comb", "inc"},
+			// Combination ids are labelled nulls by design (VL001); they
+			// recur through comb, so invention sits on a cycle (VL008) —
+			// termination comes from the qiord order and engine budgets —
+			// and joining null-valued ids across atoms is exactly what the
+			// strict wardedness check flags (VL007).
+			Allow: []string{"VL001", "VL007", "VL008"},
+		},
+		{
+			Name:    "suppression-q4",
+			Build:   func() *datalog.Program { return SuppressionProgram(4) },
+			Inputs:  []string{"tuple", "suppress1", "suppress2", "suppress3", "suppress4"},
+			Outputs: []string{"tuplenext"},
+			// The fresh labelled null replacing a suppressed value is the
+			// whole point of Algorithm 7.
+			Allow: []string{"VL001"},
+		},
+	}
+}

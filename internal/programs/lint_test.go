@@ -1,0 +1,59 @@
+package programs_test
+
+import (
+	"testing"
+
+	"vadasa/internal/datalog/lint"
+	"vadasa/internal/programs"
+)
+
+// TestLibraryLintsClean holds every shipped template to the analyzer's
+// standard: zero diagnostics beyond the entry's explicitly waived codes.
+// A new finding here means either a template regression or a lint pass
+// change that needs a reviewed waiver in Library().
+func TestLibraryLintsClean(t *testing.T) {
+	entries := programs.Library()
+	if len(entries) < 10 {
+		t.Fatalf("library has only %d entries", len(entries))
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if seen[e.Name] {
+			t.Errorf("duplicate library entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		diags := lint.Check(e.Build(), &lint.Options{
+			File:    e.Name,
+			Inputs:  e.Inputs,
+			Outputs: e.Outputs,
+			Allow:   e.Allow,
+		})
+		for _, d := range diags {
+			t.Errorf("%s: unexpected diagnostic: %s", e.Name, lint.FormatText(d))
+		}
+	}
+}
+
+// TestLibraryWaiversUsed keeps Allow lists honest: every waived code must
+// actually fire when the waiver is removed, so stale waivers get deleted.
+func TestLibraryWaiversUsed(t *testing.T) {
+	for _, e := range programs.Library() {
+		if len(e.Allow) == 0 {
+			continue
+		}
+		diags := lint.Check(e.Build(), &lint.Options{
+			File:    e.Name,
+			Inputs:  e.Inputs,
+			Outputs: e.Outputs,
+		})
+		fired := make(map[string]bool, len(diags))
+		for _, d := range diags {
+			fired[d.Code] = true
+		}
+		for _, code := range e.Allow {
+			if !fired[code] {
+				t.Errorf("%s: waiver for %s is stale — the code no longer fires", e.Name, code)
+			}
+		}
+	}
+}

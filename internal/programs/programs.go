@@ -60,7 +60,7 @@ func qiVars(q int) string {
 func Categorization() *datalog.Program {
 	return mustParse(`
 		cat(M,A,C) :- att(M,A), expbase(A1,C), sim(A,A1).
-		expbase(A,C) :- cat(M,A,C).
+		expbase(A,C) :- cat(_M,A,C).
 		cat(M,A,C) :- att(M,A).
 		C1 = C2 :- cat(M,A,C1), cat(M,A,C2).
 	`)
@@ -73,7 +73,7 @@ func ReIdentification(q int) *datalog.Program {
 	v := qiVars(q)
 	return mustParse(fmt.Sprintf(`
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
-		riskout(I,R) :- tuple(I,%[1]s,W), tuplesum(%[1]s,S), R = 1 / S.
+		riskout(I,R) :- tuple(I,%[1]s,_W), tuplesum(%[1]s,S), R = 1 / S.
 	`, v))
 }
 
@@ -83,9 +83,9 @@ func ReIdentification(q int) *datalog.Program {
 func KAnonymity(q, k int) *datalog.Program {
 	v := qiVars(q)
 	return mustParse(fmt.Sprintf(`
-		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,W), C = mcount([I]).
-		riskout(I,1) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,C), C < %[2]d.
-		riskout(I,0) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,C), C >= %[2]d.
+		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,_W), C = mcount([I]).
+		riskout(I,1) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,C), C < %[2]d.
+		riskout(I,0) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,C), C >= %[2]d.
 	`, v, k))
 }
 
@@ -95,9 +95,9 @@ func KAnonymity(q, k int) *datalog.Program {
 func IndividualRisk(q int) *datalog.Program {
 	v := qiVars(q)
 	return mustParse(fmt.Sprintf(`
-		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,W), F = mcount([I]).
+		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,_W), F = mcount([I]).
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
-		riskout(I,R) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S), R = F / S.
+		riskout(I,R) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S), R = F / S.
 	`, v))
 }
 
@@ -109,13 +109,13 @@ func IndividualRisk(q int) *datalog.Program {
 func IndividualRiskPosterior(q int) *datalog.Program {
 	v := qiVars(q)
 	return mustParse(fmt.Sprintf(`
-		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,W), F = mcount([I]).
+		tuplecnt(%[1]s,F) :- tuple(I,%[1]s,_W), F = mcount([I]).
 		tuplesum(%[1]s,S) :- tuple(I,%[1]s,W), S = msum(W,[I]).
-		riskout(I,R) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
+		riskout(I,R) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
 			F == 1, S > 1, P = 1 / S, R = P / (1 - P) * log(1 / P).
-		riskout(I,1) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
+		riskout(I,1) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
 			F == 1, S <= 1.
-		riskout(I,R) :- tuple(I,%[1]s,W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
+		riskout(I,R) :- tuple(I,%[1]s,_W), tuplecnt(%[1]s,F), tuplesum(%[1]s,S),
 			F > 1, R = F / S.
 	`, v))
 }
@@ -126,8 +126,8 @@ func IndividualRiskPosterior(q int) *datalog.Program {
 func WeightEstimation(q int, populationScale float64) *datalog.Program {
 	v := qiVars(q)
 	return mustParse(fmt.Sprintf(`
-		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,W), C = mcount([I]).
-		weightout(I,W) :- tuple(I,%[1]s,W0), tuplecnt(%[1]s,C), W = %[2]g * C.
+		tuplecnt(%[1]s,C) :- tuple(I,%[1]s,_W), C = mcount([I]).
+		weightout(I,W) :- tuple(I,%[1]s,_W0), tuplecnt(%[1]s,C), W = %[2]g * C.
 	`, v, populationScale))
 }
 
@@ -136,8 +136,8 @@ func WeightEstimation(q int, populationScale float64) *datalog.Program {
 // msum-guarded recursion with rel(X,X) assumed, as the paper notes.
 func Control() *datalog.Program {
 	return mustParse(`
-		ctr(X,X) :- own(X,Y,W).
-		ctr(X,X) :- own(Y,X,W).
+		ctr(X,X) :- own(X,_Y,_W).
+		ctr(X,X) :- own(_Y,X,_W).
 		rel(X,Y) :- ctr(X,Z), own(Z,Y,W), msum(W,[Z]) > 0.5.
 		ctr(X,Y) :- rel(X,Y).
 	`)

@@ -69,6 +69,13 @@ func ReasonContext(ctx context.Context, p *Program, edb *FactDB, opts *Reasoning
 // PTIME-decidable reasoning; the framework's built-in programs pass it.
 func CheckWarded(p *Program) error { return datalog.CheckWarded(p) }
 
+// ValidateProgram is the engine's structural pre-flight: per-predicate arity
+// consistency, stratifiability, and wardedness — the checks whose failure
+// makes evaluation wrong or divergent, not merely suspicious. It is opt-in:
+// Reason does not call it. For full position-tagged diagnostics (including
+// warnings), use the internal/datalog/lint analyzer or the vadalint CLI.
+func ValidateProgram(p *Program) error { return datalog.Validate(p) }
+
 // StrVal returns a string value.
 func StrVal(s string) Val { return datalog.Str(s) }
 

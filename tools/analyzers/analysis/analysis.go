@@ -1,0 +1,48 @@
+// Package analysis is a deliberately small, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough structure to write
+// AST-level analyzers and drive them from the unitchecker protocol that
+// `go vet -vettool` speaks. The shapes mirror the upstream package so the
+// analyzers can migrate to x/tools unchanged if the dependency ever becomes
+// available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// An Analyzer is one named check over a package's syntax trees.
+type Analyzer struct {
+	// Name identifies the analyzer on the command line (`-name` enables
+	// just this analyzer) and prefixes nothing — diagnostics are plain
+	// position: message lines, as go vet expects.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run executes the check and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package's worth of parsed input to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the package name from the syntax trees (no type checking).
+	Pkg string
+	// Report receives each diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

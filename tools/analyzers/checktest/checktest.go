@@ -1,0 +1,127 @@
+// Package checktest is a minimal analysistest equivalent: it runs an
+// analyzer over a fixture directory and checks the diagnostics against
+// `// want "regexp"` comments in the fixture sources. A want comment on a
+// line expects exactly one diagnostic on that line whose message matches
+// the (double-quoted, backquote-quoted also accepted) regular expression.
+// Diagnostics without a matching want, and wants without a diagnostic, fail
+// the test.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vadasa/tools/analyzers/analysis"
+	"vadasa/tools/analyzers/unitchecker"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run analyzes the non-test .go files under dir with a and compares the
+// findings against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no fixture files under %s", dir)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	wants := collectWants(t, fset, files)
+	diags := unitchecker.RunAnalyzers(fset, files, []*analysis.Analyzer{a})
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				t.Errorf("%s: diagnostic %q does not match want %v", pos, d.Message, w.re)
+			}
+			matched[i] = true
+			ok = true
+			break
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching want %v", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				expr, err := unquoteWant(strings.TrimSpace(m[1]))
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", pos, err)
+				}
+				wants = append(wants, want{pos.Filename, pos.Line, re})
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(s string) (string, error) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		return strconv.Unquote(s)
+	}
+	return "", fmt.Errorf("want pattern must be a quoted string, got %s", s)
+}

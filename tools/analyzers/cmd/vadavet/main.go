@@ -1,0 +1,17 @@
+// Command vadavet bundles the repo's engine-invariant analyzers into a
+// `go vet -vettool` compatible binary:
+//
+//	go build -o vadavet ./cmd/vadavet
+//	go vet -vettool=$(pwd)/vadavet ./...        # from the main module
+//	./vadavet <dir>                             # standalone directory sweep
+package main
+
+import (
+	"vadasa/tools/analyzers/ctxpass"
+	"vadasa/tools/analyzers/governcharge"
+	"vadasa/tools/analyzers/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(ctxpass.Analyzer, governcharge.Analyzer)
+}

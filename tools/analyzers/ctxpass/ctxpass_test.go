@@ -1,0 +1,11 @@
+package ctxpass
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestCtxpass(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}

@@ -1,0 +1,3 @@
+module vadasa/tools/analyzers
+
+go 1.24

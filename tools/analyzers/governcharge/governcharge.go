@@ -1,0 +1,194 @@
+// Package governcharge checks the admission-control invariant around the
+// resource governor: a Reserve/ReserveBytes charge taken inside a function
+// must be given back on every path, otherwise an early return permanently
+// shrinks the budget and the server degrades request by request.
+//
+// The analyzer is AST-only and accepts a charge as paired when any of the
+// following holds in the same function:
+//
+//   - the receiver is (or is derived from) govern.From(...): those
+//     governors are scope-released by the middleware that installed them;
+//   - some defer in the function — directly or inside a deferred closure —
+//     calls Release/ReleaseBytes on the same receiver root;
+//   - the call is annotated with `//governcharge:ok` on its own or the
+//     preceding line, for charges whose release is intentionally elsewhere
+//     (e.g. an incremental charge trued up by the caller).
+//
+// Files in package govern itself and _test.go files are skipped.
+package governcharge
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the governcharge pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "governcharge",
+	Doc:  "every govern Reserve must be paired with a Release on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name == "govern" {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ok := okLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			if fn, isFn := decl.(*ast.FuncDecl); isFn && fn.Body != nil {
+				checkFunc(pass, fn, ok)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, ok map[int]bool) {
+	// Roots assigned from govern.From(...): middleware-scoped, released when
+	// the request scope ends.
+	fromRoots := make(map[string]bool)
+	// Roots that some defer (directly or via a deferred closure) releases.
+	releasedRoots := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if isFromCall(rhs) && i < len(n.Lhs) {
+					if id, isIdent := n.Lhs[i].(*ast.Ident); isIdent {
+						fromRoots[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if call, isCall := m.(*ast.CallExpr); isCall {
+					if name, recv := methodCall(call); name == "Release" || name == "ReleaseBytes" {
+						if root := rootIdent(recv); root != "" {
+							releasedRoots[root] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		name, recv := methodCall(call)
+		if name != "Reserve" && name != "ReserveBytes" {
+			return true
+		}
+		line := pass.Fset.Position(call.Pos()).Line
+		if ok[line] || ok[line-1] {
+			return true
+		}
+		if containsFromCall(recv) {
+			return true
+		}
+		root := rootIdent(recv)
+		if root != "" && (fromRoots[root] || releasedRoots[root]) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"govern charge may leak: %s on %s has no deferred Release in %s (defer the Release, derive the governor with govern.From, or annotate //governcharge:ok)",
+			name, exprString(recv), fn.Name.Name)
+		return true
+	})
+}
+
+// methodCall returns the method name and receiver expression for recv.M(...)
+// calls, or "" for plain function calls.
+func methodCall(call *ast.CallExpr) (string, ast.Expr) {
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		return sel.Sel.Name, sel.X
+	}
+	return "", nil
+}
+
+// isFromCall reports whether e is a call to From (govern.From or a local
+// alias re-exporting it).
+func isFromCall(e ast.Expr) bool {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "From"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "From"
+	}
+	return false
+}
+
+// containsFromCall reports whether the receiver chain contains a From call,
+// as in govern.From(r.Context()).Reserve(...).
+func containsFromCall(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall && isFromCall(call) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent walks a selector chain (ev.opt.Governor) down to its base
+// identifier (ev); returns "" when the base is not an identifier.
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// exprString renders a selector chain for the diagnostic message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	default:
+		return "receiver"
+	}
+}
+
+func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//governcharge:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

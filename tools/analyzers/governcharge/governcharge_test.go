@@ -1,0 +1,11 @@
+package governcharge
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestGoverncharge(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}

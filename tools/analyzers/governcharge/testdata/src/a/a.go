@@ -1,0 +1,75 @@
+// Package a is a governcharge fixture; parsed, never compiled.
+package a
+
+type gvn struct{}
+
+func (*gvn) Reserve(kind, n int64) error { return nil }
+func (*gvn) Release(kind, n int64)       {}
+func (*gvn) ReserveBytes(n int64) error  { return nil }
+func (*gvn) ReleaseBytes(n int64)        {}
+
+type evaluator struct {
+	opt struct{ Governor *gvn }
+}
+
+// Leak reserves and never releases.
+func Leak(g *gvn) error {
+	return g.Reserve(0, 1) // want `govern charge may leak: Reserve on g has no deferred Release in Leak`
+}
+
+// LeakBytes leaks through a nested receiver chain.
+func LeakBytes(ev *evaluator, n int64) error {
+	return ev.opt.Governor.ReserveBytes(n) // want `govern charge may leak: ReserveBytes on ev.opt.Governor has no deferred Release in LeakBytes`
+}
+
+// MismatchedRoot defers a release on a different governor.
+func MismatchedRoot(g, other *gvn) error {
+	defer other.Release(0, 1)
+	return g.Reserve(0, 1) // want `govern charge may leak: Reserve on g`
+}
+
+// DeferPaired is the canonical clean shape.
+func DeferPaired(g *gvn) error {
+	if err := g.Reserve(0, 1); err != nil {
+		return err
+	}
+	defer g.Release(0, 1)
+	return nil
+}
+
+// ClosurePaired releases inside a deferred closure: clean.
+func ClosurePaired(g *gvn, n int64) error {
+	if err := g.ReserveBytes(n); err != nil {
+		return err
+	}
+	defer func() {
+		g.ReleaseBytes(n)
+	}()
+	return nil
+}
+
+// FromScoped derives the governor from the request scope: clean.
+func FromScoped(ctx any) error {
+	gov := govern.From(ctx)
+	return gov.Reserve(0, 1)
+}
+
+// FromChained charges directly off the scope lookup: clean.
+func FromChained(ctx any, n int64) error {
+	return govern.From(ctx).ReserveBytes(n)
+}
+
+// Annotated documents a release that lives elsewhere: clean.
+func Annotated(g *gvn, n int64) error {
+	//governcharge:ok incremental charge trued up by the caller
+	return g.ReserveBytes(n)
+}
+
+// NotAGovernor calls an unrelated method: clean.
+func NotAGovernor(q queue) {
+	q.Push(1)
+}
+
+type queue struct{}
+
+func (queue) Push(int) {}

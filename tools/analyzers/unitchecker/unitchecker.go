@@ -1,0 +1,290 @@
+// Package unitchecker implements the command-line protocol `go vet
+// -vettool=...` requires of an analysis driver, without depending on
+// golang.org/x/tools. The protocol (reverse-engineered from the vendored
+// upstream driver in GOROOT) is:
+//
+//	-V=full    print "<exe> version devel comments-go-here buildID=<sha256>"
+//	           so the build system can cache on the tool's identity
+//	-flags     print the tool's flags as a JSON array so go vet knows
+//	           which command-line flags it may forward
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file; print findings to stderr as
+//	           "file:line:col: message" lines and exit 1 when any were
+//	           found, 0 otherwise
+//
+// The driver must always write the Config.VetxOutput facts file (ours is
+// empty — these analyzers are AST-only and export no facts) or the build
+// tool complains about the missing cache entry.
+//
+// For convenience outside go vet, a directory argument analyzes the
+// non-test .go files under it (recursively): `vadavet ./internal/...`-style
+// package patterns are go vet's job, but `vadavet .` works for a quick
+// local sweep.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Config is the JSON compilation-unit description go vet hands the tool.
+// Only the fields this driver consumes are declared; unknown fields are
+// ignored by encoding/json.
+type Config struct {
+	ID                        string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the protocol and exits the process.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		if _, dup := enabled[a.Name]; dup {
+			log.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-flags] [-V=full] [unit.cfg | dir ...]\n", progname)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printFlags {
+		printFlagsJSON()
+		os.Exit(0)
+	}
+	// When go vet forwards `-ctxpass` etc., run just those; default is all.
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	exit := 0
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".cfg") {
+			if code := runConfig(arg, selected); code > exit {
+				exit = code
+			}
+			continue
+		}
+		if code := runDir(arg, selected); code > exit {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// versionFlag implements the -V=full handshake: the build tool caches vet
+// results keyed on this line, so it must change when the binary changes —
+// hence the content hash of the executable itself.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func runConfig(path string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				// The compiler will report the syntax error; stay quiet.
+				writeVetx(cfg)
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	diags := RunAnalyzers(fset, files, analyzers)
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, never diagnostics.
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx persists the (empty) facts file the build tool expects.
+func writeVetx(cfg *Config) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runDir analyzes every non-test .go file under dir, grouped per directory
+// so each package is one pass.
+func runDir(dir string, analyzers []*analysis.Analyzer) int {
+	perDir := make(map[string][]string)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			perDir[filepath.Dir(path)] = append(perDir[filepath.Dir(path)], path)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dirs := make([]string, 0, len(perDir))
+	for d := range perDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	exit := 0
+	for _, d := range dirs {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range perDir[d] {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				log.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		diags := RunAnalyzers(fset, files, analyzers)
+		for _, diag := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(diag.Pos), diag.Message)
+		}
+		if len(diags) > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// RunAnalyzers executes each analyzer over the files and returns the
+// findings sorted by position. Exported for the checktest harness.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	pkg := ""
+	if len(files) > 0 {
+		pkg = files[0].Name.Name
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
