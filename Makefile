@@ -52,5 +52,12 @@ govulncheck:
 
 check: vet lint-programs vet-analyzers race staticcheck govulncheck
 
+# bench runs the tier-1 benchmark suite and records it as BENCH_5.json (see
+# DESIGN.md "Benchmark record format"): standard columns plus the custom
+# figure metrics (riskeval-ms/op, nulls/op, loss%/op), machine-readable for
+# regression tracking. The raw stream lands in bench.out for inspection.
+BENCH_JSON ?= BENCH_5.json
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -run=^$$ ./... > bench.out || { cat bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) bench.out

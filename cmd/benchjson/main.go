@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` output into the BENCH_5.json
+// machine-readable record documented in DESIGN.md: one entry per benchmark
+// with the standard ns/op, B/op and allocs/op columns plus every custom
+// metric (riskeval-ms/op, nulls/op, loss%/op, ...) the suite reports.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... > bench.out
+//	go run ./cmd/benchjson -o BENCH_5.json bench.out
+//
+// With no file argument the benchmark output is read from stdin. Lines that
+// are not benchmark results (headers, PASS/ok, build noise) are ignored, so
+// the full `go test` stream can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result row.
+type Entry struct {
+	// Name is the benchmark path without the trailing -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the b.N the row was measured at.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the standard time column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; absent (zero)
+	// when -benchmem was off.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// RiskEvalMsPerOp surfaces the suite's headline custom metric (the
+	// risk-estimation component of Figure 7e) as a first-class field;
+	// nil when the benchmark does not report it.
+	RiskEvalMsPerOp *float64 `json:"riskeval_ms_per_op,omitempty"`
+	// Metrics holds every custom unit verbatim, riskeval-ms/op included.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_5.json document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	report, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse folds a `go test -bench` stream into a Report. A benchmark result
+// line is `Benchmark<Name>-<P>  <N>  <value> <unit> [<value> <unit>]...`;
+// everything else is skipped.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Schema: "vadasa-bench/v1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a "Benchmark..." line that is not a result row
+		}
+		e := Entry{Name: trimProcs(strings.TrimPrefix(fields[0], "Benchmark")), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[unit] = v
+				if unit == "riskeval-ms/op" {
+					ms := v
+					e.RiskEvalMsPerOp = &ms
+				}
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(report.Benchmarks, func(i, j int) bool {
+		return report.Benchmarks[i].Name < report.Benchmarks[j].Name
+	})
+	return report, nil
+}
+
+// trimProcs drops the trailing -<GOMAXPROCS> the bench runner appends, so
+// entries compare across machines with different core counts.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: vadasa
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7eBySize/n=5000/individual-risk(monte-carlo)-4         	       1	  17571099 ns/op	        14.00 riskeval-ms/op	  524288 B/op	    1024 allocs/op
+BenchmarkFig7aNullsByK/W/k=2-4   	       2	 123456 ns/op	 321.0 nulls/op	 4.100 loss%/op
+BenchmarkGrouping-4 	     100	  99999 ns/op
+PASS
+ok  	vadasa	0.078s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(rep.Benchmarks))
+	}
+	byName := map[string]Entry{}
+	for _, e := range rep.Benchmarks {
+		byName[e.Name] = e
+	}
+	mc, ok := byName["Fig7eBySize/n=5000/individual-risk(monte-carlo)"]
+	if !ok {
+		t.Fatalf("missing monte-carlo entry (procs suffix not trimmed?): %v", rep.Benchmarks)
+	}
+	if mc.NsPerOp != 17571099 || mc.AllocsPerOp != 1024 || mc.BytesPerOp != 524288 {
+		t.Fatalf("bad standard columns: %+v", mc)
+	}
+	if mc.RiskEvalMsPerOp == nil || *mc.RiskEvalMsPerOp != 14 {
+		t.Fatalf("riskeval-ms/op not surfaced: %+v", mc)
+	}
+	nulls := byName["Fig7aNullsByK/W/k=2"]
+	if nulls.Metrics["nulls/op"] != 321 || nulls.Metrics["loss%/op"] != 4.1 {
+		t.Fatalf("custom metrics lost: %+v", nulls)
+	}
+	if nulls.RiskEvalMsPerOp != nil {
+		t.Fatalf("riskeval surfaced where absent: %+v", nulls)
+	}
+	plain := byName["Grouping"]
+	if plain.Iterations != 100 || plain.NsPerOp != 99999 || plain.Metrics != nil {
+		t.Fatalf("bad plain entry: %+v", plain)
+	}
+}
+
+func TestParseRejectsGarbageValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4 1 abc ns/op\n")); err == nil {
+		t.Fatal("garbage value accepted")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"Grouping-4":              "Grouping",
+		"Fig7eBySize/n=5000/x-16": "Fig7eBySize/n=5000/x",
+		"NoSuffix":                "NoSuffix",
+		"monte-carlo":             "monte-carlo", // non-numeric tail stays
+	} {
+		if got := trimProcs(in); got != want {
+			t.Fatalf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	        [-max-cells 10000000] [-mem-budget 0] [-disk-headroom 0]
 //	        [-job-dir DIR] [-job-workers 2] [-job-retries 3]
 //	        [-job-retry-base 100ms] [-job-retry-cap 5s]
+//	        [-pprof-addr localhost:6060]
 //
 // Endpoints (all POST bodies are CSV with a header row; attribute categories
 // are inferred from the header names and can be overridden with the id/qi/
@@ -64,6 +65,12 @@
 // when pressure clears; /readyz turns not-ready so load balancers steer
 // traffic away while the server is saturated.
 //
+// Profiling. -pprof-addr starts a second, independent listener exposing the
+// standard /debug/pprof endpoints (disabled by default; never mounted on the
+// service port). Bind it to localhost or a management interface — profiles
+// reveal memory contents and timing. See README.md, "Profiling a running
+// server".
+//
 // The server is stateless across requests; the knowledge base is loaded at
 // startup.
 package main
@@ -71,8 +78,10 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -108,6 +117,8 @@ func main() {
 	jobRetries := flag.Int("job-retries", 3, "attempts per job including the first; only transient failures retry")
 	jobRetryBase := flag.Duration("job-retry-base", 100*time.Millisecond, "first retry delay; doubles per attempt")
 	jobRetryCap := flag.Duration("job-retry-cap", 5*time.Second, "upper bound on the retry delay")
+	pprofAddr := flag.String("pprof-addr", "",
+		"listen address for /debug/pprof (e.g. localhost:6060); empty disables profiling entirely")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -187,6 +198,15 @@ func main() {
 
 	httpSrv := newHTTPServer(*addr, srv, *readTimeout, *requestTimeout)
 	errc := make(chan error, 1)
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener, never on the service port:
+		// the service mux stays closed (no DefaultServeMux), so exposure is
+		// an explicit operator decision and can be bound to localhost or a
+		// management network independently of -addr.
+		pprofSrv := newPprofServer(*pprofAddr)
+		go func() { errc <- fmt.Errorf("pprof listener: %w", pprofSrv.ListenAndServe()) }()
+		log.Printf("vadasad profiling on http://%s/debug/pprof/", *pprofAddr)
+	}
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("vadasad listening on %s (request timeout %s, max in-flight %d)",
 		*addr, *requestTimeout, *maxInflight)
@@ -205,6 +225,25 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("vadasad: drained, bye")
+	}
+}
+
+// newPprofServer builds the dedicated profiling listener: an explicit mux
+// carrying only the net/http/pprof handlers, with the read-side timeouts the
+// service listener has. No write timeout — CPU profiles and traces stream
+// for as long as ?seconds= asks.
+func newPprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 

@@ -69,6 +69,7 @@ func (c *Context) FreqWithout(attr int) []int {
 			rest = append(rest, a)
 		}
 	}
+	//hotgroup:ok memoized per attribute for one batch; not the per-iteration assessment
 	fs := mdb.Frequencies(c.Dataset, rest, mdb.MaybeMatch)
 	c.freqWithout[attr] = fs
 	return fs

@@ -79,6 +79,16 @@ type Config struct {
 	// through. An error from the hook aborts the cycle: if progress cannot
 	// be made durable, continuing would let a crash silently lose it.
 	Checkpoint CheckpointFunc
+	// FullAssess forces the reference full-assessment path even when the
+	// assessor supports incremental re-scoring. The incremental path is
+	// bit-identical by construction, so this is an escape hatch for
+	// debugging and for measuring the speedup, not a correctness knob.
+	FullAssess bool
+	// DebugVerify runs the full reference assessment alongside every
+	// incremental one and fails the cycle on any bitwise divergence. It
+	// costs what FullAssess costs on top of the incremental path; meant
+	// for tests and one-off validation runs.
+	DebugVerify bool
 }
 
 // Checkpoint is the durable summary of one committed cycle iteration: enough
@@ -204,18 +214,33 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 	exhausted := make(map[int]bool)
 	everRisky := make(map[int]bool)
 
+	// One ID → position map serves both checkpoint replay and the
+	// incremental index maintenance; positions are stable because the
+	// cycle never reorders rows.
+	rowPos := make(map[int]int, len(work.Rows))
+	for i, r := range work.Rows {
+		rowPos[r.ID] = i
+	}
+
 	startIter := 0
 	for _, cp := range checkpoints {
 		if cp.Iteration != startIter {
 			return nil, fmt.Errorf("anon: resume checkpoint out of order: got iteration %d, want %d", cp.Iteration, startIter)
 		}
-		if err := replayCheckpoint(work, cp, res, exhausted, everRisky); err != nil {
+		if err := replayCheckpoint(work, cp, res, exhausted, everRisky, rowPos); err != nil {
 			return nil, err
 		}
 		startIter++
 	}
 	if startIter >= maxIter {
 		return nil, fmt.Errorf("anon: cycle did not converge within %d iterations", maxIter)
+	}
+
+	var incr *incrementalState
+	if !cfg.FullAssess {
+		if incr = newIncrementalState(work, cfg, rowPos, gov); incr != nil {
+			defer incr.release()
+		}
 	}
 
 	var risks []float64
@@ -228,11 +253,25 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 		}
 		t0 := time.Now()
 		var err error
-		risks, err = risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
+		if incr != nil {
+			risks, err = incr.assess(ctx, work)
+		} else {
+			risks, err = risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
+		}
 		evalTime := time.Since(t0)
 		res.RiskEvalTime += evalTime
 		if err != nil {
 			return nil, fmt.Errorf("anon: risk assessment: %w", err)
+		}
+		if incr != nil && cfg.DebugVerify {
+			full, ferr := risk.AssessContext(ctx, cfg.Assessor, work, cfg.Semantics)
+			if ferr != nil {
+				return nil, fmt.Errorf("anon: debug-verify reference assessment: %w", ferr)
+			}
+			if row := firstDiff(risks, full); row >= 0 {
+				return nil, fmt.Errorf("anon: debug-verify: iteration %d: incremental risk diverges from full assessment at row %d: %v vs %v",
+					iter, row, risks[row], full[row])
+			}
 		}
 
 		var risky, newRisky []int
@@ -298,6 +337,11 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 			return nil, err
 		}
 		res.Decisions = append(res.Decisions, iterDecisions...)
+		if incr != nil {
+			if err := incr.observe(work, iterDecisions); err != nil {
+				return nil, err
+			}
+		}
 		anonTime := time.Since(t0)
 		res.AnonTime += anonTime
 
@@ -338,17 +382,13 @@ func ResumeContext(ctx context.Context, d *mdb.Dataset, cfg Config, checkpoints 
 // replayCheckpoint applies one journaled iteration to the working dataset:
 // decisions are re-applied verbatim (labelled-null ids included, with the
 // allocator advanced past them so later fresh nulls cannot collide) and the
-// control-state deltas are folded in.
-func replayCheckpoint(work *mdb.Dataset, cp Checkpoint, res *Result, exhausted, everRisky map[int]bool) error {
+// control-state deltas are folded in. rowPos maps row IDs to positions —
+// built once per resume, so a replay costs O(decisions), not
+// O(rows × decisions).
+func replayCheckpoint(work *mdb.Dataset, cp Checkpoint, res *Result, exhausted, everRisky map[int]bool, rowPos map[int]int) error {
 	for _, dec := range cp.Decisions {
-		rowIdx := -1
-		for i, r := range work.Rows {
-			if r.ID == dec.RowID {
-				rowIdx = i
-				break
-			}
-		}
-		if rowIdx < 0 {
+		rowIdx, ok := rowPos[dec.RowID]
+		if !ok {
 			return fmt.Errorf("anon: replay iteration %d: no tuple with id %d", cp.Iteration, dec.RowID)
 		}
 		attr := work.AttrIndex(dec.Attr)

@@ -63,6 +63,7 @@ func VerifyKAnonymity(d *mdb.Dataset, k int, sem mdb.Semantics) []int {
 		return ids
 	}
 	var violating []int
+	//hotgroup:ok one-shot release-time verification sweep, outside the cycle
 	for i, f := range mdb.Frequencies(d, qi, sem) {
 		if f < k {
 			violating = append(violating, d.Rows[i].ID)

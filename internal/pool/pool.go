@@ -1,0 +1,121 @@
+// Package pool provides the bounded fork-join worker pool behind the
+// parallel stages of the incremental risk-assessment layer: group-index
+// construction, dirty-group maintenance and per-group risk scoring all fan
+// independent index ranges out across cores through Run.
+//
+// Determinism is load-bearing for the anonymization cycle (journal replay
+// reproduces a run bit-for-bit), so the pool's contract is designed for it:
+// the input range is split into contiguous chunks whose boundaries depend
+// only on the range length and the worker count, every chunk writes to
+// caller-provided disjoint state, and no pool-level state is shared between
+// chunks. A caller whose chunk function is a pure per-index computation gets
+// results independent of the worker count — including the sequential
+// fallback.
+//
+// The pool is charged against the goroutine budget of the resource governor
+// carried by the context (PR 3): the extra workers — every goroutine beyond
+// the calling one — are reserved before they are spawned and released when
+// the join completes. When the reservation is refused the pool degrades to
+// sequential execution in the calling goroutine instead of failing: scoring
+// work is always correct single-threaded, so goroutine back-pressure costs
+// latency, never progress. Memory back-pressure keeps its PR 3 semantics —
+// the pool reserves no memory; callers charge their own buffers.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"vadasa/internal/govern"
+)
+
+// chunkTarget is the fixed ChunkBounds chunk size: small enough to balance
+// load across workers, large enough that per-chunk bookkeeping never shows
+// up in profiles.
+const chunkTarget = 2048
+
+// ChunkBounds splits [0, n) into contiguous [lo, hi) ranges of a fixed
+// target size. The boundaries depend only on n — not on GOMAXPROCS or the
+// governor — so callers that accumulate per-chunk results and concatenate
+// them in chunk order get output independent of the worker count.
+func ChunkBounds(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][2]int, 0, (n+chunkTarget-1)/chunkTarget)
+	for lo := 0; lo < n; lo += chunkTarget {
+		hi := lo + chunkTarget
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Run partitions [0, n) into contiguous chunks and executes fn on each,
+// using up to GOMAXPROCS goroutines (the caller's included). fn must write
+// only to state disjoint per index range. The first error by chunk order is
+// returned, so error identity does not depend on goroutine scheduling; a
+// pre-cancelled context returns its error before any chunk runs.
+func Run(ctx context.Context, n int, fn func(lo, hi int) error) error {
+	return RunWorkers(ctx, 0, n, fn)
+}
+
+// RunWorkers is Run with an explicit worker-count cap; workers <= 0 means
+// GOMAXPROCS. Tests use it to force multi-goroutine execution on small
+// machines; production callers use Run.
+func RunWorkers(ctx context.Context, workers, n int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	gov := govern.From(ctx)
+	if workers > 1 {
+		// The calling goroutine works too, so only workers-1 are new.
+		if err := gov.Reserve(govern.Goroutines, int64(workers-1)); err != nil {
+			workers = 1 // budget saturated: degrade to sequential
+		} else {
+			defer gov.Release(govern.Goroutines, int64(workers-1))
+		}
+	}
+	if workers == 1 {
+		return fn(0, n)
+	}
+
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	errs[0] = fn(0, chunk)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"vadasa/internal/govern"
+)
+
+func TestRunCoversRangeDisjointly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		for _, n := range []int{0, 1, 5, 100, 4097} {
+			seen := make([]int, n)
+			err := RunWorkers(context.Background(), workers, n, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestChunkError(t *testing.T) {
+	boom := func(at int) func(lo, hi int) error {
+		return func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if i >= at {
+					return fmt.Errorf("bad index %d", i)
+				}
+			}
+			return nil
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		err := RunWorkers(context.Background(), workers, 1000, boom(500))
+		if err == nil || err.Error() != "bad index 500" {
+			t.Fatalf("workers=%d: got %v, want bad index 500", workers, err)
+		}
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Run(ctx, 10, func(lo, hi int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("chunk ran despite cancelled context")
+	}
+}
+
+// A saturated goroutine budget degrades to sequential execution instead of
+// failing, and a roomy budget is released when the join completes.
+func TestRunGoroutineBudget(t *testing.T) {
+	tight := govern.New("tight", govern.Limits{MaxGoroutines: 1})
+	ctx := govern.With(context.Background(), tight)
+	visited := 0
+	if err := RunWorkers(ctx, 4, 100, func(lo, hi int) error {
+		visited += hi - lo // sequential: no data race
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 100 {
+		t.Fatalf("visited %d of 100 under tight budget", visited)
+	}
+	if used := tight.Used(govern.Goroutines); used != 0 {
+		t.Fatalf("tight governor still holds %d goroutines", used)
+	}
+
+	roomy := govern.New("roomy", govern.Limits{MaxGoroutines: 16})
+	ctx = govern.With(context.Background(), roomy)
+	out := make([]int, 1000)
+	if err := RunWorkers(ctx, 4, len(out), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if used := roomy.Used(govern.Goroutines); used != 0 {
+		t.Fatalf("roomy governor still holds %d goroutines after join", used)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	for _, n := range []int{0, 1, 2047, 2048, 2049, 10000} {
+		chunks := ChunkBounds(n)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next || c[1] <= c[0] {
+				t.Fatalf("n=%d: bad chunk %v at expected lo %d", n, c, next)
+			}
+			next = c[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d: chunks cover up to %d", n, next)
+		}
+	}
+}

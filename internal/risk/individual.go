@@ -67,6 +67,13 @@ func (a IndividualRisk) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, er
 	return a.AssessContext(context.Background(), d, sem)
 }
 
+// gkey identifies a posterior estimate: groups sharing a (sample frequency,
+// weight sum) pair share their risk, so estimates are memoized per pair.
+type gkey struct {
+	f int
+	w float64
+}
+
 // AssessContext implements ContextAssessor. The posterior estimation is
 // cached per (f, ΣW) pair, so the context is polled on the outer group loop
 // — each uncached estimate is itself bounded (series cutoffs, fixed sample
@@ -77,16 +84,11 @@ func (a IndividualRisk) AssessContext(ctx context.Context, d *mdb.Dataset, sem m
 		return nil, err
 	}
 	groups := mdb.ComputeGroups(d, idx, sem)
-	rng := rand.New(rand.NewSource(a.Seed))
 	samples := a.Samples
 	if samples <= 0 {
 		samples = 200
 	}
 
-	type gkey struct {
-		f int
-		w float64
-	}
 	cache := make(map[gkey]float64)
 	out := make([]float64, len(groups))
 	for i, g := range groups {
@@ -99,7 +101,7 @@ func (a IndividualRisk) AssessContext(ctx context.Context, d *mdb.Dataset, sem m
 		k := gkey{g.Freq, g.WeightSum}
 		r, ok := cache[k]
 		if !ok {
-			r = a.estimate(g.Freq, g.WeightSum, rng, samples)
+			r = a.estimate(g.Freq, g.WeightSum, samples)
 			cache[k] = r
 		}
 		out[i] = r
@@ -107,7 +109,13 @@ func (a IndividualRisk) AssessContext(ctx context.Context, d *mdb.Dataset, sem m
 	return out, nil
 }
 
-func (a IndividualRisk) estimate(f int, popEst float64, rng *rand.Rand, samples int) float64 {
+// estimate is a pure function of the (f, ΣW) pair: the Monte-Carlo
+// estimator seeds a private generator from the configured Seed and the pair
+// itself rather than drawing from a shared stream. That makes every
+// estimate independent of evaluation order — the property the incremental
+// and parallel re-scoring paths need to stay bit-identical to a sequential
+// full assessment — while keeping runs reproducible for a fixed Seed.
+func (a IndividualRisk) estimate(f int, popEst float64, samples int) float64 {
 	p := float64(f) / popEst
 	if p >= 1 {
 		// The sample exhausts the estimated population: F = f exactly.
@@ -122,10 +130,26 @@ func (a IndividualRisk) estimate(f int, popEst float64, rng *rand.Rand, samples 
 		if f > largeFrequency {
 			return clamp01(taylorMean(f, p))
 		}
+		rng := rand.New(rand.NewSource(pairSeed(a.Seed, f, popEst)))
 		return clamp01(monteCarloMean(f, p, rng, samples))
 	default:
 		return clamp01(p)
 	}
+}
+
+// pairSeed mixes the configured seed with the estimate's (f, ΣW) pair
+// through two rounds of splitmix64 finalization, so nearby pairs land on
+// uncorrelated generator streams.
+func pairSeed(seed int64, f int, w float64) int64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	h := mix(uint64(seed) + 0x9e3779b97f4a7c15)
+	h = mix(h ^ uint64(f))
+	h = mix(h ^ math.Float64bits(w))
+	return int64(h)
 }
 
 // largeFrequency is the sample frequency above which the posterior of 1/F is

@@ -9,9 +9,10 @@ package main
 import (
 	"vadasa/tools/analyzers/ctxpass"
 	"vadasa/tools/analyzers/governcharge"
+	"vadasa/tools/analyzers/hotgroup"
 	"vadasa/tools/analyzers/unitchecker"
 )
 
 func main() {
-	unitchecker.Main(ctxpass.Analyzer, governcharge.Analyzer)
+	unitchecker.Main(ctxpass.Analyzer, governcharge.Analyzer, hotgroup.Analyzer)
 }

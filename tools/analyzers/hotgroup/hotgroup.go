@@ -1,0 +1,79 @@
+// Package hotgroup guards the anonymization cycle's incremental-assessment
+// invariant: code in package anon must not regroup the dataset from scratch
+// with mdb.ComputeGroups or mdb.Frequencies. The cycle maintains an
+// mdb.GroupIndex across iterations precisely so that per-iteration risk
+// work scales with the suppression delta, and a stray full regroup on the
+// hot path silently reverts the dominant cost of Figure 7e.
+//
+// A call that is genuinely off the hot path — a memoized one-time
+// computation, a release-time verification sweep — is annotated with
+// `//hotgroup:ok <reason>` on its own or the preceding line. _test.go
+// files are skipped.
+package hotgroup
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the hotgroup pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotgroup",
+	Doc:  "package anon must use the maintained GroupIndex, not full regrouping",
+	Run:  run,
+}
+
+// grouping lists the mdb entry points that regroup the whole dataset.
+var grouping = map[string]bool{
+	"ComputeGroups": true,
+	"Frequencies":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name != "anon" {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ok := okLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			sel, isSel := call.Fun.(*ast.SelectorExpr)
+			if !isSel || !grouping[sel.Sel.Name] {
+				return true
+			}
+			if pkg, isIdent := sel.X.(*ast.Ident); !isIdent || pkg.Name != "mdb" {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if ok[line] || ok[line-1] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"full regroup mdb.%s in package anon: the cycle maintains an mdb.GroupIndex for this — use it, or annotate //hotgroup:ok with why this call is off the hot path",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//hotgroup:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package hotgroup
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestHotgroup(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}
+
+func TestHotgroupIgnoresOtherPackages(t *testing.T) {
+	checktest.Run(t, "testdata/src/b", Analyzer)
+}

@@ -1,0 +1,41 @@
+package anon
+
+type dataset struct{}
+
+type mdbPkg struct{}
+
+// The fixture fakes the mdb package surface with a package-scoped variable
+// named mdb; the analyzer is AST-only and matches the selector shape.
+var mdb mdbAPI
+
+type mdbAPI struct{}
+
+func (mdbAPI) ComputeGroups(d *dataset, idx []int, sem int) []int { return nil }
+func (mdbAPI) Frequencies(d *dataset, idx []int, sem int) []int   { return nil }
+
+func hotPath(d *dataset, qi []int) []int {
+	return mdb.ComputeGroups(d, qi, 0) // want `full regroup mdb\.ComputeGroups in package anon`
+}
+
+func alsoHot(d *dataset, qi []int) []int {
+	fs := mdb.Frequencies(d, qi, 0) // want `full regroup mdb\.Frequencies in package anon`
+	return fs
+}
+
+func coldPath(d *dataset, qi []int) []int {
+	//hotgroup:ok one-time release verification, not the cycle
+	return mdb.Frequencies(d, qi, 0)
+}
+
+func sameLineOK(d *dataset, qi []int) []int {
+	return mdb.ComputeGroups(d, qi, 0) //hotgroup:ok memoized
+}
+
+type other struct{}
+
+func (other) ComputeGroups(d *dataset, idx []int, sem int) []int { return nil }
+
+func notMdb(d *dataset, qi []int) []int {
+	var o other
+	return o.ComputeGroups(d, qi, 0) // receiver is not mdb: fine
+}
