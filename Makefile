@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench
+.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,17 @@ govulncheck:
 	fi
 
 check: vet lint-programs vet-analyzers race staticcheck govulncheck
+
+# chaos runs the process-level fault suite under the race detector: worker
+# SIGKILL mid-lease, dropped/duplicated/truncated RPCs, torn journal tails
+# and degraded-mode serving, asserting every recovery is bit-identical to
+# the undisturbed control. Non-gating (a separate opt-in CI job); the raw
+# stream lands in chaos.out for the CI artifact.
+chaos:
+	$(GO) test -race -count=1 -v \
+		-run 'Chaos|Fault|Degrad|Hedg|SpawnAndKill|TornJournal' \
+		./internal/dist/ ./cmd/vadasad/ > chaos.out 2>&1 || { cat chaos.out; exit 1; }
+	cat chaos.out
 
 # bench runs the tier-1 benchmark suite and records it as BENCH_5.json (see
 # DESIGN.md "Benchmark record format"): standard columns plus the custom

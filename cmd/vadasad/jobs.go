@@ -196,7 +196,7 @@ func (jr *jobRunner) Run(ctx context.Context, id string, spec jobs.Spec, resume 
 		return nil, err
 	}
 	res, err := f.ResumeAnonymizeContext(ctx, d, vadasa.CycleOptions{
-		Measure:     m,
+		Measure:     s.distMeasure(m),
 		Threshold:   threshold,
 		UseRecoding: q.Get("recode") == "true",
 		Checkpoint:  checkpoint,

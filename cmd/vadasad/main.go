@@ -10,6 +10,9 @@
 //	        [-job-dir DIR] [-job-workers 2] [-job-retries 3]
 //	        [-job-retry-base 100ms] [-job-retry-cap 5s]
 //	        [-pprof-addr localhost:6060]
+//	        [-shard-workers host:port,...] [-spawn-workers N]
+//	        [-worker-bin PATH] [-lease-ttl 10s] [-hedge-after 0]
+//	        [-worker-heartbeat 2s] [-require-workers]
 //
 // Endpoints (all POST bodies are CSV with a header row; attribute categories
 // are inferred from the header names and can be overridden with the id/qi/
@@ -65,6 +68,17 @@
 // when pressure clears; /readyz turns not-ready so load balancers steer
 // traffic away while the server is saturated.
 //
+// Distributed execution. With -shard-workers (addresses of running vadasaw
+// processes) and/or -spawn-workers (locally spawned, supervised children),
+// incremental risk re-scoring fans out to worker processes in row shards
+// under epoch-fenced leases with heartbeat liveness, bounded retries and
+// optional hedged re-dispatch (-hedge-after). Results are bit-identical to
+// in-process scoring. When every worker is down the server degrades to
+// in-process execution and /readyz reports "degraded" (still 200) — unless
+// -require-workers is set, in which case affected requests fail 503 with
+// Retry-After and /readyz answers 503. See DESIGN.md §12 and README.md,
+// "Sharded risk scoring with vadasaw".
+//
 // Profiling. -pprof-addr starts a second, independent listener exposing the
 // standard /debug/pprof endpoints (disabled by default; never mounted on the
 // service port). Bind it to localhost or a management interface — profiles
@@ -83,11 +97,15 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"vadasa"
+	"vadasa/internal/dist"
 	"vadasa/internal/govern"
 	"vadasa/internal/jobs"
 )
@@ -119,6 +137,20 @@ func main() {
 	jobRetryCap := flag.Duration("job-retry-cap", 5*time.Second, "upper bound on the retry delay")
 	pprofAddr := flag.String("pprof-addr", "",
 		"listen address for /debug/pprof (e.g. localhost:6060); empty disables profiling entirely")
+	shardWorkers := flag.String("shard-workers", "",
+		"comma-separated host:port list of running vadasaw shard workers to fan risk scoring out to")
+	spawnWorkers := flag.Int("spawn-workers", 0,
+		"number of vadasaw worker processes to spawn and supervise locally")
+	workerBin := flag.String("worker-bin", "",
+		"path to the vadasaw binary for -spawn-workers (default: next to this executable, then $PATH)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second,
+		"per-dispatch lease: a worker silent past this is presumed dead and the shard is retried elsewhere")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"re-dispatch a shard to a second worker after this long without a reply; first admitted reply wins (0 disables)")
+	workerHeartbeat := flag.Duration("worker-heartbeat", 2*time.Second,
+		"interval between worker liveness probes")
+	requireWorkers := flag.Bool("require-workers", false,
+		"refuse the in-process fallback: with no healthy workers, requests fail 503 instead of degrading")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -161,6 +193,52 @@ func main() {
 			DiskDir:      *jobDir, // "" disables the disk check
 			DiskHeadroom: *diskHeadroom,
 		})
+	}
+	if *shardWorkers != "" || *spawnWorkers > 0 || *requireWorkers {
+		var transports []dist.Transport
+		for _, a := range strings.Split(*shardWorkers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				transports = append(transports, dist.NewHTTPTransport(a, nil))
+			}
+		}
+		var workerProcs []*dist.Proc
+		if *spawnWorkers > 0 {
+			bin := *workerBin
+			if bin == "" {
+				bin = findWorkerBin()
+			}
+			if bin == "" {
+				log.Fatalf("vadasad: -spawn-workers: no vadasaw binary next to the executable or on $PATH; set -worker-bin")
+			}
+			for i := 0; i < *spawnWorkers; i++ {
+				p, err := dist.Spawn(bin, []string{"-quiet"}, nil, 10*time.Second)
+				if err != nil {
+					log.Fatalf("vadasad: spawning shard worker %d: %v", i, err)
+				}
+				workerProcs = append(workerProcs, p)
+				transports = append(transports, p.Transport())
+				log.Printf("vadasad: shard worker %d listening on %s", i, p.Addr())
+			}
+			defer func() {
+				for _, p := range workerProcs {
+					p.Kill()
+				}
+			}()
+		}
+		sup := dist.NewSupervisor(transports, dist.Options{
+			Run:               "vadasad",
+			LeaseTTL:          *leaseTTL,
+			HedgeAfter:        *hedgeAfter,
+			HeartbeatInterval: *workerHeartbeat,
+			RequireWorkers:    *requireWorkers,
+			Governor:          srv.govern,
+			Logf:              log.Printf,
+		})
+		sup.Start()
+		defer sup.Close()
+		srv.dist = sup
+		log.Printf("vadasad: sharded risk scoring over %d worker(s), require-workers=%v",
+			len(transports), *requireWorkers)
 	}
 	if *jobDir != "" {
 		srv.jobDir = *jobDir
@@ -226,6 +304,22 @@ func main() {
 		}
 		log.Printf("vadasad: drained, bye")
 	}
+}
+
+// findWorkerBin locates the vadasaw binary for -spawn-workers when the
+// operator did not pin one: the sibling of this executable first (how release
+// tarballs lay the two out), then $PATH. Empty means neither exists.
+func findWorkerBin() string {
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "vadasaw")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand
+		}
+	}
+	if p, err := exec.LookPath("vadasaw"); err == nil {
+		return p
+	}
+	return ""
 }
 
 // newPprofServer builds the dedicated profiling listener: an explicit mux

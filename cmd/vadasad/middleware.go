@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"vadasa/internal/dist"
 	"vadasa/internal/govern"
 	"vadasa/internal/risk"
 )
@@ -158,6 +159,10 @@ func statusForError(err error, fallback int) int {
 		return http.StatusUnprocessableEntity
 	case errors.As(err, &overBudget):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dist.ErrDegraded), errors.Is(err, dist.ErrWorkerLost):
+		// Only reachable with -require-workers: without it the supervisor
+		// degrades to in-process scoring instead of failing the request.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -174,7 +179,16 @@ func (s *server) failRequest(w http.ResponseWriter, fallback int, err error) {
 	case http.StatusGatewayTimeout:
 		err = fmt.Errorf("request deadline exceeded (raise -request-timeout or shrink the dataset): %w", err)
 	case http.StatusServiceUnavailable:
-		err = fmt.Errorf("server resource budget exhausted; retry when load drops: %w", err)
+		// Two distinct 503 causes for operators and clients: worker-fleet
+		// degradation (workers may rejoin any moment — short Retry-After)
+		// versus resource saturation (load has to drain first).
+		if errors.Is(err, dist.ErrDegraded) || errors.Is(err, dist.ErrWorkerLost) {
+			w.Header().Set("Retry-After", "5")
+			err = fmt.Errorf("shard workers unavailable and -require-workers is set; retry when workers rejoin: %w", err)
+		} else {
+			w.Header().Set("Retry-After", "15")
+			err = fmt.Errorf("server resource budget exhausted; retry when load drops: %w", err)
+		}
 	case statusClientClosedRequest:
 		err = fmt.Errorf("client cancelled the request: %w", err)
 	case http.StatusRequestEntityTooLarge:

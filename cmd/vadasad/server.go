@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"vadasa"
+	"vadasa/internal/dist"
 	"vadasa/internal/govern"
 	"vadasa/internal/jobs"
+	"vadasa/internal/risk"
 )
 
 // server carries the handler state. A fresh framework per request keeps
@@ -57,6 +59,11 @@ type server struct {
 	// recovering is set while startup job recovery replays journals in
 	// the background; /readyz answers 503 until it clears.
 	recovering atomic.Bool
+	// dist, when non-nil, is the shard-worker supervisor: incremental
+	// risk re-scoring fans out to vadasaw processes, and /readyz reports
+	// degraded (200) when none are healthy but in-process fallback still
+	// serves — or 503 with Retry-After under -require-workers.
+	dist *dist.Supervisor
 }
 
 // defaultBudgetCeiling matches the engine's own MaxWork default: clients may
@@ -144,7 +151,47 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.dist != nil && s.dist.Degraded() {
+		// Degraded is not down: with in-process fallback the service still
+		// completes every job, just without worker isolation — 200 so load
+		// balancers keep routing, with the status visible to operators.
+		// Under -require-workers the fallback is disabled, so degraded
+		// really means "new work will be refused": 503 with Retry-After.
+		body := map[string]any{
+			"status": "degraded",
+			"reason": "no healthy shard workers; serving in-process",
+			"dist":   s.dist.Snapshot(),
+		}
+		if s.dist.RequiresWorkers() {
+			body["reason"] = "no healthy shard workers and -require-workers is set"
+			w.Header().Set("Retry-After", "5")
+			s.writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, body)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// distMeasure routes a measure's incremental re-scoring through the shard
+// supervisor when one is configured and the measure can ship (it implements
+// risk.IncrementalAssessor and is wire-encodable). Everything else — SUDA,
+// cluster-wrapped, test doubles — passes through and runs locally, the same
+// degradation the supervisor itself applies at runtime.
+func (s *server) distMeasure(m vadasa.RiskMeasure) vadasa.RiskMeasure {
+	if s.dist == nil {
+		return m
+	}
+	inc, ok := m.(risk.IncrementalAssessor)
+	if !ok {
+		return m
+	}
+	da, err := dist.NewAssessor(inc, s.dist)
+	if err != nil {
+		return m
+	}
+	return da
 }
 
 func (s *server) handleMeasures(w http.ResponseWriter, r *http.Request) {
@@ -477,7 +524,7 @@ func (s *server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := f.AnonymizeContext(r.Context(), d, vadasa.CycleOptions{
-		Measure:     m,
+		Measure:     s.distMeasure(m),
 		Threshold:   threshold,
 		UseRecoding: r.URL.Query().Get("recode") == "true",
 	})

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+)
+
+// Assessor adapts a Supervisor into a risk.IncrementalAssessor, so the
+// anonymization cycle's incremental path transparently executes its
+// per-iteration re-scoring on the worker fleet: Config.Assessor gets an
+// *Assessor and nothing else in the cycle changes.
+//
+// Only Rescore is distributed. Full assessments (Assess/AssessContext)
+// delegate to the wrapped local measure — they run once per job against
+// many Rescore calls, and keeping them local means the cycle's
+// DebugVerify mode (incremental vs. full cross-check) doubles as an
+// automatic distributed-vs-local bitwise verification.
+type Assessor struct {
+	inner risk.IncrementalAssessor
+	spec  MeasureSpec
+	sup   *Supervisor
+}
+
+// NewAssessor wraps inner for supervised execution. It fails for measures
+// that cannot ship over the wire (see SpecFor); callers fall back to using
+// inner directly — the same degradation the supervisor applies at runtime,
+// decided at configuration time instead.
+func NewAssessor(inner risk.IncrementalAssessor, sup *Supervisor) (*Assessor, error) {
+	spec, ok := SpecFor(inner)
+	if !ok {
+		return nil, fmt.Errorf("dist: measure %s is not distributable", inner.Name())
+	}
+	return &Assessor{inner: inner, spec: spec, sup: sup}, nil
+}
+
+// Name implements risk.Assessor with the wrapped measure's name, so logs,
+// errors and journal records are indistinguishable from a local run.
+func (a *Assessor) Name() string { return a.inner.Name() }
+
+// Assess implements risk.Assessor, delegating locally.
+func (a *Assessor) Assess(d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.inner.Assess(d, sem)
+}
+
+// AssessContext implements risk.ContextAssessor, delegating locally.
+func (a *Assessor) AssessContext(ctx context.Context, d *mdb.Dataset, sem mdb.Semantics) ([]float64, error) {
+	return a.inner.AssessContext(ctx, d, sem)
+}
+
+// IndexAttrs implements risk.IncrementalAssessor, delegating locally.
+func (a *Assessor) IndexAttrs(d *mdb.Dataset) ([]int, error) {
+	return a.inner.IndexAttrs(d)
+}
+
+// Rescore implements risk.IncrementalAssessor by sharding the dirty rows'
+// group aggregates across the supervisor's workers. The contract is the
+// local one, bit for bit: out equals prev except at dirty positions, which
+// carry exactly the values inner.Rescore would have computed — worker and
+// fallback both evaluate the shared risk.GroupScorer code.
+func (a *Assessor) Rescore(ctx context.Context, idx *mdb.GroupIndex, dirty []int, prev []float64) ([]float64, error) {
+	infos := idx.Infos()
+	rows := idx.Dataset().Rows
+	n := len(infos)
+
+	var positions []int
+	if prev == nil {
+		positions = make([]int, n)
+		for i := range positions {
+			positions[i] = i
+		}
+	} else {
+		if len(prev) != n {
+			// The exact error the local rescore paths produce.
+			return nil, fmt.Errorf("risk: rescore: previous vector has %d rows, index has %d", len(prev), n)
+		}
+		positions = dirty
+	}
+
+	taskRows := make([]TaskRow, len(positions))
+	for i, pos := range positions {
+		g := infos[pos]
+		taskRows[i] = TaskRow{Pos: pos, ID: rows[pos].ID, Freq: g.Freq, WeightSum: g.WeightSum}
+	}
+	values, err := a.sup.Execute(ctx, a.spec, taskRows)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]float64, n)
+	if prev != nil {
+		copy(out, prev)
+	}
+	for i, pos := range positions {
+		out[pos] = values[i]
+	}
+	return out, nil
+}

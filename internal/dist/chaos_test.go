@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// spawnWorker re-execs the test binary as a real vadasaw process.
+func spawnWorker(t *testing.T, args ...string) *Proc {
+	t.Helper()
+	argv := append([]string{"-addr=127.0.0.1:0", "-quiet"}, args...)
+	p, err := Spawn(os.Args[0], argv, []string{workerEnv + "=1"}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The acceptance chaos run: 4 worker processes, one SIGKILLed mid-task
+// (its -hold keeps the task in flight when the kill lands), one dropped
+// RPC and one duplicated RPC injected on the survivors — and the merged
+// result is bit-identical to the single-process reference. Run under
+// -race by `make chaos` and the chaos CI job.
+func TestChaosKillAndFaultsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	rng := rand.New(rand.NewSource(54))
+	rows := testRows(rng, 2000)
+	spec := testSpecs()[2] // Monte-Carlo: heaviest float path on the wire
+	want, err := spec.Score(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 0 holds every task for 400ms: the SIGKILL below lands while
+	// it owns a lease. Workers 1-3 are healthy but faulted at the RPC
+	// layer: worker 1 drops its first delivery, worker 2 duplicates its
+	// second.
+	victim := spawnWorker(t, "-hold=400ms")
+	var procs []*Proc
+	var transports []Transport
+	procs = append(procs, victim)
+	transports = append(transports, victim.Transport())
+	var dropFT, dupFT *FaultTransport
+	for i := 1; i < 4; i++ {
+		p := spawnWorker(t)
+		procs = append(procs, p)
+		ft := NewFaultTransport(p.Transport())
+		switch i {
+		case 1:
+			ft.DropCall(1)
+			dropFT = ft
+		case 2:
+			ft.DupCall(2)
+			dupFT = ft
+		}
+		transports = append(transports, ft)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Kill()
+		}
+	})
+
+	opts := quickOpts()
+	opts.ShardSize = 100 // 20 tasks across 4 workers
+	opts.MaxAttempts = 5
+	opts.LeaseTTL = 5 * time.Second
+	opts.Logf = t.Logf
+	sup := NewSupervisor(transports, opts)
+	sup.Start()
+	defer sup.Close()
+
+	// SIGKILL the victim once the run is in flight — its held tasks die
+	// with it and must be re-leased elsewhere.
+	killed := make(chan struct{})
+	var execDone atomic.Bool
+	go func() {
+		defer close(killed)
+		time.Sleep(150 * time.Millisecond)
+		if execDone.Load() {
+			return
+		}
+		victim.Kill()
+	}()
+
+	got, err := sup.Execute(context.Background(), spec, rows)
+	execDone.Store(true)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBits(t, "chaos", got, want)
+
+	st := sup.Snapshot()
+	t.Logf("chaos run: %+v; drop transport calls=%d dup transport calls=%d",
+		st, dropFT.Calls(), dupFT.Calls())
+	if st.Retries == 0 {
+		t.Fatal("chaos run saw no retries — faults were not exercised")
+	}
+}
+
+// All workers SIGKILLed before the run: every task degrades to in-process
+// execution, the result still holds bitwise, and the supervisor reports
+// degraded once heartbeats catch up.
+func TestChaosAllWorkersDownDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	rows := testRows(rand.New(rand.NewSource(55)), 400)
+	spec := testSpecs()[0]
+	want, _ := spec.Score(rows)
+
+	var transports []Transport
+	for i := 0; i < 2; i++ {
+		p := spawnWorker(t)
+		transports = append(transports, p.Transport())
+		p.Kill()
+	}
+	opts := quickOpts()
+	opts.MaxAttempts = 2
+	sup := NewSupervisor(transports, opts)
+	sup.Start()
+	defer sup.Close()
+
+	got, err := sup.Execute(context.Background(), spec, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBits(t, "all-down", got, want)
+	if sup.Snapshot().LocalFallbacks == 0 {
+		t.Fatal("no local fallbacks despite a dead fleet")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !sup.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never reported degraded")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Each injected transport fault — drop, duplicate, truncate, delay — must
+// cost latency only: the merged result stays bit-identical to local.
+func TestFaultTransportSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	rows := testRows(rng, 64)
+	spec := testSpecs()[2] // Monte-Carlo: the heaviest float path
+	want, err := spec.Score(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		ft := NewFaultTransport(scoringTransport("w", 0))
+		ft.DropCall(1)
+		sup := NewSupervisor([]Transport{ft}, quickOpts())
+		defer sup.Close()
+		got, err := sup.Execute(context.Background(), spec, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "drop", got, want)
+		if ft.Calls() < 2 {
+			t.Fatalf("dropped call not retried: %d calls", ft.Calls())
+		}
+	})
+
+	t.Run("dup", func(t *testing.T) {
+		inner := scoringTransport("w", 0)
+		ft := NewFaultTransport(inner)
+		ft.DupCall(1)
+		sup := NewSupervisor([]Transport{ft}, quickOpts())
+		defer sup.Close()
+		got, err := sup.Execute(context.Background(), spec, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "dup", got, want)
+		if inner.Calls() != 2 {
+			t.Fatalf("worker saw %d deliveries, want 2 (duplicate)", inner.Calls())
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		ft := NewFaultTransport(scoringTransport("w", 0))
+		ft.TruncateCall(1)
+		sup := NewSupervisor([]Transport{ft}, quickOpts())
+		defer sup.Close()
+		got, err := sup.Execute(context.Background(), spec, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "truncate", got, want)
+		if ft.Calls() < 2 {
+			t.Fatalf("truncated reply not retried: %d calls", ft.Calls())
+		}
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		ft := NewFaultTransport(scoringTransport("w", 0))
+		ft.DelayCall(1, 20*time.Millisecond)
+		sup := NewSupervisor([]Transport{ft}, quickOpts())
+		defer sup.Close()
+		got, err := sup.Execute(context.Background(), spec, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "delay", got, want)
+	})
+}
+
+// A drop surfaces as ErrWorkerLost to direct callers.
+func TestFaultTransportDropError(t *testing.T) {
+	ft := NewFaultTransport(scoringTransport("w", 0))
+	ft.DropCall(1)
+	_, err := ft.Call(context.Background(), Task{Seq: 0, Measure: testSpecs()[0]})
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("err = %v, want ErrWorkerLost", err)
+	}
+}
+
+// Composed faults across several workers in one run: the supervisor routes
+// around all of them and the bits hold.
+func TestFaultStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	rows := testRows(rng, 600)
+	spec := testSpecs()[2]
+	want, err := spec.Score(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transports []Transport
+	for i := 0; i < 3; i++ {
+		ft := NewFaultTransport(scoringTransport("w", time.Duration(i)*time.Millisecond))
+		ft.DropCall(1)
+		ft.DupCall(2)
+		ft.TruncateCall(3)
+		ft.DelayCall(4, 10*time.Millisecond)
+		transports = append(transports, ft)
+	}
+	opts := quickOpts()
+	opts.MaxAttempts = 5
+	sup := NewSupervisor(transports, opts)
+	defer sup.Close()
+	got, err := sup.Execute(context.Background(), spec, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBits(t, "storm", got, want)
+}

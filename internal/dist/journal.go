@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"vadasa/internal/journal"
+)
+
+// LeaseAction tags what a lease journal record witnesses.
+const (
+	// LeaseGrant: the epoch was issued to a worker for a task.
+	LeaseGrant = "grant"
+	// LeaseRevoke: the epoch was invalidated (timeout, transport failure,
+	// corrupt reply) before any reply was admitted under it.
+	LeaseRevoke = "revoke"
+	// LeaseAccept: a reply carrying the epoch passed the fence; the task
+	// is settled and every other epoch of the task is dead.
+	LeaseAccept = "accept"
+)
+
+// LeasePayload is the journal.TypeLease record body. Lease records are
+// advisory for a live run — the in-memory fence is authoritative — but
+// they make reassignment crash-consistent: a supervisor restarting over
+// the same journal seeds its epoch counter above every epoch ever granted
+// (RecoverFence), so a worker surviving from the previous incarnation
+// cannot have a stale reply admitted by the new one.
+type LeasePayload struct {
+	Run    string `json:"run"`
+	Task   int    `json:"task"`
+	Epoch  uint64 `json:"epoch"`
+	Worker string `json:"worker,omitempty"`
+	Action string `json:"action"`
+}
+
+// RecoverFence scans a journal for lease records and returns the highest
+// epoch ever granted — the floor a restarted supervisor must start above
+// (Options.FirstEpoch = RecoverFence(scan) + 1). Records that fail to
+// decode are skipped: the journal layer already validated framing and
+// checksums, and an unknown payload schema must not block recovery.
+func RecoverFence(scan journal.Scan) uint64 {
+	var max uint64
+	for _, rec := range scan.Records {
+		if rec.Type != journal.TypeLease {
+			continue
+		}
+		var p LeasePayload
+		if err := rec.Decode(&p); err != nil {
+			continue
+		}
+		if p.Epoch > max {
+			max = p.Epoch
+		}
+	}
+	return max
+}

@@ -1,0 +1,18 @@
+package dist
+
+import (
+	"os"
+	"testing"
+)
+
+// workerEnv flips the test binary into a real vadasaw worker process: the
+// chaos tests re-exec themselves with it set, so the processes they SIGKILL
+// run exactly the production WorkerMain loop — same code cmd/vadasaw ships.
+const workerEnv = "VADASAW_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		os.Exit(WorkerMain(os.Args[1:], os.Stdout))
+	}
+	os.Exit(m.Run())
+}

@@ -246,6 +246,32 @@ func (g *Governor) Err() error {
 	return g.CheckDisk()
 }
 
+// Usage is a point-in-time snapshot of one scope's reservations,
+// suitable for serving from observability endpoints.
+type Usage struct {
+	Scope      string `json:"scope"`
+	Memory     int64  `json:"memory,omitempty"`
+	Facts      int64  `json:"facts,omitempty"`
+	Goroutines int64  `json:"goroutines,omitempty"`
+}
+
+// Stats snapshots the governor's current reservations. The numbers are
+// consistent within the scope (taken under one lock) but not across the
+// tree — this is an observability read, not a coordination primitive.
+func (g *Governor) Stats() Usage {
+	if g == nil {
+		return Usage{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Usage{
+		Scope:      g.name,
+		Memory:     g.used[Memory],
+		Facts:      g.used[Facts],
+		Goroutines: g.used[Goroutines],
+	}
+}
+
 // Close releases every outstanding reservation of this governor from
 // its ancestors and marks it closed; further Reserves fail. Closing a
 // scope is how a finished evaluation, request or job returns its whole

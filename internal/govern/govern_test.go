@@ -177,3 +177,26 @@ func TestConcurrentReserveRelease(t *testing.T) {
 		t.Fatalf("root used after workers done = %d, want 0", got)
 	}
 }
+
+func TestStats(t *testing.T) {
+	root := New("server", Limits{MaxBytes: 1 << 20, MaxGoroutines: 8})
+	child := root.Child("job", Limits{})
+	if err := child.Reserve(Memory, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Reserve(Goroutines, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := root.Stats()
+	if got.Scope != "server" || got.Memory != 4096 || got.Goroutines != 3 || got.Facts != 0 {
+		t.Fatalf("root stats = %+v", got)
+	}
+	child.Close()
+	if got := root.Stats(); got.Memory != 0 || got.Goroutines != 0 {
+		t.Fatalf("root stats after child close = %+v", got)
+	}
+	var nilGov *Governor
+	if got := nilGov.Stats(); got != (Usage{}) {
+		t.Fatalf("nil governor stats = %+v", got)
+	}
+}

@@ -473,13 +473,23 @@ func (m *Manager) execute(j *Job) {
 			m.mu.Unlock()
 			return
 		case risk.IsTransient(err) && attempt < m.opts.MaxAttempts:
-			delay := m.backoff(attempt)
+			timer := time.NewTimer(m.backoff(attempt))
 			select {
 			case <-ctx.Done():
-				// Raced with cancel/shutdown while waiting: settle it on
-				// the next loop entry via the ctx.Err branch above —
-				// attempt counting stays consistent.
-			case <-time.After(delay):
+				// Cancelled or shut down while waiting: settle the job
+				// now instead of looping into a doomed attempt — the
+				// retry would only burn an attempt running the cycle
+				// against a dead context.
+				timer.Stop()
+				m.mu.Lock()
+				if j.userCancel {
+					m.finishLocked(j, StateCancelled, nil, ctx.Err().Error())
+				}
+				// Manager shutdown: no terminal record — Recover resumes
+				// the job from its last committed iteration.
+				m.mu.Unlock()
+				return
+			case <-timer.C:
 			}
 		default:
 			m.mu.Lock()

@@ -481,3 +481,53 @@ func TestSubmitRejectsMissingInput(t *testing.T) {
 		t.Fatalf("Cancel(nope) = %v, want ErrNotFound", err)
 	}
 }
+
+// A cancel landing during the retry backoff must settle the job
+// immediately — not burn the rest of the delay, and not spend another
+// attempt running the cycle against a dead context.
+func TestCancelDuringBackoffSettlesImmediately(t *testing.T) {
+	r := &scriptRunner{iterations: 2, failUntil: 99, transient: true}
+	opts := fastOpts(t)
+	opts.RetryBase = time.Minute // a full backoff would blow the test deadline
+	opts.RetryCap = time.Minute
+	m, err := NewManager(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	j, err := m.Submit(Spec{Dataset: testInput(t), Params: map[string][]string{"measure": {"k-anonymity"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail and the job to enter its backoff.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r.mu.Lock()
+		calls := r.calls
+		r.mu.Unlock()
+		if calls >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first attempt never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, j.ID, StateCancelled)
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancel took %s — the backoff was not aborted", waited)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no attempt after cancel)", got.Attempts)
+	}
+	r.mu.Lock()
+	calls := r.calls
+	r.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("runner ran %d times, want 1", calls)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vadasa/internal/govern"
 )
@@ -112,6 +113,79 @@ func RunWorkers(ctx context.Context, workers, n int, fn func(lo, hi int) error) 
 	}
 	errs[0] = fn(0, chunk)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach executes fn(i) for every i in [0, n) on up to workers goroutines
+// (the caller's included; workers <= 0 means GOMAXPROCS), pulling items off
+// a shared queue instead of pre-splitting ranges. It exists for workloads
+// Run's contiguous chunking serves badly: items that block on I/O for
+// wildly different times — the distributed shard supervisor dispatching
+// lease-fenced tasks to remote workers is the motivating caller. fn must
+// write only to per-index state.
+//
+// The determinism contract matches Run's: which goroutine executes an item
+// carries no information (per-index state, pure fn), and the returned error
+// is the lowest-index one, so error identity does not depend on scheduling.
+// Every item is attempted even after a failure — remote dispatch has no
+// useful way to "half cancel", and callers that want early exit cancel ctx.
+// The extra goroutines are charged to the context governor's goroutine
+// budget exactly like Run; a refused reservation degrades to sequential
+// execution in the calling goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	gov := govern.From(ctx)
+	if workers > 1 {
+		// The calling goroutine works too, so only workers-1 are new.
+		if err := gov.Reserve(govern.Goroutines, int64(workers-1)); err != nil {
+			workers = 1 // budget saturated: degrade to sequential
+		} else {
+			defer gov.Release(govern.Goroutines, int64(workers-1))
+		}
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		work := func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"vadasa/internal/govern"
@@ -111,5 +112,90 @@ func TestChunkBounds(t *testing.T) {
 		if next != n {
 			t.Fatalf("n=%d: chunks cover up to %d", n, next)
 		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 500)
+	if err := ForEach(context.Background(), 4, len(out), func(i int) error {
+		out[i] = i * 3
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Errors at many indexes: the returned error must be the lowest-index
+	// one regardless of scheduling, and every item is still attempted.
+	var attempted atomic.Int64
+	errAt := func(i int) error { return fmt.Errorf("item %d", i) }
+	for trial := 0; trial < 20; trial++ {
+		attempted.Store(0)
+		err := ForEach(context.Background(), 8, 100, func(i int) error {
+			attempted.Add(1)
+			if i == 7 || i == 63 || i == 91 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Fatalf("trial %d: err = %v, want item 7", trial, err)
+		}
+		if n := attempted.Load(); n != 100 {
+			t.Fatalf("trial %d: attempted %d of 100", trial, n)
+		}
+	}
+}
+
+func TestForEachGovernorDegrade(t *testing.T) {
+	tight := govern.New("tight", govern.Limits{MaxGoroutines: 1})
+	tight.Reserve(govern.Goroutines, 1) // saturate
+	ctx := govern.With(context.Background(), tight)
+	var visited atomic.Int64
+	if err := ForEach(ctx, 4, 50, func(i int) error {
+		visited.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 50 {
+		t.Fatalf("visited %d of 50 under tight budget", visited.Load())
+	}
+	if used := tight.Used(govern.Goroutines); used != 1 {
+		t.Fatalf("tight governor holds %d goroutines, want the pre-reserved 1", used)
+	}
+
+	roomy := govern.New("roomy", govern.Limits{MaxGoroutines: 16})
+	if err := ForEach(govern.With(context.Background(), roomy), 4, 50, func(i int) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if used := roomy.Used(govern.Goroutines); used != 0 {
+		t.Fatalf("roomy governor still holds %d goroutines after join", used)
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 10, func(int) error {
+		t.Fatal("fn called with pre-cancelled context")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want context error")
 	}
 }

@@ -36,6 +36,20 @@ type IncrementalAssessor interface {
 	Rescore(ctx context.Context, idx *mdb.GroupIndex, dirty []int, prev []float64) ([]float64, error)
 }
 
+// GroupScorer is the per-tuple core of an IncrementalAssessor: the score of
+// one row as a pure function of its maintained GroupInfo (rowID is carried
+// only for error identity). Rescore is implemented on top of ScoreGroup, so
+// any executor that evaluates ScoreGroup elsewhere — another goroutine,
+// another process, another machine — lands on the same bits the local path
+// computes. The distributed shard layer (internal/dist) ships GroupInfos to
+// worker processes and calls exactly this method on the other side.
+type GroupScorer interface {
+	// ScoreGroup returns the row's risk from its group aggregates. It must
+	// be deterministic and free of shared state: two calls with the same
+	// (g, rowID) return the same bits, on any host.
+	ScoreGroup(g mdb.GroupInfo, rowID int) (float64, error)
+}
+
 // rescoreRows runs score over either every row (prev == nil) or just the
 // dirty rows, fanning the work out on the governor-charged pool. score must
 // be a pure function of the row position; out slots are disjoint per chunk,
@@ -82,19 +96,27 @@ func (a KAnonymity) IndexAttrs(d *mdb.Dataset) ([]int, error) {
 	return attrsOrQIs(d, a.Attrs)
 }
 
-// Rescore implements IncrementalAssessor: a tuple is dangerous exactly when
-// its maintained group frequency is below K.
+// ScoreGroup implements GroupScorer: a tuple is dangerous exactly when its
+// maintained group frequency is below K.
+func (a KAnonymity) ScoreGroup(g mdb.GroupInfo, rowID int) (float64, error) {
+	if g.Freq < a.K {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Rescore implements IncrementalAssessor via ScoreGroup.
 func (a KAnonymity) Rescore(ctx context.Context, idx *mdb.GroupIndex, dirty []int, prev []float64) ([]float64, error) {
 	if a.K < 2 {
 		return nil, fmt.Errorf("risk: k-anonymity needs K >= 2, got %d", a.K)
 	}
 	infos := idx.Infos()
 	return rescoreRows(ctx, len(infos), dirty, prev, func(row int, out []float64) error {
-		if infos[row].Freq < a.K {
-			out[row] = 1
-		} else {
-			out[row] = 0
+		r, err := a.ScoreGroup(infos[row], idx.Dataset().Rows[row].ID)
+		if err != nil {
+			return err
 		}
+		out[row] = r
 		return nil
 	})
 }
@@ -104,17 +126,25 @@ func (a ReIdentification) IndexAttrs(d *mdb.Dataset) ([]int, error) {
 	return attrsOrQIs(d, a.Attrs)
 }
 
-// Rescore implements IncrementalAssessor: risk is 1/ΣW over the maintained
-// group weight sum.
+// ScoreGroup implements GroupScorer: risk is 1/ΣW over the maintained group
+// weight sum.
+func (a ReIdentification) ScoreGroup(g mdb.GroupInfo, rowID int) (float64, error) {
+	if g.WeightSum <= 0 {
+		return 0, fmt.Errorf("risk: row %d has non-positive group weight %g", rowID, g.WeightSum)
+	}
+	return clamp01(1 / g.WeightSum), nil
+}
+
+// Rescore implements IncrementalAssessor via ScoreGroup.
 func (a ReIdentification) Rescore(ctx context.Context, idx *mdb.GroupIndex, dirty []int, prev []float64) ([]float64, error) {
 	infos := idx.Infos()
 	rows := idx.Dataset().Rows
 	return rescoreRows(ctx, len(infos), dirty, prev, func(row int, out []float64) error {
-		g := infos[row]
-		if g.WeightSum <= 0 {
-			return fmt.Errorf("risk: row %d has non-positive group weight %g", rows[row].ID, g.WeightSum)
+		r, err := a.ScoreGroup(infos[row], rows[row].ID)
+		if err != nil {
+			return err
 		}
-		out[row] = clamp01(1 / g.WeightSum)
+		out[row] = r
 		return nil
 	})
 }
@@ -122,6 +152,22 @@ func (a ReIdentification) Rescore(ctx context.Context, idx *mdb.GroupIndex, dirt
 // IndexAttrs implements IncrementalAssessor.
 func (a IndividualRisk) IndexAttrs(d *mdb.Dataset) ([]int, error) {
 	return attrsOrQIs(d, a.Attrs)
+}
+
+// ScoreGroup implements GroupScorer. The posterior estimate is a pure
+// function of the (f, ΣW) pair — the Monte-Carlo estimator derives its
+// generator seed from the pair itself — so the result is independent of
+// where and in what order the call runs. Callers scoring many rows should
+// memoize per (f, ΣW) pair, as Rescore does; ScoreGroup itself never caches.
+func (a IndividualRisk) ScoreGroup(g mdb.GroupInfo, rowID int) (float64, error) {
+	if g.WeightSum <= 0 {
+		return 0, fmt.Errorf("risk: row %d has non-positive group weight %g", rowID, g.WeightSum)
+	}
+	samples := a.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	return a.estimate(g.Freq, g.WeightSum, samples), nil
 }
 
 // Rescore implements IncrementalAssessor. The posterior estimate is a pure
@@ -133,21 +179,18 @@ func (a IndividualRisk) IndexAttrs(d *mdb.Dataset) ([]int, error) {
 func (a IndividualRisk) Rescore(ctx context.Context, idx *mdb.GroupIndex, dirty []int, prev []float64) ([]float64, error) {
 	infos := idx.Infos()
 	rows := idx.Dataset().Rows
-	samples := a.Samples
-	if samples <= 0 {
-		samples = 200
-	}
 	return rescoreChunked(ctx, len(infos), dirty, prev, func(rowsIdx []int, out []float64) error {
 		cache := make(map[gkey]float64)
 		for _, row := range rowsIdx {
 			g := infos[row]
-			if g.WeightSum <= 0 {
-				return fmt.Errorf("risk: row %d has non-positive group weight %g", rows[row].ID, g.WeightSum)
-			}
 			k := gkey{g.Freq, g.WeightSum}
 			r, ok := cache[k]
 			if !ok {
-				r = a.estimate(g.Freq, g.WeightSum, samples)
+				var err error
+				r, err = a.ScoreGroup(g, rows[row].ID)
+				if err != nil {
+					return err
+				}
 				cache[k] = r
 			}
 			out[row] = r

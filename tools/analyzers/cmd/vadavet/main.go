@@ -8,11 +8,12 @@ package main
 
 import (
 	"vadasa/tools/analyzers/ctxpass"
+	"vadasa/tools/analyzers/distfence"
 	"vadasa/tools/analyzers/governcharge"
 	"vadasa/tools/analyzers/hotgroup"
 	"vadasa/tools/analyzers/unitchecker"
 )
 
 func main() {
-	unitchecker.Main(ctxpass.Analyzer, governcharge.Analyzer, hotgroup.Analyzer)
+	unitchecker.Main(ctxpass.Analyzer, distfence.Analyzer, governcharge.Analyzer, hotgroup.Analyzer)
 }

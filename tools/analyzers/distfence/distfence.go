@@ -1,0 +1,93 @@
+// Package distfence guards the distributed-scoring fence invariant: code in
+// package dist that consumes a worker Reply's Values must do so behind the
+// supervisor's admit fence. admit is the single point that rejects stale
+// epochs, settled tasks and truncated payloads; a function that reads or
+// writes reply values without calling it is either a worker/transport
+// endpoint (annotate it) or a fence bypass waiting to double-count a hedged
+// or retried shard.
+//
+// A function legitimately outside the fence — the worker handler that
+// produces values, a fault injector that corrupts them upstream of the
+// check — is annotated with `//distfence:ok <reason>` on the touching line
+// or the preceding one. _test.go files are skipped.
+package distfence
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the distfence pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "distfence",
+	Doc:  "package dist must consume Reply values behind the admit epoch fence",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name != "dist" {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ok := okLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if !isFn || fn.Body == nil {
+				continue
+			}
+			var touches []token.Pos
+			fenced := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if x.Sel.Name == "Values" {
+						touches = append(touches, x.Sel.Pos())
+					}
+				case *ast.CallExpr:
+					switch f := x.Fun.(type) {
+					case *ast.Ident:
+						if f.Name == "admit" {
+							fenced = true
+						}
+					case *ast.SelectorExpr:
+						if f.Sel.Name == "admit" {
+							fenced = true
+						}
+					}
+				}
+				return true
+			})
+			if fenced {
+				continue
+			}
+			for _, pos := range touches {
+				line := pass.Fset.Position(pos).Line
+				if ok[line] || ok[line-1] {
+					continue
+				}
+				pass.Reportf(pos,
+					"reply Values consumed outside the admit fence in %s: route the reply through admit, or annotate //distfence:ok with why this function is upstream of the fence",
+					fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//distfence:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package distfence
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestDistfence(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}
+
+func TestDistfenceIgnoresOtherPackages(t *testing.T) {
+	checktest.Run(t, "testdata/src/b", Analyzer)
+}
