@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos
+.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos soak
 
 build:
 	$(GO) build ./...
@@ -60,14 +60,25 @@ check: vet lint-programs vet-analyzers race staticcheck govulncheck
 chaos:
 	$(GO) test -race -count=1 -v \
 		-run 'Chaos|Fault|Degrad|Hedg|SpawnAndKill|TornJournal' \
-		./internal/dist/ ./cmd/vadasad/ > chaos.out 2>&1 || { cat chaos.out; exit 1; }
+		./internal/dist/ ./internal/stream/ ./cmd/vadasad/ > chaos.out 2>&1 || { cat chaos.out; exit 1; }
 	cat chaos.out
 
-# bench runs the tier-1 benchmark suite and records it as BENCH_5.json (see
+# soak runs the stream's long randomized crash/fault schedule under the race
+# detector: fresh seeds every run, SOAK_SECONDS of wall clock (default 60).
+# Non-gating like chaos — a separate opt-in CI job with soak.out as the
+# artifact.
+SOAK_SECONDS ?= 60
+soak:
+	VADASA_SOAK=1 VADASA_SOAK_SECONDS=$(SOAK_SECONDS) \
+		$(GO) test -race -count=1 -v -run 'StreamSoak' \
+		./internal/stream/ > soak.out 2>&1 || { cat soak.out; exit 1; }
+	cat soak.out
+
+# bench runs the tier-1 benchmark suite and records it as BENCH_7.json (see
 # DESIGN.md "Benchmark record format"): standard columns plus the custom
 # figure metrics (riskeval-ms/op, nulls/op, loss%/op), machine-readable for
 # regression tracking. The raw stream lands in bench.out for inspection.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_7.json
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... > bench.out || { cat bench.out; exit 1; }
 	cat bench.out

@@ -43,6 +43,26 @@
 //	GET  /jobs/{id}/result     anonymized CSV (409 while running, 410 failed)
 //	POST /jobs/{id}/cancel     cancel; terminal across restarts
 //
+// With -stream-dir set, the daemon also serves crash-consistent streaming
+// anonymization (DESIGN.md §13): per-stream ingestion windows whose every
+// accepted batch is journaled and fsync'd to a write-ahead log before the
+// request is acknowledged, with risk maintained online and releases gated on
+// every tuple clearing the threshold, published under an intent→publish→ack
+// protocol that survives crashes at any point (-stream-max-rows bounds each
+// window; the excess is shed with 429 + Retry-After):
+//
+//	POST /stream/{id}/append?batch=KEY&...
+//	                           ingest one CSV batch; creates the stream on
+//	                           first contact (measure/threshold/id/qi/weight
+//	                           as in /assess); batch= is the idempotency key
+//	GET  /stream/{id}/release  gate + publish the window snapshot (exactly
+//	                           once; re-served unchanged until acked);
+//	                           409 when the gate cannot close
+//	POST /stream/{id}/ack?seq= retire a published release
+//	POST /stream/{id}/withdraw remove rows by id: {"rowIds": [...]}
+//	GET  /stream/{id}/status   rows, batches, releases, risk mode
+//	GET  /streams              list open streams
+//
 // Operational hardening. Every request runs under a wall-clock deadline
 // (-request-timeout; 504 with a JSON error when it expires, 499-style when
 // the client disconnects first) threaded as a context.Context down to the
@@ -151,6 +171,10 @@ func main() {
 		"interval between worker liveness probes")
 	requireWorkers := flag.Bool("require-workers", false,
 		"refuse the in-process fallback: with no healthy workers, requests fail 503 instead of degrading")
+	streamDir := flag.String("stream-dir", "",
+		"directory for crash-consistent streaming anonymization (one WAL + release files per stream); empty disables the /stream API")
+	streamMaxRows := flag.Int("stream-max-rows", 0,
+		"per-stream in-memory window bound; appends beyond it get 429 (0 = 100000)")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -272,6 +296,27 @@ func main() {
 				log.Printf("vadasad: resumed %d interrupted job(s): %v", len(resumed), resumed)
 			}
 		}()
+	}
+
+	if *streamDir != "" {
+		if err := os.MkdirAll(*streamDir, 0o755); err != nil {
+			log.Fatalf("vadasad: -stream-dir: %v", err)
+		}
+		srv.streams = newStreamRegistry(srv, *streamDir, *streamMaxRows, *diskHeadroom)
+		// Stream recovery is synchronous: the WALs are bounded by the window
+		// size, and serving an append before its stream's intent→publish
+		// protocol has been completed would be exactly the inconsistency the
+		// journal exists to prevent.
+		n, err := srv.streams.recover(context.Background())
+		if err != nil {
+			log.Fatalf("vadasad: recovering streams: %v", err)
+		}
+		if n > 0 {
+			log.Printf("vadasad: recovered %d stream(s) from %s", n, *streamDir)
+		}
+		// Deferred drain: each stream writes its checkpoint record on the
+		// clean SIGTERM path, after in-flight requests have finished.
+		defer srv.streams.Close(context.Background())
 	}
 
 	httpSrv := newHTTPServer(*addr, srv, *readTimeout, *requestTimeout)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"syscall"
 	"time"
 
 	"vadasa/internal/dist"
@@ -159,6 +160,10 @@ func statusForError(err error, fallback int) int {
 		return http.StatusUnprocessableEntity
 	case errors.As(err, &overBudget):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, syscall.ENOSPC):
+		// The journal (or release) volume is out of space: the request was
+		// fine, the server cannot commit it durably right now.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, dist.ErrDegraded), errors.Is(err, dist.ErrWorkerLost):
 		// Only reachable with -require-workers: without it the supervisor
 		// degrades to in-process scoring instead of failing the request.
@@ -185,6 +190,9 @@ func (s *server) failRequest(w http.ResponseWriter, fallback int, err error) {
 		if errors.Is(err, dist.ErrDegraded) || errors.Is(err, dist.ErrWorkerLost) {
 			w.Header().Set("Retry-After", "5")
 			err = fmt.Errorf("shard workers unavailable and -require-workers is set; retry when workers rejoin: %w", err)
+		} else if errors.Is(err, syscall.ENOSPC) {
+			w.Header().Set("Retry-After", "15")
+			err = fmt.Errorf("journal volume out of space; retry when the operator frees disk: %w", err)
 		} else {
 			w.Header().Set("Retry-After", "15")
 			err = fmt.Errorf("server resource budget exhausted; retry when load drops: %w", err)

@@ -64,6 +64,10 @@ type server struct {
 	// degraded (200) when none are healthy but in-process fallback still
 	// serves — or 503 with Retry-After under -require-workers.
 	dist *dist.Supervisor
+	// streams, when non-nil, enables the crash-consistent streaming
+	// anonymization API (-stream-dir): journaled ingestion windows with
+	// gated, exactly-once releases.
+	streams *streamRegistry
 }
 
 // defaultBudgetCeiling matches the engine's own MaxWork default: clients may
@@ -124,6 +128,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /reason", s.handleReason)
 	if s.jobs != nil {
 		s.jobRoutes(mux)
+	}
+	if s.streams != nil {
+		s.streamRoutes(mux)
 	}
 	return s.withRecovery(s.withLimit(s.withDeadline(s.withGovern(mux))))
 }

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+
+	"vadasa"
+	"vadasa/internal/stream"
+)
+
+// streamTestServer builds a server with the streaming API enabled over dir.
+func streamTestServer(t *testing.T, dir string, maxRows int) *server {
+	t.Helper()
+	s := &server{
+		newFramework: func() (*vadasa.Framework, error) { return vadasa.New(), nil },
+		logf:         t.Logf,
+	}
+	s.streams = newStreamRegistry(s, dir, maxRows, 0)
+	return s
+}
+
+// streamCSV renders n rows starting at row number start. Consecutive pairs
+// (even start) share every quasi-identifier value, so a window of complete
+// pairs passes k=2 anonymity without any suppression — releases are then
+// byte-deterministic, which the recovery test relies on.
+func streamCSV(start, n int) string {
+	var b strings.Builder
+	b.WriteString("Id,Sector,Region,Weight\n")
+	for i := 0; i < n; i++ {
+		k := (start + i) / 2
+		fmt.Fprintf(&b, "c%d,s%d,r%d,%d\n", start+i, k%3, k%2, 10+(start+i)%5)
+	}
+	return b.String()
+}
+
+const streamQuery = "id=Id&qi=Sector,Region&weight=Weight&measure=k-anonymity&k=2"
+
+func appendURL(id, batch string) string {
+	return "/stream/" + id + "/append?batch=" + batch + "&" + streamQuery
+}
+
+func decodeBody(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}
+
+func TestStreamLifecycleHTTP(t *testing.T) {
+	srv := streamTestServer(t, t.TempDir(), 0)
+	defer srv.streams.Close(context.Background())
+	h := srv.routes()
+
+	// First append creates the stream: 201 with the assigned row ids.
+	rec := do(t, h, "POST", appendURL("s1", "b1"), streamCSV(0, 4))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create append status = %d: %s", rec.Code, rec.Body)
+	}
+	var app struct {
+		Stream    string `json:"stream"`
+		RowIDs    []int  `json:"rowIds"`
+		Rows      int    `json:"rows"`
+		Duplicate bool   `json:"duplicate"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &app)
+	if app.Stream != "s1" || len(app.RowIDs) != 4 || app.Rows != 4 {
+		t.Fatalf("append result %+v", app)
+	}
+	rowIDs := app.RowIDs
+
+	// Retrying the same idempotency key re-acknowledges without re-applying.
+	rec = do(t, h, "POST", appendURL("s1", "b1"), streamCSV(0, 4))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("duplicate append status = %d: %s", rec.Code, rec.Body)
+	}
+	decodeBody(t, rec.Body.Bytes(), &app)
+	if !app.Duplicate || app.Rows != 4 {
+		t.Fatalf("duplicate append result %+v", app)
+	}
+
+	rec = do(t, h, "GET", "/stream/s1/status", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var st struct {
+		Rows          int    `json:"rows"`
+		Batches       int    `json:"batches"`
+		Mode          string `json:"mode"`
+		RiskCurrent   bool   `json:"riskCurrent"`
+		OverThreshold int    `json:"overThreshold"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &st)
+	if st.Rows != 4 || st.Batches != 1 || st.Mode != "incremental" || !st.RiskCurrent || st.OverThreshold != 0 {
+		t.Fatalf("status %+v", st)
+	}
+
+	// Release publishes the gated snapshot and serves the bytes.
+	rec = do(t, h, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("release status = %d: %s", rec.Code, rec.Body)
+	}
+	var rel struct {
+		Release *stream.ReleaseInfo `json:"release"`
+		CSV     string              `json:"csv"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &rel)
+	if rel.Release == nil || rel.Release.Seq != 1 || rel.Release.Rows != 4 {
+		t.Fatalf("release %+v", rel.Release)
+	}
+	if !strings.Contains(rel.CSV, "c0") || !strings.Contains(rel.CSV, "c3") {
+		t.Fatalf("release csv missing rows:\n%s", rel.CSV)
+	}
+
+	// Unacked, the same release is re-served unchanged.
+	rec = do(t, h, "GET", "/stream/s1/release", "")
+	var rel2 struct {
+		Release *stream.ReleaseInfo `json:"release"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &rel2)
+	if rel2.Release.Seq != 1 || rel2.Release.Digest != rel.Release.Digest {
+		t.Fatalf("re-served release %+v, want seq 1 digest %s", rel2.Release, rel.Release.Digest)
+	}
+
+	if rec = do(t, h, "POST", "/stream/s1/ack?seq=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("ack status = %d: %s", rec.Code, rec.Body)
+	}
+	// Re-acking is idempotent.
+	if rec = do(t, h, "POST", "/stream/s1/ack?seq=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("re-ack status = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Withdraw one of the appended rows, then keep ingesting.
+	rec = do(t, h, "POST", "/stream/s1/withdraw", fmt.Sprintf(`{"rowIds":[%d]}`, rowIDs[3]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("withdraw status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec = do(t, h, "POST", appendURL("s1", "b2"), streamCSV(4, 2)); rec.Code != http.StatusOK {
+		t.Fatalf("append b2 status = %d: %s", rec.Code, rec.Body)
+	}
+	decodeBody(t, do(t, h, "GET", "/stream/s1/status", "").Body.Bytes(), &st)
+	if st.Rows != 5 || st.Batches != 2 {
+		t.Fatalf("status after withdraw+append %+v", st)
+	}
+
+	var list struct {
+		Streams []string `json:"streams"`
+	}
+	decodeBody(t, do(t, h, "GET", "/streams", "").Body.Bytes(), &list)
+	if len(list.Streams) != 1 || list.Streams[0] != "s1" {
+		t.Fatalf("streams list %v", list.Streams)
+	}
+}
+
+// A server restart (drain + fresh process over the same -stream-dir) must
+// recover every stream from its WAL: the window, the published-unacked
+// release (re-served with the same digest), and the ability to keep
+// ingesting — with the measure rebuilt from the journaled parameters alone.
+func TestStreamRecoveryHTTP(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1 := streamTestServer(t, dir, 0)
+	h1 := srv1.routes()
+	if rec := do(t, h1, "POST", appendURL("s1", "b1"), streamCSV(0, 4)); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, h1, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("release status = %d: %s", rec.Code, rec.Body)
+	}
+	var before struct {
+		Release *stream.ReleaseInfo `json:"release"`
+		CSV     string              `json:"csv"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &before)
+	srv1.streams.Close(ctx) // SIGTERM drain: checkpoint + close every WAL
+
+	srv2 := streamTestServer(t, dir, 0)
+	n, err := srv2.streams.recover(ctx)
+	if err != nil || n != 1 {
+		t.Fatalf("recover = %d, %v", n, err)
+	}
+	defer srv2.streams.Close(ctx)
+	h2 := srv2.routes()
+
+	var st struct {
+		Rows     int `json:"rows"`
+		Releases int `json:"releases"`
+		Acked    int `json:"acked"`
+	}
+	decodeBody(t, do(t, h2, "GET", "/stream/s1/status", "").Body.Bytes(), &st)
+	if st.Rows != 4 || st.Releases != 1 || st.Acked != 0 {
+		t.Fatalf("recovered status %+v", st)
+	}
+
+	// The unacked release is re-served bit-identically.
+	rec = do(t, h2, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered release status = %d: %s", rec.Code, rec.Body)
+	}
+	var after struct {
+		Release *stream.ReleaseInfo `json:"release"`
+		CSV     string              `json:"csv"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &after)
+	if after.Release.Seq != 1 || after.Release.Digest != before.Release.Digest || after.CSV != before.CSV {
+		t.Fatalf("recovered release differs: %+v vs %+v", after.Release, before.Release)
+	}
+
+	if rec = do(t, h2, "POST", "/stream/s1/ack?seq=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("ack after recovery = %d: %s", rec.Code, rec.Body)
+	}
+	if rec = do(t, h2, "POST", appendURL("s1", "b2"), streamCSV(4, 2)); rec.Code != http.StatusOK {
+		t.Fatalf("append after recovery = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// The bounded window sheds excess ingestion with 429 + Retry-After.
+func TestStreamWindowFullHTTP(t *testing.T) {
+	srv := streamTestServer(t, t.TempDir(), 4)
+	defer srv.streams.Close(context.Background())
+	h := srv.routes()
+
+	if rec := do(t, h, "POST", appendURL("s1", "b1"), streamCSV(0, 4)); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, h, "POST", appendURL("s1", "b2"), streamCSV(4, 2))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-window append status = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Release + ack drains the window; ingestion resumes.
+	if rec := do(t, h, "GET", "/stream/s1/release", ""); rec.Code != http.StatusOK {
+		t.Fatalf("release status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// A window the suppressor cannot bring under threshold answers 409: the gate
+// stays closed, nothing is published.
+func TestStreamGateClosedHTTP(t *testing.T) {
+	srv := streamTestServer(t, t.TempDir(), 0)
+	defer srv.streams.Close(context.Background())
+	h := srv.routes()
+
+	// Two fully unique rows under standard-null semantics: suppression can
+	// never make them match, so k=2 is unreachable.
+	body := "Id,Sector,Region,Weight\nc0,s0,r0,10\nc1,s1,r1,11\n"
+	url := appendURL("s1", "b1") + "&semantics=standard"
+	if rec := do(t, h, "POST", url, body); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, h, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("gate-closed release status = %d, want 409: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "gate closed") {
+		t.Fatalf("409 body does not explain the closed gate: %s", rec.Body)
+	}
+	var st struct {
+		Releases int `json:"releases"`
+	}
+	decodeBody(t, do(t, h, "GET", "/stream/s1/status", "").Body.Bytes(), &st)
+	if st.Releases != 0 {
+		t.Fatalf("gate-closed stream published %d releases", st.Releases)
+	}
+}
+
+func TestStreamValidationHTTP(t *testing.T) {
+	srv := streamTestServer(t, t.TempDir(), 0)
+	defer srv.streams.Close(context.Background())
+	h := srv.routes()
+
+	cases := []struct {
+		name, method, target, body string
+		want                       int
+	}{
+		{"missing batch key", "POST", "/stream/s1/append?" + streamQuery, streamCSV(0, 2), http.StatusBadRequest},
+		{"bad stream id", "POST", appendURL("s%21", "b1"), streamCSV(0, 2), http.StatusBadRequest},
+		{"empty body", "POST", appendURL("s1", "b1"), "", http.StatusBadRequest},
+		{"header only", "POST", appendURL("s1", "b1"), "Id,Sector,Region,Weight\n", http.StatusBadRequest},
+		{"unknown stream status", "GET", "/stream/nope/status", "", http.StatusNotFound},
+		{"unknown stream release", "GET", "/stream/nope/release", "", http.StatusNotFound},
+		{"unknown stream ack", "POST", "/stream/nope/ack?seq=1", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if rec := do(t, h, c.method, c.target, c.body); rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d: %s", c.name, rec.Code, c.want, rec.Body)
+		}
+	}
+
+	// Against a live stream: schema drift, null tokens and bad acks.
+	if rec := do(t, h, "POST", appendURL("s1", "b1"), streamCSV(0, 2)); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	liveCases := []struct {
+		name, method, target, body string
+		want                       int
+	}{
+		{"wrong column set", "POST", appendURL("s1", "b2"), "Id,Sector,Weight\nc9,s9,10\n", http.StatusBadRequest},
+		{"renamed column", "POST", appendURL("s1", "b2"), "Id,Branch,Region,Weight\nc9,s9,r9,10\n", http.StatusBadRequest},
+		{"labelled-null cell", "POST", appendURL("s1", "b2"), "Id,Sector,Region,Weight\nc9,*,r9,10\n", http.StatusBadRequest},
+		{"bad weight", "POST", appendURL("s1", "b2"), "Id,Sector,Region,Weight\nc9,s9,r9,heavy\n", http.StatusBadRequest},
+		{"ack without seq", "POST", "/stream/s1/ack", "", http.StatusBadRequest},
+		{"ack unpublished seq", "POST", "/stream/s1/ack?seq=7", "", http.StatusConflict},
+		{"withdraw unknown row", "POST", "/stream/s1/withdraw", `{"rowIds":[999]}`, http.StatusBadRequest},
+		{"withdraw bad body", "POST", "/stream/s1/withdraw", "nope", http.StatusBadRequest},
+	}
+	for _, c := range liveCases {
+		if rec := do(t, h, c.method, c.target, c.body); rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d: %s", c.name, rec.Code, c.want, rec.Body)
+		}
+	}
+	// None of the rejected appends may have mutated the window.
+	var st struct {
+		Rows    int `json:"rows"`
+		Batches int `json:"batches"`
+	}
+	decodeBody(t, do(t, h, "GET", "/stream/s1/status", "").Body.Bytes(), &st)
+	if st.Rows != 2 || st.Batches != 1 {
+		t.Fatalf("rejected appends mutated the window: %+v", st)
+	}
+}
+
+// ENOSPC from the journal volume is operator trouble, not client error: the
+// middleware maps it to 503 with a Retry-After so ingestion backs off until
+// disk frees.
+func TestStatusForENOSPC(t *testing.T) {
+	err := fmt.Errorf("stream: admitting batch: %w", syscall.ENOSPC)
+	if got := statusForError(err, http.StatusBadRequest); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusForError(ENOSPC) = %d, want 503", got)
+	}
+}

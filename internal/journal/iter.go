@@ -1,0 +1,160 @@
+package journal
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"vadasa/internal/faultfs"
+)
+
+// Iterator streams a journal's committed records one at a time without
+// materializing the whole file, applying the same longest-valid-prefix rule
+// as ReadFile: iteration stops cleanly at the first torn, corrupt or
+// out-of-sequence line. A stream recovery replaying a multi-gigabyte WAL
+// holds one record in memory at a time instead of the full decoded slice.
+//
+// The usual loop:
+//
+//	it, err := journal.Records(ctx, path)
+//	defer it.Close()
+//	for it.Next() {
+//		rec := it.Record()
+//		...
+//	}
+//	if err := it.Err(); err != nil { ... }
+type Iterator struct {
+	ctx  context.Context
+	f    io.ReadCloser
+	br   *bufio.Reader
+	rec  Record
+	err  error
+	want int   // next expected sequence number
+	off  int64 // byte offset just past the last valid record
+	torn bool
+	done bool
+}
+
+// Records opens the journal at path on the real filesystem and returns an
+// iterator over its committed records.
+func Records(ctx context.Context, path string) (*Iterator, error) {
+	return RecordsIn(ctx, nil, path)
+}
+
+// RecordsIn is Records through an explicit filesystem (nil means the real
+// one).
+func RecordsIn(ctx context.Context, fsys faultfs.FS, path string) (*Iterator, error) {
+	cfg := Config{FS: fsys}.withDefaults()
+	f, err := cfg.FS.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening for iteration: %w", err)
+	}
+	return &Iterator{ctx: ctx, f: f, br: bufio.NewReaderSize(f, 64<<10), want: 1}, nil
+}
+
+// Next advances to the next committed record. It returns false at the end
+// of the valid prefix, on a context cancellation, or on an I/O error —
+// distinguish the cases with Err and Torn.
+func (it *Iterator) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	if err := it.ctx.Err(); err != nil {
+		it.err = err
+		it.done = true
+		return false
+	}
+	line, err := it.br.ReadBytes('\n')
+	if err == io.EOF {
+		// A partial final line is a torn append that never committed — the
+		// standard repair rule discards it. This also covers a file
+		// truncated underneath a live iterator: reads simply hit the new
+		// EOF and iteration ends cleanly at the last whole record seen.
+		it.done = true
+		it.torn = len(line) > 0
+		return false
+	}
+	if err != nil {
+		it.err = fmt.Errorf("journal: iterating: %w", err)
+		it.done = true
+		return false
+	}
+	rec, ok := parseLine(line[:len(line)-1], it.want)
+	if !ok {
+		it.torn = true
+		it.done = true
+		return false
+	}
+	it.rec = rec
+	it.off += int64(len(line))
+	it.want++
+	return true
+}
+
+// Record returns the record Next advanced to. Valid only after a true Next.
+func (it *Iterator) Record() Record { return it.rec }
+
+// Err returns the first I/O or context error, nil on a clean end of the
+// valid prefix (corruption is not an error; see Torn).
+func (it *Iterator) Err() error { return it.err }
+
+// Torn reports whether the file held bytes past the valid prefix.
+func (it *Iterator) Torn() bool { return it.done && it.torn }
+
+// Valid is the byte offset just past the last record Next accepted — the
+// truncation point for a torn-tail repair.
+func (it *Iterator) Valid() int64 { return it.off }
+
+// LastSeq is the sequence number of the last accepted record (0 if none).
+func (it *Iterator) LastSeq() int { return it.want - 1 }
+
+// Close releases the underlying file. Safe to call at any point.
+func (it *Iterator) Close() error { return it.f.Close() }
+
+// OpenAppendStream is OpenAppend for journals too large to hold decoded in
+// memory: it streams every committed record through fn while locating the
+// valid prefix, repairs a torn tail, and returns a writer positioned after
+// the last committed record. A non-nil error from fn aborts the open (the
+// file is left untouched). The returned count is the number of records
+// replayed.
+func OpenAppendStream(ctx context.Context, path string, cfg Config, fn func(Record) error) (*Writer, int, error) {
+	cfg = cfg.withDefaults()
+	it, err := RecordsIn(ctx, cfg.FS, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	for it.Next() {
+		if err := fn(it.Record()); err != nil {
+			it.Close()
+			return nil, 0, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		return nil, 0, err
+	}
+	valid, seq, torn, count := it.Valid(), it.LastSeq(), it.Torn(), it.LastSeq()
+	it.Close()
+
+	f, err := cfg.FS.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: open: %w", err)
+	}
+	if torn {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("journal: syncing repair: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("journal: seeking to tail: %w", err)
+	}
+	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: valid, headroom: cfg.DiskHeadroom}, count, nil
+}

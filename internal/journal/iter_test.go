@@ -1,0 +1,209 @@
+package journal
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestJournal(t *testing.T, dir string, n int) string {
+	t.Helper()
+	path := filepath.Join(dir, "it.wal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 1; i <= n; i++ {
+		if err := w.Append(TypeIter, map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// The iterator must stream exactly the records ReadFile decodes, in order,
+// and agree with it on the valid offset and torn flag — including over a
+// journal with a torn tail.
+func TestIteratorMatchesReadFile(t *testing.T) {
+	path := writeTestJournal(t, t.TempDir(), 25)
+	// Append garbage past the valid prefix: a torn line with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"seq\":26,\"ty"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	scan, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := Records(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []Record
+	for it.Next() {
+		got = append(got, it.Record())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scan.Records) {
+		t.Fatalf("iterator yielded %d records, scan %d", len(got), len(scan.Records))
+	}
+	for i := range got {
+		if got[i].Seq != scan.Records[i].Seq || got[i].Type != scan.Records[i].Type ||
+			string(got[i].Payload) != string(scan.Records[i].Payload) {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], scan.Records[i])
+		}
+	}
+	if it.Valid() != scan.Valid {
+		t.Fatalf("iterator valid offset %d, scan %d", it.Valid(), scan.Valid)
+	}
+	if !it.Torn() || !scan.Torn {
+		t.Fatalf("torn flags: iterator %v, scan %v, want both true", it.Torn(), scan.Torn)
+	}
+	if it.LastSeq() != 25 {
+		t.Fatalf("LastSeq = %d, want 25", it.LastSeq())
+	}
+}
+
+// Truncating the file underneath a live iterator must end iteration
+// cleanly — no panic, no error, no record past the new end — regardless of
+// where the truncation lands relative to the iterator's read buffer.
+func TestIteratorTruncationMidIteration(t *testing.T) {
+	for _, keep := range []int{0, 1, 7} {
+		t.Run(fmt.Sprintf("keep=%d", keep), func(t *testing.T) {
+			path := writeTestJournal(t, t.TempDir(), 40)
+			scan, err := ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, err := Records(context.Background(), path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			// Read a few records, then truncate the file mid-record.
+			seen := 0
+			for seen < 3 && it.Next() {
+				seen++
+			}
+			var cut int64
+			if keep > 0 {
+				cut = scan.Valid * int64(keep) / 40
+			}
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+			for it.Next() {
+				seen++
+				if seen > 40 {
+					t.Fatal("iterator produced more records than were ever written")
+				}
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("truncation surfaced as an error: %v", err)
+			}
+			// Whatever was yielded must be a prefix of the original log.
+			if it.LastSeq() != seen {
+				t.Fatalf("yielded %d records but LastSeq=%d", seen, it.LastSeq())
+			}
+		})
+	}
+}
+
+// A cancelled context stops iteration with the context's error.
+func TestIteratorContextCancel(t *testing.T) {
+	path := writeTestJournal(t, t.TempDir(), 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := Records(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Next() {
+		t.Fatal("first Next failed")
+	}
+	cancel()
+	if it.Next() {
+		t.Fatal("Next succeeded after cancellation")
+	}
+	if it.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", it.Err())
+	}
+}
+
+// OpenAppendStream must replay the same records OpenAppend decodes, repair
+// a torn tail the same way, and leave the writer appending at the same
+// sequence number.
+func TestOpenAppendStreamMatchesOpenAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestJournal(t, dir, 12)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("0bad"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var streamed []int
+	w, count, err := OpenAppendStream(context.Background(), path, Config{}, func(r Record) error {
+		streamed = append(streamed, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 || len(streamed) != 12 || streamed[11] != 12 {
+		t.Fatalf("streamed %d records (count=%d), want 12", len(streamed), count)
+	}
+	if err := w.Append(TypeIter, map[string]int{"i": 13}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	scan, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Torn || len(scan.Records) != 13 || scan.Last().Seq != 13 {
+		t.Fatalf("after streamed reopen+append: torn=%v records=%d last=%d",
+			scan.Torn, len(scan.Records), scan.Last().Seq)
+	}
+}
+
+// An fn error aborts the streamed open without touching the file.
+func TestOpenAppendStreamFnError(t *testing.T) {
+	path := writeTestJournal(t, t.TempDir(), 5)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	_, _, err = OpenAppendStream(context.Background(), path, Config{}, func(r Record) error {
+		if r.Seq == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("aborted streamed open modified the journal")
+	}
+}

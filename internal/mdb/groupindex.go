@@ -168,6 +168,12 @@ func (x *GroupIndex) Invalidate() { x.invalid = true }
 // Commit.
 func (x *GroupIndex) Infos() []GroupInfo { return x.infos }
 
+// Len returns the number of rows the index currently tracks. Between row
+// operations and the next Commit it always equals the dataset's row count;
+// callers appending rows use it as the required position of the next
+// AppendRow.
+func (x *GroupIndex) Len() int { return len(x.rowGroup) }
+
 // EstimatedBytes estimates the index's heap footprint for resource
 // governors: per-row bookkeeping (rowGroup, infos, key map entry) plus
 // per-group structures and the inverted index postings.
@@ -244,6 +250,115 @@ func (x *GroupIndex) SuppressCell(pos, attr int) error {
 	return nil
 }
 
+// AppendRow records that the dataset has grown by one row at position pos,
+// which must be the current tracked length (rows enter at the tail, as
+// Dataset.Append appends them). The structural placement — joining an
+// existing exact group, founding a new one, or entering the maybe-match
+// null-row set — happens immediately; aggregate and info maintenance is
+// deferred to Commit, which reports the new row (its info starts from the
+// zero GroupInfo, never a committed value) and every row whose group it
+// changed as dirty.
+func (x *GroupIndex) AppendRow(pos int) error {
+	if x.invalid {
+		return fmt.Errorf("mdb: AppendRow on invalidated group index")
+	}
+	if pos != len(x.rowGroup) {
+		return fmt.Errorf("mdb: AppendRow position %d, want tracked length %d", pos, len(x.rowGroup))
+	}
+	if pos >= len(x.d.Rows) {
+		return fmt.Errorf("mdb: AppendRow(%d): dataset holds only %d rows", pos, len(x.d.Rows))
+	}
+	x.pending++
+	r := x.d.Rows[pos]
+	x.rowGroup = append(x.rowGroup, 0)
+	x.infos = append(x.infos, GroupInfo{})
+
+	if x.sem == MaybeMatch && x.hasNull(r) {
+		x.rowGroup[pos] = -1
+		// pos exceeds every tracked position, so appending keeps the
+		// null-row list ascending.
+		x.nullRows = append(x.nullRows, pos)
+		return nil
+	}
+	k := projKey(r.Values, x.idx)
+	g, ok := x.byKey[k]
+	if !ok {
+		g = len(x.groups)
+		x.byKey[k] = g
+		proj := make([]Value, len(x.idx))
+		for j, i := range x.idx {
+			proj[j] = r.Values[i]
+		}
+		x.groups = append(x.groups, &idxGroup{proj: proj})
+		if x.inv != nil {
+			// Unlike suppression-minted groups (all-null keys under
+			// standard semantics only), appended groups participate in
+			// maybe-match candidate lookups, so the postings must learn
+			// them. compatibleGroups re-sorts candidates by first member
+			// position, so posting order does not affect the result.
+			for j, v := range proj {
+				key := v.Constant()
+				x.inv[j][key] = append(x.inv[j][key], g)
+			}
+		}
+	}
+	grp := x.groups[g]
+	grp.rows = append(grp.rows, pos) // pos is the largest position: stays ascending
+	x.rowGroup[pos] = g
+	x.touched[g] = true
+	return nil
+}
+
+// DeleteRow records that the row at position pos has been removed from the
+// dataset and every later row shifted down by one — the caller compacts the
+// dataset (and any parallel per-row state, such as a previous risk vector)
+// before calling. The row leaves its group or the null-row set immediately;
+// every tracked position above pos is remapped. Aggregates and infos are
+// refreshed at Commit, which reports exactly the surviving rows whose
+// GroupInfo changed.
+func (x *GroupIndex) DeleteRow(pos int) error {
+	if x.invalid {
+		return fmt.Errorf("mdb: DeleteRow on invalidated group index")
+	}
+	n := len(x.rowGroup)
+	if pos < 0 || pos >= n {
+		return fmt.Errorf("mdb: DeleteRow position %d out of range [0,%d)", pos, n)
+	}
+	if len(x.d.Rows) != n-1 {
+		return fmt.Errorf("mdb: DeleteRow(%d): dataset holds %d rows, want %d (compact before deleting)",
+			pos, len(x.d.Rows), n-1)
+	}
+	x.pending++
+	if g := x.rowGroup[pos]; g >= 0 {
+		x.removeMember(g, pos)
+	} else {
+		i := sort.SearchInts(x.nullRows, pos)
+		if i < len(x.nullRows) && x.nullRows[i] == pos {
+			x.nullRows = append(x.nullRows[:i], x.nullRows[i+1:]...)
+		}
+	}
+	x.rowGroup = append(x.rowGroup[:pos], x.rowGroup[pos+1:]...)
+	x.infos = append(x.infos[:pos], x.infos[pos+1:]...)
+	// Remap every stored position above pos. Shifting preserves relative
+	// order, so member lists and null rows stay ascending and recomputed
+	// float sums keep the fresh-scan accumulation order. Groups that only
+	// shifted keep the same members in the same order, so their sums are
+	// untouched; only the group that lost the row is marked for refresh.
+	for _, grp := range x.groups {
+		for i, p := range grp.rows {
+			if p > pos {
+				grp.rows[i] = p - 1
+			}
+		}
+	}
+	for i, p := range x.nullRows {
+		if p > pos {
+			x.nullRows[i] = p - 1
+		}
+	}
+	return nil
+}
+
 func (x *GroupIndex) removeMember(g, pos int) {
 	grp := x.groups[g]
 	i := sort.SearchInts(grp.rows, pos)
@@ -272,6 +387,9 @@ func (x *GroupIndex) Commit(ctx context.Context) ([]int, error) {
 	}
 	if x.pending == 0 && len(x.touched) == 0 {
 		return nil, nil
+	}
+	if len(x.rowGroup) != len(x.d.Rows) {
+		return nil, fmt.Errorf("mdb: Commit: index tracks %d rows, dataset holds %d", len(x.rowGroup), len(x.d.Rows))
 	}
 	for g := range x.touched {
 		refreshGroupSums(x.groups[g], x.d)
@@ -337,10 +455,15 @@ func (x *GroupIndex) hasNull(r *Row) bool {
 // makes the maintained infos bit-identical to a fresh full recompute.
 func (x *GroupIndex) recomputeDerived(ctx context.Context, out []GroupInfo) error {
 	d := x.d
-	if x.sem == MaybeMatch && len(x.nullRows) > 0 {
+	if x.sem == MaybeMatch {
+		// Always reset extras: DeleteRow can remove the last null row, and
+		// stale extras from an earlier commit must not leak into the
+		// null-free recompute below.
 		for _, g := range x.groups {
 			g.extraCount, g.extraWsum = 0, 0
 		}
+	}
+	if x.sem == MaybeMatch && len(x.nullRows) > 0 {
 		// Compatible-group sets are independent per null row: compute them
 		// on the pool, ordered like a fresh scan would order its groups —
 		// by first member position, the fresh-run group id order.

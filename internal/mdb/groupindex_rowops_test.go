@@ -1,0 +1,225 @@
+package mdb
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// deleteDatasetRow compacts the dataset the way stream withdrawal does:
+// remove the row, shift everything after it down one position.
+func deleteDatasetRow(d *Dataset, pos int) {
+	d.Rows = append(d.Rows[:pos], d.Rows[pos+1:]...)
+}
+
+func appendRandomRow(rng *rand.Rand, d *Dataset, qis, domain int, id *int) {
+	vals := make([]Value, qis+1)
+	for i := 0; i < qis; i++ {
+		vals[i] = Const(string(rune('a' + rng.Intn(domain))))
+	}
+	vals[qis] = Const("w")
+	*id++
+	d.Append(&Row{ID: *id, Values: vals, Weight: 1 + rng.Float64()*4})
+}
+
+// Any interleaving of row appends, row deletes and cell suppressions
+// followed by Commit must leave the index bit-identical to one rebuilt from
+// scratch over the current dataset, and the dirty set must be exactly the
+// positions whose info differs from the previous committed vector after the
+// caller-side shift (deletes cut a slot, appends extend with the zero
+// GroupInfo) — the same shift an incremental assessor applies to its
+// previous risk vector.
+func TestGroupIndexRowOpsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 12; trial++ {
+		sem := Semantics(trial % 2)
+		qis := 2 + rng.Intn(3)
+		domain := 2 + rng.Intn(4)
+		d := randomDataset(rng, 40+rng.Intn(120), qis, domain)
+		qi := d.QuasiIdentifiers()
+		nextID := len(d.Rows)
+		x, err := BuildGroupIndex(context.Background(), d, qi, sem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 8; batch++ {
+			// prev mirrors what a caller holds: the last committed infos,
+			// shifted alongside every row operation.
+			prev := append([]GroupInfo(nil), x.Infos()...)
+			ops := 1 + rng.Intn(10)
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(4); {
+				case op == 0 && len(d.Rows) > 5: // delete
+					pos := rng.Intn(len(d.Rows))
+					deleteDatasetRow(d, pos)
+					if err := x.DeleteRow(pos); err != nil {
+						t.Fatal(err)
+					}
+					prev = append(prev[:pos], prev[pos+1:]...)
+				case op == 1: // append
+					appendRandomRow(rng, d, qis, domain, &nextID)
+					if err := x.AppendRow(len(d.Rows) - 1); err != nil {
+						t.Fatal(err)
+					}
+					prev = append(prev, GroupInfo{})
+				default: // suppress
+					pos := rng.Intn(len(d.Rows))
+					attr := qi[rng.Intn(len(qi))]
+					if d.Rows[pos].Values[attr].IsNull() {
+						continue
+					}
+					d.Rows[pos].Values[attr] = d.Nulls.Fresh()
+					if err := x.SuppressCell(pos, attr); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if x.Len() != len(d.Rows) {
+				t.Fatalf("trial %d batch %d: index tracks %d rows, dataset %d", trial, batch, x.Len(), len(d.Rows))
+			}
+			dirty, err := x.Commit(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt, err := BuildGroupIndex(context.Background(), d, qi, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameInfos(t, sem.String(), x.Infos(), rebuilt.Infos())
+			sameInfos(t, sem.String()+"/ref", x.Infos(), ComputeGroups(d, qi, sem))
+			j := 0
+			for pos := range x.Infos() {
+				changed := x.Infos()[pos] != prev[pos]
+				inDirty := j < len(dirty) && dirty[j] == pos
+				if inDirty {
+					j++
+				}
+				if changed != inDirty {
+					t.Fatalf("trial %d batch %d (%s): row %d changed=%v dirty=%v",
+						trial, batch, sem, pos, changed, inDirty)
+				}
+			}
+			if j != len(dirty) {
+				t.Fatalf("trial %d: %d stray dirty entries", trial, len(dirty)-j)
+			}
+		}
+	}
+}
+
+// Deleting down to an empty null-row set must clear stale maybe-match
+// extras: suppress a cell, then delete that row, and the committed infos
+// must match a fresh scan over the now null-free dataset.
+func TestGroupIndexDeleteLastNullRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	d := randomDataset(rng, 40, 2, 2)
+	qi := d.QuasiIdentifiers()
+	x, err := BuildGroupIndex(context.Background(), d, qi, MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rows[7].Values[qi[0]] = d.Nulls.Fresh()
+	if err := x.SuppressCell(7, qi[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deleteDatasetRow(d, 7)
+	if err := x.DeleteRow(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sameInfos(t, "post-delete", x.Infos(), ComputeGroups(d, qi, MaybeMatch))
+}
+
+// Misuse is rejected, not absorbed: out-of-order appends, appends without
+// the dataset row, deletes before compaction, and anything after
+// Invalidate.
+func TestGroupIndexRowOpsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	d := randomDataset(rng, 20, 2, 3)
+	qi := d.QuasiIdentifiers()
+	x, err := BuildGroupIndex(context.Background(), d, qi, MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AppendRow(len(d.Rows)); err == nil {
+		t.Fatal("AppendRow accepted a position the dataset does not hold")
+	}
+	if err := x.AppendRow(3); err == nil {
+		t.Fatal("AppendRow accepted an out-of-order position")
+	}
+	if err := x.DeleteRow(0); err == nil {
+		t.Fatal("DeleteRow accepted before the dataset was compacted")
+	}
+	if err := x.DeleteRow(len(d.Rows)); err == nil {
+		t.Fatal("DeleteRow accepted an out-of-range position")
+	}
+	x.Invalidate()
+	if err := x.AppendRow(len(d.Rows)); err == nil {
+		t.Fatal("AppendRow accepted on invalidated index")
+	}
+	if err := x.DeleteRow(0); err == nil {
+		t.Fatal("DeleteRow accepted on invalidated index")
+	}
+}
+
+// FuzzGroupIndexRowOps drives the index with an adversarial op tape: it
+// must never panic, and every Commit must agree bitwise with ComputeGroups
+// over the mutated dataset.
+func FuzzGroupIndexRowOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0xff, 0x80, 7}, int64(1))
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 2, 2}, int64(7))
+	f.Add([]byte{}, int64(3))
+	f.Fuzz(func(t *testing.T, tape []byte, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for _, sem := range []Semantics{MaybeMatch, StandardNulls} {
+			d := randomDataset(rng, 8+rng.Intn(24), 2, 2)
+			qi := d.QuasiIdentifiers()
+			nextID := len(d.Rows)
+			x, err := BuildGroupIndex(context.Background(), d, qi, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range tape {
+				switch b % 4 {
+				case 0:
+					if len(d.Rows) <= 1 {
+						continue
+					}
+					pos := int(b/4) % len(d.Rows)
+					deleteDatasetRow(d, pos)
+					if err := x.DeleteRow(pos); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					appendRandomRow(rng, d, 2, 2, &nextID)
+					if err := x.AppendRow(len(d.Rows) - 1); err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					pos := int(b/4) % len(d.Rows)
+					attr := qi[int(b)%len(qi)]
+					if d.Rows[pos].Values[attr].IsNull() {
+						continue
+					}
+					d.Rows[pos].Values[attr] = d.Nulls.Fresh()
+					if err := x.SuppressCell(pos, attr); err != nil {
+						t.Fatal(err)
+					}
+				case 3:
+					if _, err := x.Commit(context.Background()); err != nil {
+						t.Fatal(err)
+					}
+					sameInfos(t, sem.String(), x.Infos(), ComputeGroups(d, qi, sem))
+				}
+			}
+			if _, err := x.Commit(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			sameInfos(t, sem.String(), x.Infos(), ComputeGroups(d, qi, sem))
+		}
+	})
+}

@@ -133,10 +133,12 @@ func RunWorkers(ctx context.Context, workers, n int, fn func(lo, hi int) error) 
 // carries no information (per-index state, pure fn), and the returned error
 // is the lowest-index one, so error identity does not depend on scheduling.
 // Every item is attempted even after a failure — remote dispatch has no
-// useful way to "half cancel", and callers that want early exit cancel ctx.
-// The extra goroutines are charged to the context governor's goroutine
-// budget exactly like Run; a refused reservation degrades to sequential
-// execution in the calling goroutine.
+// useful way to "half cancel", and callers that want early exit cancel ctx:
+// once ctx is done the remaining queue items are not dispatched, their
+// slots settle to ctx.Err(), and ForEach returns as soon as the in-flight
+// fn calls do. The extra goroutines are charged to the context governor's
+// goroutine budget exactly like Run; a refused reservation degrades to
+// sequential execution in the calling goroutine.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -162,6 +164,10 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -172,6 +178,13 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// Poll per item, not per loop entry: a long queue behind a
+				// cancelled context settles promptly instead of dispatching
+				// every remaining item into fn.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = fn(i)
 			}

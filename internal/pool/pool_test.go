@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"vadasa/internal/govern"
 )
@@ -197,5 +199,80 @@ func TestForEachCancelledContext(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("want context error")
+	}
+}
+
+// Cancelling the context mid-run must settle ForEach promptly — remaining
+// queue items are not dispatched into fn, their error slots carry the
+// context error — and must leak no worker goroutines. This mirrors the
+// jobs-layer backoff contract: cancellation is an immediate stop, not a
+// drain of the whole queue.
+func TestForEachCancelMidRunSettlesPromptly(t *testing.T) {
+	defer func(n int) {
+		// Workers are joined before ForEach returns; give the runtime a
+		// moment to retire them, then require the goroutine count back at
+		// its baseline.
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > n && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > n {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", g, n)
+		}
+	}(runtime.NumGoroutine())
+
+	const n = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started, dispatched atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 4, n, func(i int) error {
+			dispatched.Add(1)
+			if started.Add(1) <= 4 {
+				<-release // first items block until after the cancel
+			}
+			return nil
+		})
+	}()
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ForEach did not settle after cancellation")
+	}
+	// The queue behind the cancellation must have been skipped, not drained
+	// through fn: with only 4 in-flight items at cancel time, dispatch
+	// counts anywhere near n mean the cancel was ignored.
+	if d := dispatched.Load(); d > n/10 {
+		t.Fatalf("dispatched %d of %d items after cancellation", d, n)
+	}
+}
+
+// The sequential (degraded) path honours the same contract.
+func TestForEachCancelSequentialPath(t *testing.T) {
+	tight := govern.New("tight", govern.Limits{MaxGoroutines: 1})
+	tight.Reserve(govern.Goroutines, 1)
+	ctx, cancel := context.WithCancel(govern.With(context.Background(), tight))
+	var calls int
+	err := ForEach(ctx, 4, 1000, func(i int) error {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times after cancel, want 3", calls)
 	}
 }

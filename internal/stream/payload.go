@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/mdb"
+)
+
+// attrWire is the journaled schema form; categories travel in their textual
+// form (mdb.ParseCategory round-trips them).
+type attrWire struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+}
+
+// createPayload is the first record of every stream journal. It makes the
+// journal self-describing: recovery rebuilds the window schema, the
+// threshold and the null semantics from it, and the server rebuilds the
+// risk measure from the opaque Meta it journaled at creation.
+type createPayload struct {
+	Stream    string          `json:"stream"`
+	Attrs     []attrWire      `json:"attrs"`
+	Threshold float64         `json:"threshold"`
+	Semantics string          `json:"semantics"`
+	Meta      json.RawMessage `json:"meta,omitempty"`
+}
+
+func makeCreatePayload(id string, opts Options) createPayload {
+	p := createPayload{
+		Stream:    id,
+		Threshold: opts.Threshold,
+		Semantics: opts.Semantics.String(),
+		Meta:      opts.Meta,
+	}
+	for _, a := range opts.Attrs {
+		p.Attrs = append(p.Attrs, attrWire{Name: a.Name, Category: a.Category.String()})
+	}
+	return p
+}
+
+func (p createPayload) attrs() ([]mdb.Attribute, error) {
+	out := make([]mdb.Attribute, 0, len(p.Attrs))
+	for _, a := range p.Attrs {
+		cat, err := mdb.ParseCategory(a.Category)
+		if err != nil {
+			return nil, fmt.Errorf("stream: journaled schema: %w", err)
+		}
+		out = append(out, mdb.Attribute{Name: a.Name, Category: cat})
+	}
+	return out, nil
+}
+
+func (p createPayload) semantics() (mdb.Semantics, error) {
+	switch p.Semantics {
+	case mdb.MaybeMatch.String():
+		return mdb.MaybeMatch, nil
+	case mdb.StandardNulls.String():
+		return mdb.StandardNulls, nil
+	}
+	return 0, fmt.Errorf("stream: journaled semantics %q unknown", p.Semantics)
+}
+
+// batchPayload commits one ingestion batch. Rows carry the raw textual
+// cells, exactly as validated — replay re-parses them through the same
+// code path the live append used.
+type batchPayload struct {
+	BatchID string     `json:"batch"`
+	Rows    [][]string `json:"rows"`
+}
+
+// withdrawPayload removes rows by their window-stable IDs.
+type withdrawPayload struct {
+	RowIDs []int `json:"rows"`
+}
+
+// decisionRecord is the wire form of anon.Decision: values travel in their
+// textual form (constants verbatim, labelled nulls as ⊥i) because
+// mdb.Value is opaque to JSON. Replaying New through mdb.ParseValue with
+// Observe on the window allocator reproduces the exact null identities, so
+// a recovered window is value-identical to the crashed one.
+type decisionRecord struct {
+	RowID        int     `json:"row"`
+	Attr         string  `json:"attr"`
+	Old          string  `json:"old"`
+	New          string  `json:"new"`
+	Method       string  `json:"method"`
+	Risk         float64 `json:"risk"`
+	Iteration    int     `json:"iter"`
+	AffectedRows int     `json:"affected"`
+}
+
+func encodeDecision(d anon.Decision) decisionRecord {
+	return decisionRecord{
+		RowID:        d.RowID,
+		Attr:         d.Attr,
+		Old:          d.Old.String(),
+		New:          d.New.String(),
+		Method:       d.Method,
+		Risk:         d.Risk,
+		Iteration:    d.Iteration,
+		AffectedRows: d.AffectedRows,
+	}
+}
+
+// anonPayload commits one release-gate suppression iteration: the batch of
+// decisions a single risk evaluation motivated. Journaled before the next
+// evaluation, so a crash mid-gate resumes from a committed prefix of the
+// suppression sequence.
+type anonPayload struct {
+	Release   int              `json:"release"`
+	Iteration int              `json:"iter"`
+	Decisions []decisionRecord `json:"decisions"`
+}
+
+// intentPayload declares a release before its bytes exist on disk: the
+// sequence number, the window size, and the SHA-256 of the exact CSV to be
+// published. Recovery after a crash between intent and publish regenerates
+// the bytes from the replayed window and refuses to publish on a digest
+// mismatch — the intent is a promise of specific bytes, not of "whatever
+// the window looks like now".
+type intentPayload struct {
+	Release int    `json:"release"`
+	Rows    int    `json:"rows"`
+	Digest  string `json:"digest"`
+}
+
+// publishPayload commits a publication: the named file is durable and
+// carries the intent's digest.
+type publishPayload struct {
+	Release int    `json:"release"`
+	File    string `json:"file"`
+	Digest  string `json:"digest"`
+}
+
+// ackPayload retires a published release.
+type ackPayload struct {
+	Release int `json:"release"`
+}
+
+// checkpointPayload marks a clean drain with counter snapshots; recovery
+// cross-checks them against the replayed state.
+type checkpointPayload struct {
+	Batches  int `json:"batches"`
+	Rows     int `json:"rows"`
+	Releases int `json:"releases"`
+	Acked    int `json:"acked"`
+}

@@ -1,0 +1,330 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/mdb"
+)
+
+// Release drives the gate: it anonymizes the window until every tuple's
+// risk clears the threshold, journals the intent with the digest of the
+// exact bytes to be published, writes the release file, and journals the
+// publish record. The window snapshot is published exactly once — an
+// already-published, unacked release is re-served unchanged, and a release
+// interrupted between intent and publish is completed (here or at the next
+// Open) rather than recomputed.
+//
+// A window that cannot be brought under threshold — the suppressor has no
+// move left for some tuple — fails with a *GateClosedError and publishes
+// nothing; the suppressions already journaled stay (they only ever lower
+// risk) and a later Release resumes from them.
+func (s *Stream) Release(ctx context.Context) (*ReleaseInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.pending != nil {
+		// An earlier attempt crashed or failed between intent and publish:
+		// the intent's promise is completed before anything else happens.
+		if err := s.completePending(ctx); err != nil {
+			return nil, err
+		}
+		return s.published, nil
+	}
+	if s.published != nil {
+		return s.published, nil
+	}
+	if len(s.d.Rows) == 0 {
+		return nil, fmt.Errorf("stream: window is empty; nothing to release")
+	}
+	if err := s.gate(ctx); err != nil {
+		return nil, err
+	}
+
+	// The gate is open: freeze the bytes, journal the intent, publish.
+	var buf bytes.Buffer
+	if err := mdb.WriteCSV(&buf, s.d); err != nil {
+		return nil, fmt.Errorf("stream: encoding release: %w", err)
+	}
+	p := intentPayload{Release: s.relSeq + 1, Rows: len(s.d.Rows), Digest: digestBytes(buf.Bytes())}
+	if err := s.appendIntent(p); err != nil {
+		return nil, err
+	}
+	s.relSeq = p.Release
+	s.pending = &p
+	s.relBytes = buf.Bytes()
+	if err := s.completePending(ctx); err != nil {
+		return nil, err
+	}
+	return s.published, nil
+}
+
+// gate runs the anonymization loop of Algorithm 2 over the window until no
+// tuple's risk exceeds the threshold. Each iteration's decisions are
+// journaled as one anon record before the next risk evaluation — the unit
+// of recovery — and a failed journal append rolls the iteration back
+// completely (values, null allocator, index) before reporting the error.
+func (s *Stream) gate(ctx context.Context) error {
+	qi := s.d.QuasiIdentifiers()
+	suppress := anon.LocalSuppression{Choice: s.opts.Choice}
+	for iter := 1; ; iter++ {
+		if iter > s.opts.maxIterations() {
+			return fmt.Errorf("stream: release gate exceeded %d iterations", s.opts.maxIterations())
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.ensureRisks(ctx); err != nil {
+			return err
+		}
+		var risky []int
+		for pos, r := range s.risks {
+			if r > s.opts.Threshold {
+				risky = append(risky, pos)
+			}
+		}
+		if len(risky) == 0 {
+			return nil
+		}
+		s.orderRisky(risky)
+
+		actx := anon.NewContext(s.d, qi)
+		saved := s.d.Nulls
+		type step struct {
+			pos, attr int
+			old       mdb.Value
+		}
+		var steps []step
+		var decs []anon.Decision
+		for _, pos := range risky {
+			ds, ok := suppress.Step(actx, pos)
+			if !ok {
+				continue
+			}
+			for i := range ds {
+				ds[i].Risk = s.risks[pos]
+				ds[i].Iteration = iter
+				attr := s.d.AttrIndex(ds[i].Attr)
+				steps = append(steps, step{pos: pos, attr: attr, old: ds[i].Old})
+			}
+			decs = append(decs, ds...)
+		}
+		if len(decs) == 0 {
+			return &GateClosedError{Residual: len(risky)}
+		}
+
+		p := anonPayload{Release: s.relSeq + 1, Iteration: iter, Decisions: make([]decisionRecord, len(decs))}
+		for i, d := range decs {
+			p.Decisions[i] = encodeDecision(d)
+		}
+		if err := s.w.Append(recAnon, p); err != nil {
+			// Unwind the whole iteration: restore the suppressed values in
+			// reverse, put the null allocator back so the next attempt mints
+			// the same ids, repair the journal tail. The index never saw the
+			// mutation, so state is exactly pre-iteration.
+			for i := len(steps) - 1; i >= 0; i-- {
+				s.d.Rows[steps[i].pos].Values[steps[i].attr] = steps[i].old
+			}
+			s.d.Nulls = saved
+			if rerr := s.w.Repair(); rerr != nil {
+				s.logf("stream %s: repairing journal after failed anon append: %v", s.id, rerr)
+			}
+			return err
+		}
+		s.pendSupp += len(decs)
+		if s.idx != nil && s.idx.Valid() {
+			for _, st := range steps {
+				if err := s.idx.SuppressCell(st.pos, st.attr); err != nil {
+					return fmt.Errorf("stream: index maintenance: %w", err)
+				}
+			}
+		} else {
+			s.current = false
+		}
+	}
+}
+
+// orderRisky routes the risky tuples: the cycle's less-significant-first
+// default (sampling weight ascending, tuple ID as the deterministic
+// tiebreak), risk-descending, or window order.
+func (s *Stream) orderRisky(risky []int) {
+	d, risks := s.d, s.risks
+	switch s.opts.Order {
+	case anon.OrderByRiskDesc:
+		sort.SliceStable(risky, func(i, j int) bool {
+			if risks[risky[i]] != risks[risky[j]] {
+				return risks[risky[i]] > risks[risky[j]]
+			}
+			return d.Rows[risky[i]].ID < d.Rows[risky[j]].ID
+		})
+	case anon.OrderByID:
+		sort.SliceStable(risky, func(i, j int) bool {
+			return d.Rows[risky[i]].ID < d.Rows[risky[j]].ID
+		})
+	default: // OrderLessSignificantFirst
+		sort.SliceStable(risky, func(i, j int) bool {
+			a, b := d.Rows[risky[i]], d.Rows[risky[j]]
+			if a.Weight != b.Weight {
+				return a.Weight < b.Weight
+			}
+			return a.ID < b.ID
+		})
+	}
+}
+
+// appendIntent journals the release declaration. It must precede the
+// matching appendPublish — the streamfence vet pass enforces the pairing.
+func (s *Stream) appendIntent(p intentPayload) error {
+	if err := s.w.Append(recIntent, p); err != nil {
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal after failed intent append: %v", s.id, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// appendPublish journals the publication commit point.
+func (s *Stream) appendPublish(p publishPayload) error {
+	if err := s.w.Append(recPublish, p); err != nil {
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal after failed publish append: %v", s.id, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// completePending fulfils the journaled intent: regenerate the promised
+// bytes if a crash lost the in-memory copy, verify them against the
+// intent's digest, make the release file durable, then journal the publish
+// record. Every step is idempotent — the file write truncates, the digest
+// pins the content — so the method can run any number of times across
+// crashes and still publish exactly once (the publish record is the one
+// and only commit point).
+func (s *Stream) completePending(ctx context.Context) error {
+	p := s.pending
+	if s.relBytes == nil {
+		var buf bytes.Buffer
+		if err := mdb.WriteCSV(&buf, s.d); err != nil {
+			return fmt.Errorf("stream: re-encoding release %d: %w", p.Release, err)
+		}
+		s.relBytes = buf.Bytes()
+	}
+	if got := digestBytes(s.relBytes); got != p.Digest {
+		return fmt.Errorf("stream: release %d bytes digest %s contradict the journaled intent %s",
+			p.Release, got, p.Digest)
+	}
+	name := s.releaseFileName(p.Release)
+	path := filepath.Join(s.dir, name)
+	if err := s.writeFileDurable(path, s.relBytes); err != nil {
+		return fmt.Errorf("stream: writing release %d: %w", p.Release, err)
+	}
+	// The file is durable; the publish record commits the publication.
+	// Intent was journaled by our caller (or by the incarnation that
+	// crashed), which is the pairing the fence checks.
+	//streamfence:ok — completes a previously journaled intent
+	if err := s.appendPublish(publishPayload{Release: p.Release, File: name, Digest: p.Digest}); err != nil {
+		return err
+	}
+	s.published = &ReleaseInfo{
+		Seq:          p.Release,
+		File:         name,
+		Path:         path,
+		Digest:       p.Digest,
+		Rows:         p.Rows,
+		Suppressions: s.pendSupp,
+	}
+	s.pending, s.relBytes, s.pendSupp = nil, nil, 0
+	s.releases++
+	return nil
+}
+
+// writeFileDurable writes b to path and fsyncs the file and its directory,
+// so the later publish record can never refer to bytes the disk lost.
+func (s *Stream) writeFileDurable(path string, b []byte) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if dir, err := s.fs.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Ack retires the published release seq: after the journaled ack the
+// release is never re-served and the window is free to mutate toward the
+// next one. Acking an already-retired sequence succeeds idempotently.
+func (s *Stream) Ack(ctx context.Context, seq int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.pending != nil {
+		return &PendingReleaseError{Release: s.pending.Release}
+	}
+	if s.published == nil || s.published.Seq != seq {
+		if seq >= 1 && seq <= s.relSeq && s.published == nil {
+			return nil // already acked — retries are harmless
+		}
+		return fmt.Errorf("stream: no published release %d to ack", seq)
+	}
+	if err := s.w.Append(recAck, ackPayload{Release: seq}); err != nil {
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal after failed ack append: %v", s.id, rerr)
+		}
+		return err
+	}
+	s.published = nil
+	s.acked++
+	return nil
+}
+
+// Published returns the currently published, unacked release (nil if none).
+func (s *Stream) Published() *ReleaseInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.published
+}
+
+// ReleaseBytes reads a release's bytes back, verifying them against the
+// journaled digest — the serving path never returns bytes the intent did
+// not promise.
+func (s *Stream) ReleaseBytes(info *ReleaseInfo) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifyReleaseFile(info)
+}
+
+func (s *Stream) verifyReleaseFile(info *ReleaseInfo) ([]byte, error) {
+	b, err := s.fs.ReadFile(info.Path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading release %d: %w", info.Seq, err)
+	}
+	if got := digestBytes(b); got != info.Digest {
+		return nil, fmt.Errorf("stream: release %d file digest %s contradicts journaled %s",
+			info.Seq, got, info.Digest)
+	}
+	return b, nil
+}

@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestStreamSoak is the long randomized crash/fault soak behind `make
+// soak`: the TestChaosRandomized schedule, many more seeds and rounds,
+// time-bounded. It only runs when VADASA_SOAK is set (the target exports
+// it), so the tier-1 suite stays fast; VADASA_SOAK_SECONDS overrides the
+// default 60-second budget.
+func TestStreamSoak(t *testing.T) {
+	if os.Getenv("VADASA_SOAK") == "" {
+		t.Skip("set VADASA_SOAK=1 (or run `make soak`) to run the stream soak")
+	}
+	budget := 60 * time.Second
+	if v := os.Getenv("VADASA_SOAK_SECONDS"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad VADASA_SOAK_SECONDS %q: %v", v, err)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	seed := int64(time.Now().UnixNano()) // soak explores; chaos tests pin seeds
+	runs := 0
+	for time.Now().Before(deadline) {
+		seed++
+		runs++
+		t.Run(fmt.Sprintf("run%d_seed%d", runs, seed), func(t *testing.T) {
+			chaosRun(t, seed, 200)
+		})
+	}
+	t.Logf("soak: %d randomized runs in %v (last seed %d)", runs, budget, seed)
+}

@@ -1,0 +1,690 @@
+// Package stream implements crash-consistent streaming anonymization: a
+// long-running ingestion window over the anonymization cycle's primitives,
+// with the journal as the single source of truth.
+//
+// Every state transition is journaled before it is acknowledged (write-ahead
+// ack): an accepted batch, a withdrawal, every suppression the release gate
+// applies, and the release protocol itself. Risk is maintained online
+// through mdb.GroupIndex row operations when the measure implements
+// risk.IncrementalAssessor, bit-identical to a full recompute over the
+// current row set; otherwise (SUDA, cluster) the stream degrades to
+// periodic full reassessment.
+//
+// A release is gated: it is produced only when every tuple in the window
+// clears the threshold T, and published under an intent → publish → ack
+// protocol. The intent record carries the digest of the exact bytes to be
+// published; the publish record commits the publication; the ack record
+// retires it. Recovery replays the journal to a state bit-identical to an
+// uninterrupted run — a release interrupted between intent and publish is
+// completed deterministically (the replayed window regenerates the same
+// bytes, checked against the intent digest), an acked release is never
+// re-published, and an acked batch is never lost.
+package stream
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vadasa/internal/anon"
+	"vadasa/internal/faultfs"
+	"vadasa/internal/govern"
+	"vadasa/internal/journal"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+)
+
+// Journal record types of a stream WAL (see DESIGN.md §13 for the
+// protocol).
+const (
+	// recCreate is the first record: schema, threshold, semantics and the
+	// caller's opaque metadata (the server journals the measure parameters
+	// there so recovery can rebuild the assessor).
+	recCreate journal.Type = "create"
+	// recBatch commits one accepted ingestion batch — appended and fsync'd
+	// before the append is acknowledged to the client.
+	recBatch journal.Type = "batch"
+	// recWithdraw removes rows (by ID) from the window.
+	recWithdraw journal.Type = "withdraw"
+	// recAnon commits one release-gate suppression iteration.
+	recAnon journal.Type = "anon"
+	// recIntent declares a release: sequence number, window size and the
+	// SHA-256 of the exact bytes to be published.
+	recIntent journal.Type = "intent"
+	// recPublish commits the publication: the release file is durable.
+	recPublish journal.Type = "publish"
+	// recAck retires a published release; the next release opens a new
+	// window snapshot.
+	recAck journal.Type = "ack"
+	// recCheckpoint marks a clean drain (SIGTERM) with counter snapshots.
+	recCheckpoint journal.Type = "checkpoint"
+)
+
+// Options parameterizes a stream. Zero values select production defaults.
+type Options struct {
+	// Assessor scores tuples; when it implements risk.IncrementalAssessor
+	// the stream maintains risk online, otherwise it reassesses in full
+	// every FullEvery batches. Required.
+	Assessor risk.Assessor
+	// Threshold is T: the release gate opens only when every tuple's risk
+	// is <= T. Required (> 0).
+	Threshold float64
+	// Semantics is the labelled-null semantics of the window.
+	Semantics mdb.Semantics
+	// Attrs is the window schema. Required when creating; on reopen it is
+	// checked against the journaled schema if non-nil, adopted from the
+	// journal if nil.
+	Attrs []mdb.Attribute
+	// Meta is opaque caller metadata journaled in the create record and
+	// surfaced by Peek — the server stores measure parameters here.
+	Meta json.RawMessage
+	// MaxRows bounds the in-memory window (0 = 100000). An append that
+	// would exceed it fails with a WindowFullError.
+	MaxRows int
+	// FullEvery is the degraded-mode reassessment cadence in batches
+	// (0 = 8).
+	FullEvery int
+	// MaxIterations caps the release gate's suppression loop (0 = 10000).
+	MaxIterations int
+	// Order routes risky tuples in the release gate (the cycle's default:
+	// less significant first).
+	Order anon.TupleOrder
+	// Choice picks the attribute a suppression nulls.
+	Choice anon.AttrChoice
+	// Governor, when non-nil, is charged for the window and the group
+	// index; a refused index budget degrades the stream to periodic full
+	// reassessment instead of failing ingestion.
+	Governor *govern.Governor
+	// FS is the filesystem (nil = the real one); tests inject
+	// faultfs.Faulty.
+	FS faultfs.FS
+	// DiskHeadroom is the journal's pre-append free-space floor.
+	DiskHeadroom int64
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) maxRows() int {
+	if o.MaxRows > 0 {
+		return o.MaxRows
+	}
+	return 100_000
+}
+
+func (o Options) fullEvery() int {
+	if o.FullEvery > 0 {
+		return o.FullEvery
+	}
+	return 8
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 10_000
+}
+
+// ReleaseInfo describes one published release.
+type ReleaseInfo struct {
+	// Seq is the release sequence number (1-based).
+	Seq int `json:"seq"`
+	// File is the release file's name within the stream directory.
+	File string `json:"file"`
+	// Path is the full on-disk path.
+	Path string `json:"path"`
+	// Digest is the SHA-256 of the file's bytes, hex-encoded.
+	Digest string `json:"digest"`
+	// Rows is the window size the release snapshot covers.
+	Rows int `json:"rows"`
+	// Suppressions counts the suppression decisions journaled for this
+	// release's gate.
+	Suppressions int `json:"suppressions"`
+}
+
+// Status is a point-in-time snapshot of a stream.
+type Status struct {
+	Rows      int    `json:"rows"`
+	Batches   int    `json:"batches"`
+	Withdrawn int    `json:"withdrawnRows"`
+	Releases  int    `json:"releases"`
+	Acked     int    `json:"acked"`
+	Mode      string `json:"mode"` // "incremental" or "full"
+	// RiskCurrent reports whether OverThreshold reflects the present
+	// window (the degraded path only reassesses periodically).
+	RiskCurrent   bool         `json:"riskCurrent"`
+	OverThreshold int          `json:"overThreshold"`
+	PendingIntent int          `json:"pendingIntent,omitempty"`
+	Published     *ReleaseInfo `json:"published,omitempty"`
+	Closed        bool         `json:"closed"`
+}
+
+// AppendResult acknowledges an accepted (journaled) batch.
+type AppendResult struct {
+	// RowIDs are the window-stable IDs assigned to the batch's rows, in
+	// input order (withdrawals and decisions reference these).
+	RowIDs []int `json:"rowIds"`
+	// Rows is the window size after the append.
+	Rows int `json:"rows"`
+	// Duplicate reports an idempotent replay: the batch ID was already
+	// journaled, nothing was re-applied.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// GateClosedError: the release gate refused to publish because tuples
+// remain over threshold after the suppression loop ran out of moves.
+type GateClosedError struct {
+	Residual int
+}
+
+func (e *GateClosedError) Error() string {
+	return fmt.Sprintf("stream: release gate closed: %d tuples remain over threshold with no anonymization step left", e.Residual)
+}
+
+// WindowFullError: the append would exceed the bounded in-memory window.
+type WindowFullError struct {
+	Rows, Adding, Max int
+}
+
+func (e *WindowFullError) Error() string {
+	return fmt.Sprintf("stream: window holds %d rows; adding %d exceeds the %d-row bound", e.Rows, e.Adding, e.Max)
+}
+
+// PendingReleaseError: mutations are rejected while a journaled intent
+// awaits its publish record — the window must stay exactly the intent's
+// snapshot until the publication completes.
+type PendingReleaseError struct {
+	Release int
+}
+
+func (e *PendingReleaseError) Error() string {
+	return fmt.Sprintf("stream: release %d has a journaled intent awaiting publication; retry the release first", e.Release)
+}
+
+// ErrClosed rejects operations on a drained stream.
+var ErrClosed = fmt.Errorf("stream: closed")
+
+// Stream is one crash-consistent ingestion window. All methods are safe for
+// concurrent use; the journal serializes state transitions.
+type Stream struct {
+	mu   sync.Mutex
+	id   string
+	path string
+	dir  string
+	opts Options
+	fs   faultfs.FS
+	gov  *govern.Governor
+	w    *journal.Writer
+
+	d       *mdb.Dataset
+	nextID  int
+	rowPos  map[int]int // row ID → current position
+	batches map[string]bool
+	nbatch  int
+	ndrop   int
+
+	// Online risk state. inc == nil means the assessor has no incremental
+	// path; degraded means it has one but a budget refusal forced the full
+	// path (retried at the next release).
+	inc       risk.IncrementalAssessor
+	incAttrs  []int
+	idx       *mdb.GroupIndex
+	risks     []float64
+	current   bool
+	degraded  bool
+	sinceFull int
+
+	// Release protocol state.
+	relSeq    int
+	relBytes  []byte // pending release bytes, regenerated on recovery
+	pending   *intentPayload
+	pendSupp  int
+	published *ReleaseInfo
+	releases  int
+	acked     int
+	closed    bool
+
+	memCharged int64
+	idxCharged int64
+}
+
+// Open opens the stream journaled at path, creating it if the journal does
+// not exist yet, or replaying it to the pre-crash state if it does. id
+// names the stream (it must match the journaled name on reopen); a release
+// interrupted between its intent and publish records is completed before
+// Open returns.
+func Open(ctx context.Context, id, path string, opts Options) (*Stream, error) {
+	if opts.Assessor == nil {
+		return nil, fmt.Errorf("stream: Options.Assessor is required")
+	}
+	if opts.Threshold <= 0 {
+		return nil, fmt.Errorf("stream: Options.Threshold must be positive, got %g", opts.Threshold)
+	}
+	s := &Stream{
+		id:      id,
+		path:    path,
+		dir:     filepath.Dir(path),
+		opts:    opts,
+		fs:      opts.FS,
+		gov:     opts.Governor,
+		rowPos:  make(map[int]int),
+		batches: make(map[string]bool),
+	}
+	if s.fs == nil {
+		s.fs = faultfs.OS
+	}
+	cfg := journal.Config{FS: s.fs, DiskHeadroom: opts.DiskHeadroom}
+
+	if probe, err := s.fs.Open(path); err == nil {
+		probe.Close()
+		return s.reopen(ctx, cfg)
+	}
+	// Fresh stream: the create record is the schema's durability point.
+	if len(opts.Attrs) == 0 {
+		return nil, fmt.Errorf("stream: Options.Attrs is required to create a stream")
+	}
+	s.d = mdb.NewDataset(id, opts.Attrs)
+	if len(s.d.QuasiIdentifiers()) == 0 {
+		return nil, fmt.Errorf("stream: schema has no quasi-identifiers to anonymize")
+	}
+	w, err := journal.CreateWith(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	if err := w.Append(recCreate, makeCreatePayload(id, opts)); err != nil {
+		w.Close()
+		s.fs.Remove(path)
+		return nil, err
+	}
+	s.initAssessor()
+	return s, nil
+}
+
+// initAssessor resolves whether the measure supports the incremental path.
+func (s *Stream) initAssessor() {
+	if ia, ok := s.opts.Assessor.(risk.IncrementalAssessor); ok {
+		if attrs, err := ia.IndexAttrs(s.d); err == nil {
+			s.inc, s.incAttrs = ia, attrs
+		}
+	}
+}
+
+func (s *Stream) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Append journals and admits one ingestion batch. Every cell must be a
+// constant (labelled-null tokens are rejected — nulls enter the window only
+// through gated suppressions); the weight column, when the schema has one,
+// must parse as a float. The batch is fsync'd to the journal before any
+// in-memory state changes, so a crash after Append returns can never lose
+// it. batchID de-duplicates retries: a batch ID already journaled is
+// acknowledged again without being re-applied.
+func (s *Stream) Append(ctx context.Context, batchID string, rows [][]string) (*AppendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.pending != nil {
+		return nil, &PendingReleaseError{Release: s.pending.Release}
+	}
+	if batchID == "" {
+		return nil, fmt.Errorf("stream: batch ID is required (idempotency key)")
+	}
+	if s.batches[batchID] {
+		return &AppendResult{Rows: len(s.d.Rows), Duplicate: true}, nil
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("stream: empty batch")
+	}
+	if len(s.d.Rows)+len(rows) > s.opts.maxRows() {
+		return nil, &WindowFullError{Rows: len(s.d.Rows), Adding: len(rows), Max: s.opts.maxRows()}
+	}
+	if err := s.validateBatch(rows); err != nil {
+		return nil, err
+	}
+	bytes := batchBytes(rows)
+	//governcharge:ok — window memory is released in bulk by Close
+	if err := s.gov.Reserve(govern.Memory, bytes); err != nil {
+		return nil, fmt.Errorf("stream: admitting batch: %w", err)
+	}
+	// Write-ahead ack: the journal append is the commit point.
+	if err := s.w.Append(recBatch, batchPayload{BatchID: batchID, Rows: rows}); err != nil {
+		s.gov.Release(govern.Memory, bytes)
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal after failed batch append: %v", s.id, rerr)
+		}
+		return nil, err
+	}
+	s.memCharged += bytes
+	ids := s.applyBatch(batchID, rows)
+	s.maintainRisk(ctx)
+	return &AppendResult{RowIDs: ids, Rows: len(s.d.Rows)}, nil
+}
+
+// validateBatch rejects rows the journaled replay could not reproduce
+// exactly: wrong arity, labelled-null tokens, unparsable weights.
+func (s *Stream) validateBatch(rows [][]string) error {
+	w := s.d.WeightIndex()
+	var scratch mdb.NullAllocator
+	for i, r := range rows {
+		if len(r) != len(s.d.Attrs) {
+			return fmt.Errorf("stream: batch row %d has %d fields, schema has %d", i, len(r), len(s.d.Attrs))
+		}
+		for j, cell := range r {
+			if mdb.ParseValue(cell, &scratch).IsNull() {
+				return fmt.Errorf("stream: batch row %d: %s is the labelled-null token %q; appended rows must be constants", i, s.d.Attrs[j].Name, cell)
+			}
+		}
+		if w >= 0 {
+			if _, err := strconv.ParseFloat(r[w], 64); err != nil {
+				return fmt.Errorf("stream: batch row %d: bad weight %q: %v", i, r[w], err)
+			}
+		}
+	}
+	return nil
+}
+
+// applyBatch replays a journaled batch into the window — the single code
+// path shared by live appends and recovery, which is what makes a recovered
+// window bit-identical to the uninterrupted one.
+func (s *Stream) applyBatch(batchID string, rows [][]string) []int {
+	w := s.d.WeightIndex()
+	ids := make([]int, 0, len(rows))
+	for _, r := range rows {
+		vals := make([]mdb.Value, len(r))
+		for j, cell := range r {
+			vals[j] = mdb.ParseValue(cell, &s.d.Nulls)
+		}
+		row := &mdb.Row{Values: vals}
+		if w >= 0 {
+			row.Weight, _ = strconv.ParseFloat(r[w], 64)
+		}
+		s.nextID++
+		row.ID = s.nextID
+		s.rowPos[row.ID] = len(s.d.Rows)
+		s.d.Append(row)
+		ids = append(ids, row.ID)
+	}
+	s.batches[batchID] = true
+	s.nbatch++
+	return ids
+}
+
+// Withdraw journals and applies the removal of rows (by window-stable ID).
+// Like Append, the journal record is fsync'd before any state changes.
+func (s *Stream) Withdraw(ctx context.Context, rowIDs []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.pending != nil {
+		return &PendingReleaseError{Release: s.pending.Release}
+	}
+	if len(rowIDs) == 0 {
+		return fmt.Errorf("stream: no rows to withdraw")
+	}
+	seen := make(map[int]bool, len(rowIDs))
+	for _, id := range rowIDs {
+		if _, ok := s.rowPos[id]; !ok {
+			return fmt.Errorf("stream: row %d is not in the window", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("stream: row %d withdrawn twice in one call", id)
+		}
+		seen[id] = true
+	}
+	if err := s.w.Append(recWithdraw, withdrawPayload{RowIDs: rowIDs}); err != nil {
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal after failed withdraw append: %v", s.id, rerr)
+		}
+		return err
+	}
+	if err := s.applyWithdraw(rowIDs); err != nil {
+		return err
+	}
+	s.maintainRisk(ctx)
+	return nil
+}
+
+// applyWithdraw removes the rows — shared by the live path and recovery.
+func (s *Stream) applyWithdraw(rowIDs []int) error {
+	for _, id := range rowIDs {
+		pos, ok := s.rowPos[id]
+		if !ok {
+			return fmt.Errorf("stream: journaled withdrawal of unknown row %d", id)
+		}
+		s.d.Rows = append(s.d.Rows[:pos], s.d.Rows[pos+1:]...)
+		delete(s.rowPos, id)
+		for rid, p := range s.rowPos {
+			if p > pos {
+				s.rowPos[rid] = p - 1
+			}
+		}
+		if s.idx != nil && s.idx.Valid() {
+			if err := s.idx.DeleteRow(pos); err != nil {
+				return fmt.Errorf("stream: index delete: %w", err)
+			}
+			if s.risks != nil {
+				s.risks = append(s.risks[:pos], s.risks[pos+1:]...)
+			}
+		} else if s.risks != nil {
+			s.risks, s.current = nil, false
+		}
+		s.ndrop++
+	}
+	return nil
+}
+
+// maintainRisk keeps the risk vector online after a window mutation. On the
+// incremental path it feeds the index the new rows, commits and rescores
+// only the dirty positions; on the full path it reassesses every FullEvery
+// batches. Failures degrade (risk goes stale until the next release forces
+// it current) instead of failing ingestion.
+func (s *Stream) maintainRisk(ctx context.Context) {
+	if s.closed {
+		return
+	}
+	if s.inc != nil && !s.degraded {
+		if err := s.ensureIndex(ctx); err != nil {
+			s.logf("stream %s: incremental path refused: %v; degrading to periodic full reassessment", s.id, err)
+			s.degraded = true
+			s.current = false
+		} else {
+			if err := s.rescore(ctx); err != nil {
+				s.logf("stream %s: online rescore: %v", s.id, err)
+				s.current = false
+			}
+			return
+		}
+	}
+	// Full path: reassess periodically, not on every batch.
+	s.current = false
+	s.sinceFull++
+	if s.sinceFull >= s.opts.fullEvery() {
+		if err := s.fullAssess(ctx); err != nil {
+			s.logf("stream %s: periodic full reassessment: %v", s.id, err)
+		}
+	}
+}
+
+// ensureIndex builds (or rebuilds) the group index over the current window,
+// charging the governor for its footprint. Index rows not yet tracked —
+// appended since the last call — are fed in before returning.
+func (s *Stream) ensureIndex(ctx context.Context) error {
+	if s.idx == nil || !s.idx.Valid() {
+		idx, err := mdb.BuildGroupIndex(ctx, s.d, s.incAttrs, s.opts.Semantics)
+		if err != nil {
+			return err
+		}
+		bytes := idx.EstimatedBytes() + int64(len(s.d.Rows))*8
+		//governcharge:ok — swapped below and released in bulk by Close
+		if err := s.gov.Reserve(govern.Memory, bytes); err != nil {
+			return err
+		}
+		s.gov.Release(govern.Memory, s.idxCharged)
+		s.idx, s.idxCharged = idx, bytes
+		s.risks, s.current = nil, false
+		return nil
+	}
+	for s.idx.Len() < len(s.d.Rows) {
+		if err := s.idx.AppendRow(s.idx.Len()); err != nil {
+			return err
+		}
+		if s.risks != nil {
+			// Placeholder slot; the appended row is always in the dirty
+			// set, so the zero is rescored before anyone reads it.
+			s.risks = append(s.risks, 0)
+		}
+	}
+	return nil
+}
+
+// rescore commits the index's pending mutations and re-scores exactly the
+// dirty rows (all rows when no previous vector survives).
+func (s *Stream) rescore(ctx context.Context) error {
+	dirty, err := s.idx.Commit(ctx)
+	if err != nil {
+		return err
+	}
+	prev := s.risks
+	if prev != nil && len(prev) != len(s.d.Rows) {
+		prev = nil
+	}
+	out, err := s.inc.Rescore(ctx, s.idx, dirty, prev)
+	if err != nil {
+		return err
+	}
+	s.risks, s.current = out, true
+	return nil
+}
+
+// fullAssess recomputes the whole risk vector with the measure's reference
+// path — the degraded mode's source of truth. Bit-identity with the
+// incremental path is the risk layer's tested property, so switching modes
+// never changes a release.
+func (s *Stream) fullAssess(ctx context.Context) error {
+	risks, err := risk.AssessContext(ctx, s.opts.Assessor, s.d, s.opts.Semantics)
+	if err != nil {
+		return err
+	}
+	s.risks, s.current, s.sinceFull = risks, true, 0
+	return nil
+}
+
+// ensureRisks makes the risk vector reflect the present window, whichever
+// path is active. The release gate and the status probe call it; the
+// degraded path retries the incremental build here, so a cleared budget
+// restores online maintenance.
+func (s *Stream) ensureRisks(ctx context.Context) error {
+	if s.inc != nil && s.degraded {
+		if err := s.ensureIndex(ctx); err == nil {
+			s.degraded = false
+			s.logf("stream %s: incremental path restored", s.id)
+		}
+	}
+	if s.inc != nil && !s.degraded {
+		if err := s.ensureIndex(ctx); err != nil {
+			return err
+		}
+		return s.rescore(ctx)
+	}
+	if s.current && len(s.risks) == len(s.d.Rows) {
+		return nil
+	}
+	return s.fullAssess(ctx)
+}
+
+// Status reports the stream's current state without touching the journal.
+func (s *Stream) Status(ctx context.Context) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Rows:      len(s.d.Rows),
+		Batches:   s.nbatch,
+		Withdrawn: s.ndrop,
+		Releases:  s.releases,
+		Acked:     s.acked,
+		Mode:      "incremental",
+		Closed:    s.closed,
+		Published: s.published,
+	}
+	if s.inc == nil || s.degraded {
+		st.Mode = "full"
+	}
+	if s.pending != nil {
+		st.PendingIntent = s.pending.Release
+	}
+	if s.current && len(s.risks) == len(s.d.Rows) {
+		st.RiskCurrent = true
+		for _, r := range s.risks {
+			if r > s.opts.Threshold {
+				st.OverThreshold++
+			}
+		}
+	}
+	return st
+}
+
+// Meta returns the opaque metadata journaled at creation.
+func (s *Stream) Meta() json.RawMessage { return s.opts.Meta }
+
+// Attrs returns the window schema (the journaled attribute list). Callers
+// must not mutate it.
+func (s *Stream) Attrs() []mdb.Attribute {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Attrs
+}
+
+// ID returns the stream's name.
+func (s *Stream) ID() string { return s.id }
+
+// Close drains the stream: a checkpoint record marks the clean shutdown
+// (mid-window state is already durable — every accepted mutation was
+// journaled before it was acknowledged), the journal is closed, and the
+// governor charges are refunded. Close is idempotent.
+func (s *Stream) Close(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	// Best effort: the checkpoint is a drain marker, not a durability
+	// requirement — a failed append must not block shutdown.
+	if err := s.w.Append(recCheckpoint, checkpointPayload{
+		Batches: s.nbatch, Rows: len(s.d.Rows), Releases: s.releases, Acked: s.acked,
+	}); err != nil {
+		s.logf("stream %s: drain checkpoint: %v", s.id, err)
+		if rerr := s.w.Repair(); rerr != nil {
+			s.logf("stream %s: repairing journal during drain: %v", s.id, rerr)
+		}
+	}
+	err := s.w.Close()
+	s.gov.Release(govern.Memory, s.memCharged+s.idxCharged)
+	s.memCharged, s.idxCharged = 0, 0
+	return err
+}
+
+// releaseFileName names release seq's CSV next to the journal.
+func (s *Stream) releaseFileName(seq int) string {
+	base := strings.TrimSuffix(filepath.Base(s.path), ".wal")
+	return fmt.Sprintf("%s.release-%d.csv", base, seq)
+}
+
+func digestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

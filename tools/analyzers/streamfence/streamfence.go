@@ -1,0 +1,96 @@
+// Package streamfence guards the stream release protocol's ordering
+// invariant: code in package stream may journal a publish record only after
+// journaling the matching intent. The intent is the promise (sequence,
+// window size, digest of the exact bytes); a publish without it would commit
+// a release recovery can neither verify nor regenerate — the crash window
+// between the two records is precisely what the protocol exists to survive.
+//
+// The pass flags any function in package stream that calls appendPublish
+// without also calling appendIntent. The one legitimate exception — a
+// function completing an intent that an earlier call (or a crashed
+// incarnation) journaled — is annotated with `//streamfence:ok <reason>` on
+// the calling line or the preceding one. _test.go files are skipped.
+package streamfence
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the streamfence pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "streamfence",
+	Doc:  "package stream must journal a release intent before its publish record",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name != "stream" {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ok := okLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if !isFn || fn.Body == nil {
+				continue
+			}
+			var publishes []token.Pos
+			intents := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				switch f := call.Fun.(type) {
+				case *ast.Ident:
+					switch f.Name {
+					case "appendPublish":
+						publishes = append(publishes, f.Pos())
+					case "appendIntent":
+						intents = true
+					}
+				case *ast.SelectorExpr:
+					switch f.Sel.Name {
+					case "appendPublish":
+						publishes = append(publishes, f.Sel.Pos())
+					case "appendIntent":
+						intents = true
+					}
+				}
+				return true
+			})
+			if intents {
+				continue
+			}
+			for _, pos := range publishes {
+				line := pass.Fset.Position(pos).Line
+				if ok[line] || ok[line-1] {
+					continue
+				}
+				pass.Reportf(pos,
+					"publish record journaled without an intent in %s: call appendIntent first, or annotate //streamfence:ok with why the intent is already journaled",
+					fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//streamfence:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

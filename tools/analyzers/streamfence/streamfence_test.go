@@ -1,0 +1,15 @@
+package streamfence
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestStreamfence(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}
+
+func TestStreamfenceIgnoresOtherPackages(t *testing.T) {
+	checktest.Run(t, "testdata/src/b", Analyzer)
+}
