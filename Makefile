@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos soak
+.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos soak replchaos
 
 build:
 	$(GO) build ./...
@@ -63,22 +63,34 @@ chaos:
 		./internal/dist/ ./internal/stream/ ./cmd/vadasad/ > chaos.out 2>&1 || { cat chaos.out; exit 1; }
 	cat chaos.out
 
-# soak runs the stream's long randomized crash/fault schedule under the race
-# detector: fresh seeds every run, SOAK_SECONDS of wall clock (default 60).
-# Non-gating like chaos — a separate opt-in CI job with soak.out as the
-# artifact.
+# soak runs the long randomized schedules under the race detector: the
+# stream's crash/fault schedule plus the replication primary-kill/promote-
+# under-load schedule. Fresh seeds every run, SOAK_SECONDS of wall clock per
+# test (default 60). Non-gating like chaos — a separate opt-in CI job with
+# soak.out as the artifact.
 SOAK_SECONDS ?= 60
 soak:
 	VADASA_SOAK=1 VADASA_SOAK_SECONDS=$(SOAK_SECONDS) \
-		$(GO) test -race -count=1 -v -run 'StreamSoak' \
-		./internal/stream/ > soak.out 2>&1 || { cat soak.out; exit 1; }
+		$(GO) test -race -count=1 -v -run 'StreamSoak|ReplSoak' \
+		./internal/stream/ ./internal/replica/ > soak.out 2>&1 || { cat soak.out; exit 1; }
 	cat soak.out
 
-# bench runs the tier-1 benchmark suite and records it as BENCH_7.json (see
+# replchaos runs the replication fault suite under the race detector:
+# primary SIGKILL between intent and publish followed by a fenced promotion,
+# torn/duplicated ship frames, divergence detection, demoted-primary
+# rejection, and the HTTP failover path. Non-gating (a separate opt-in CI
+# job); the raw stream lands in replchaos.out for the CI artifact.
+replchaos:
+	$(GO) test -race -count=1 -v \
+		-run 'Repl|Failover|Promote|Fenc|Ship|Standby|Sync|Diverg|Epoch' \
+		./internal/replica/ ./cmd/vadasad/ > replchaos.out 2>&1 || { cat replchaos.out; exit 1; }
+	cat replchaos.out
+
+# bench runs the tier-1 benchmark suite and records it as BENCH_8.json (see
 # DESIGN.md "Benchmark record format"): standard columns plus the custom
 # figure metrics (riskeval-ms/op, nulls/op, loss%/op), machine-readable for
 # regression tracking. The raw stream lands in bench.out for inspection.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... > bench.out || { cat bench.out; exit 1; }
 	cat bench.out

@@ -73,7 +73,9 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Submit(jobs.Spec{Dataset: input, Params: r.URL.Query()})
 	if err != nil {
 		os.Remove(input)
-		s.httpError(w, http.StatusServiceUnavailable, err)
+		w.Header().Set("Retry-After", "5")
+		s.httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue is full or the manager is shutting down; retry shortly: %w", err))
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+j.ID)

@@ -13,6 +13,8 @@
 //	        [-shard-workers host:port,...] [-spawn-workers N]
 //	        [-worker-bin PATH] [-lease-ttl 10s] [-hedge-after 0]
 //	        [-worker-heartbeat 2s] [-require-workers]
+//	        [-repl-role primary|standby] [-repl-peers URL,...]
+//	        [-repl-sync] [-repl-lag-max N]
 //
 // Endpoints (all POST bodies are CSV with a header row; attribute categories
 // are inferred from the header names and can be overridden with the id/qi/
@@ -99,6 +101,23 @@
 // Retry-After and /readyz answers 503. See DESIGN.md §12 and README.md,
 // "Sharded risk scoring with vadasaw".
 //
+// Replication. With -repl-role, a pair of daemons forms a warm-standby
+// cluster (DESIGN.md §14): the primary ships every committed stream-WAL and
+// job-journal record to its -repl-peers over POST /repl/ship, and standbys
+// mirror the bytes verbatim, maintain read-only replay views, and verify
+// SHA-256 state digests against the primary's. -repl-sync makes every
+// journal append wait for a standby ack (synchronous commit); without it,
+// -repl-lag-max bounds how far a standby may fall behind before /readyz
+// turns unhealthy. An unpromoted standby answers writes with 503 + a
+// standby marker and serves GET /streams, /stream/{id}/release and
+// /stream/{id}/status from its mirrors; POST /repl/promote?fence=E fences
+// it into the primary role (the fence must outrank every epoch it has
+// seen), recovers the mirrored directories through the normal startup path
+// — pending release intents complete exactly once — and widens the API in
+// place. A demoted primary's subsequent writes fail with a typed fencing
+// error (503). GET /replstatus reports role, epochs, lag and divergence.
+// See README.md, "Replication & failover".
+//
 // Profiling. -pprof-addr starts a second, independent listener exposing the
 // standard /debug/pprof endpoints (disabled by default; never mounted on the
 // service port). Bind it to localhost or a management interface — profiles
@@ -128,6 +147,7 @@ import (
 	"vadasa/internal/dist"
 	"vadasa/internal/govern"
 	"vadasa/internal/jobs"
+	"vadasa/internal/replica"
 )
 
 func main() {
@@ -175,6 +195,14 @@ func main() {
 		"directory for crash-consistent streaming anonymization (one WAL + release files per stream); empty disables the /stream API")
 	streamMaxRows := flag.Int("stream-max-rows", 0,
 		"per-stream in-memory window bound; appends beyond it get 429 (0 = 100000)")
+	replRole := flag.String("repl-role", "",
+		"replication role: primary (ships journals to -repl-peers) or standby (mirrors a primary, read-only until promoted); empty disables replication")
+	replPeers := flag.String("repl-peers", "",
+		"comma-separated base URLs (http://host:port) of standby peers to ship journals to; required with -repl-role=primary")
+	replSync := flag.Bool("repl-sync", false,
+		"synchronous commit: every journal append waits until a standby has acknowledged the record durably (fails the write after a timeout)")
+	replLagMax := flag.Int("repl-lag-max", 0,
+		"un-acked shipped-record count above which /readyz reports the primary unhealthy; async mode's safety valve (0 disables)")
 	flag.Parse()
 
 	newFramework := func() (*vadasa.Framework, error) {
@@ -218,6 +246,144 @@ func main() {
 			DiskHeadroom: *diskHeadroom,
 		})
 	}
+	// Replication must be wired before the jobs manager and the stream
+	// registry exist: their journals are shipped through hooks installed at
+	// creation time, and a standby must not bring the write path up at all.
+	if *replRole != "" {
+		replDir := *streamDir
+		if replDir == "" && *jobDir != "" {
+			// Keep the epoch journal out of the jobs manager's *.journal
+			// glob by giving it its own directory.
+			replDir = filepath.Join(*jobDir, "repl")
+		}
+		if replDir == "" {
+			log.Fatalf("vadasad: -repl-role requires -stream-dir or -job-dir; there is nothing to replicate")
+		}
+		if err := os.MkdirAll(replDir, 0o755); err != nil {
+			log.Fatalf("vadasad: -repl-role: %v", err)
+		}
+		nodeID, _ := os.Hostname()
+		if nodeID == "" {
+			nodeID = "vadasad"
+		}
+		nodePath := filepath.Join(replDir, replica.NodeJournalName)
+		switch *replRole {
+		case "primary":
+			node, err := replica.OpenNode(nodeID, nodePath, replica.RolePrimary, nil)
+			if err != nil {
+				log.Fatalf("vadasad: replication: %v", err)
+			}
+			defer node.Close()
+			var peers []replica.Transport
+			for _, a := range strings.Split(*replPeers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					peers = append(peers, replica.NewHTTPTransport(a, nil))
+				}
+			}
+			if len(peers) == 0 {
+				log.Fatalf("vadasad: -repl-role=primary requires -repl-peers")
+			}
+			p, err := replica.NewPrimary(replica.PrimaryOptions{
+				Node:   node,
+				Peers:  peers,
+				Sync:   *replSync,
+				LagMax: *replLagMax,
+				Logf:   log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("vadasad: replication: %v", err)
+			}
+			srv.repl = &replState{node: node, primary: p, streamDir: *streamDir, jobDir: *jobDir}
+			p.Start()
+			// Registered before the registries are built so the LIFO defers
+			// close the registries (final checkpoints, shipped while the
+			// shipper still runs) first and the shipper last.
+			defer p.Close()
+			log.Printf("vadasad: replication primary %q (epoch %d) shipping to %d peer(s), sync=%v",
+				nodeID, node.Epoch(), len(peers), *replSync)
+		case "standby":
+			node, err := replica.OpenNode(nodeID, nodePath, replica.RoleStandby, nil)
+			if err != nil {
+				log.Fatalf("vadasad: replication: %v", err)
+			}
+			defer node.Close()
+			roots := map[string]replica.Root{}
+			if *streamDir != "" {
+				roots["stream"] = replica.Root{Dir: *streamDir, Ext: ".wal"}
+			}
+			if *jobDir != "" {
+				roots["jobs"] = replica.Root{Dir: *jobDir, Ext: ".journal"}
+			}
+			sb, err := replica.NewStandby(replica.StandbyOptions{
+				Node:         node,
+				Roots:        roots,
+				OpenFollower: srv.followerFactory(*streamMaxRows, *diskHeadroom),
+				FollowRoot:   "stream",
+				Logf:         log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("vadasad: replication: %v", err)
+			}
+			if err := sb.Recover(context.Background()); err != nil {
+				log.Fatalf("vadasad: replication: recovering mirrors: %v", err)
+			}
+			defer sb.Close()
+			rs := &replState{node: node, standby: sb, streamDir: *streamDir, jobDir: *jobDir}
+			// Promotion closures: bring the write path up over the mirrored
+			// directories through the exact code a fresh start would run.
+			if *streamDir != "" {
+				rs.openStreams = func(ctx context.Context) (int, error) {
+					srv.streams = newStreamRegistry(srv, *streamDir, *streamMaxRows, *diskHeadroom)
+					return srv.streams.recover(ctx)
+				}
+			}
+			if *jobDir != "" {
+				srv.jobDir = *jobDir
+				rs.openJobs = func() error {
+					mgr, err := jobs.NewManager(&jobRunner{srv: srv}, jobs.Options{
+						Dir:          *jobDir,
+						Workers:      *jobWorkers,
+						MaxAttempts:  *jobRetries,
+						RetryBase:    *jobRetryBase,
+						RetryCap:     *jobRetryCap,
+						DiskHeadroom: *diskHeadroom,
+						Governor:     srv.govern,
+					})
+					if err != nil {
+						return err
+					}
+					srv.jobs = mgr
+					resumed, err := mgr.Recover()
+					if err != nil {
+						log.Printf("vadasad: job recovery: %v", err)
+					}
+					if len(resumed) > 0 {
+						log.Printf("vadasad: resumed %d interrupted job(s): %v", len(resumed), resumed)
+					}
+					return nil
+				}
+			}
+			srv.repl = rs
+			// Registries created by a promotion need the same drain the
+			// primary-path defers give; runs before sb.Close/node.Close.
+			defer func() {
+				rs.mu.Lock()
+				streams, jobsMgr := srv.streams, srv.jobs
+				rs.mu.Unlock()
+				if streams != nil {
+					streams.Close(context.Background())
+				}
+				if jobsMgr != nil {
+					jobsMgr.Close()
+				}
+			}()
+			log.Printf("vadasad: replication standby %q mirroring into %s (epoch seen %d)",
+				nodeID, replDir, node.Epoch())
+		default:
+			log.Fatalf("vadasad: unknown -repl-role %q (want primary or standby)", *replRole)
+		}
+	}
+
 	if *shardWorkers != "" || *spawnWorkers > 0 || *requireWorkers {
 		var transports []dist.Transport
 		for _, a := range strings.Split(*shardWorkers, ",") {
@@ -264,7 +430,7 @@ func main() {
 		log.Printf("vadasad: sharded risk scoring over %d worker(s), require-workers=%v",
 			len(transports), *requireWorkers)
 	}
-	if *jobDir != "" {
+	if *jobDir != "" && !srv.repl.servingStandby() {
 		srv.jobDir = *jobDir
 		mgr, err := jobs.NewManager(&jobRunner{srv: srv}, jobs.Options{
 			Dir:          *jobDir,
@@ -274,6 +440,7 @@ func main() {
 			RetryCap:     *jobRetryCap,
 			DiskHeadroom: *diskHeadroom,
 			Governor:     srv.govern,
+			JournalHook:  srv.replJobHook(),
 		})
 		if err != nil {
 			log.Fatalf("vadasad: %v", err)
@@ -298,7 +465,7 @@ func main() {
 		}()
 	}
 
-	if *streamDir != "" {
+	if *streamDir != "" && !srv.repl.servingStandby() {
 		if err := os.MkdirAll(*streamDir, 0o755); err != nil {
 			log.Fatalf("vadasad: -stream-dir: %v", err)
 		}
@@ -398,7 +565,7 @@ func newHTTPServer(addr string, s *server, readTimeout, requestTimeout time.Dura
 	}
 	return &http.Server{
 		Addr:              addr,
-		Handler:           s.routes(),
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       readTimeout,
 		WriteTimeout:      writeTimeout,

@@ -11,6 +11,7 @@ import (
 
 	"vadasa/internal/dist"
 	"vadasa/internal/govern"
+	"vadasa/internal/replica"
 	"vadasa/internal/risk"
 )
 
@@ -151,7 +152,17 @@ func statusForError(err error, fallback int) int {
 	var tooMany *risk.ErrTooManyAttributes
 	var tooWide *cellLimitError
 	var overBudget *govern.ErrBudgetExceeded
+	var fenced *replica.FencedError
+	var syncFail *replica.SyncError
 	switch {
+	case errors.As(err, &fenced):
+		// This node was demoted from primary: the request was fine, this
+		// node must not serve it. Clients re-resolve the primary and retry.
+		return http.StatusServiceUnavailable
+	case errors.As(err, &syncFail):
+		// Synchronous commit could not reach a standby; the record was
+		// rolled back. Retryable once replication recovers.
+		return http.StatusServiceUnavailable
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
 	case errors.As(err, &tooWide):
@@ -187,7 +198,15 @@ func (s *server) failRequest(w http.ResponseWriter, fallback int, err error) {
 		// Two distinct 503 causes for operators and clients: worker-fleet
 		// degradation (workers may rejoin any moment — short Retry-After)
 		// versus resource saturation (load has to drain first).
-		if errors.Is(err, dist.ErrDegraded) || errors.Is(err, dist.ErrWorkerLost) {
+		var fenced *replica.FencedError
+		var syncFail *replica.SyncError
+		if errors.As(err, &fenced) {
+			w.Header().Set("Retry-After", "5")
+			err = fmt.Errorf("this node is no longer the primary (epoch superseded); retry against the current primary: %w", err)
+		} else if errors.As(err, &syncFail) {
+			w.Header().Set("Retry-After", "5")
+			err = fmt.Errorf("synchronous replication could not reach a standby; the write was rolled back, retry shortly: %w", err)
+		} else if errors.Is(err, dist.ErrDegraded) || errors.Is(err, dist.ErrWorkerLost) {
 			w.Header().Set("Retry-After", "5")
 			err = fmt.Errorf("shard workers unavailable and -require-workers is set; retry when workers rejoin: %w", err)
 		} else if errors.Is(err, syscall.ENOSPC) {

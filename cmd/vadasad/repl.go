@@ -1,0 +1,357 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vadasa/internal/faultfs"
+	"vadasa/internal/replica"
+	"vadasa/internal/stream"
+)
+
+// replState carries the server's replication wiring (-repl-role). Exactly
+// one of primary/standby is non-nil. On a standby, the openStreams and
+// openJobs closures captured at startup bring the write path up at
+// promotion time — over the very directories the mirror has been writing,
+// through the very recovery code a restart would run.
+type replState struct {
+	node    *replica.Node
+	primary *replica.Primary
+	standby *replica.Standby
+
+	streamDir string
+	jobDir    string
+
+	// openStreams/openJobs build the write-path registries after a
+	// promotion (nil when the corresponding -*-dir is unset).
+	openStreams func(ctx context.Context) (int, error)
+	openJobs    func() error
+	// rebuild swaps the HTTP handler for one routed with the write path
+	// enabled. Set by server.handler.
+	rebuild func()
+
+	promoted atomic.Bool
+	mu       sync.Mutex // serializes promotion
+}
+
+// servingStandby reports whether the node is currently mirroring — i.e. a
+// standby that has not been promoted. Such a node serves reads and
+// rejects writes with a standby marker.
+func (rs *replState) servingStandby() bool {
+	return rs != nil && rs.standby != nil && !rs.promoted.Load()
+}
+
+// swapHandler lets the promotion path atomically replace the whole route
+// table: the standby's read-only mux gives way to the full API without
+// restarting the listener.
+type swapHandler struct{ v atomic.Value }
+
+func (h *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// handler returns the server's HTTP handler. Without replication it is the
+// static route table; with it, a swappable one so promotion can widen the
+// routes in place.
+func (s *server) handler() http.Handler {
+	if s.repl == nil {
+		return s.routes()
+	}
+	sh := &swapHandler{}
+	sh.v.Store(s.routes())
+	s.repl.rebuild = func() { sh.v.Store(s.routes()) }
+	return sh
+}
+
+// replRoutes registers the replication endpoints. /replstatus is always
+// on; the ship and promote endpoints exist wherever a standby does (a
+// promoted standby keeps them so a stale primary's shipments are answered
+// with the fencing 409 rather than a 404); the read-only stream mirrors
+// are standby-only and give way to the real stream API at promotion.
+func (s *server) replRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /replstatus", s.handleReplStatus)
+	if s.repl.standby != nil {
+		mux.HandleFunc("POST /repl/ship", s.handleReplShip)
+		mux.HandleFunc("POST /repl/promote", s.handleReplPromote)
+	}
+	if s.repl.servingStandby() {
+		mux.HandleFunc("GET /streams", s.handleStandbyStreams)
+		mux.HandleFunc("GET /stream/{id}/release", s.handleStandbyRelease)
+		mux.HandleFunc("GET /stream/{id}/status", s.handleStandbyStatus)
+	}
+}
+
+// withRepl rejects writes on an unpromoted standby: 503 with Retry-After
+// and an explicit standby marker, so clients and load balancers can tell
+// "wrong node" from "overloaded node". Reads (and the replication
+// endpoints themselves) pass through.
+func (s *server) withRepl(next http.Handler) http.Handler {
+	if s.repl == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.repl.servingStandby() && !standbyAllowed(r) {
+			w.Header().Set("Retry-After", "5")
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":   "this node is a replication standby; send writes to the primary",
+				"standby": true,
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// standbyAllowed reports whether an unpromoted standby serves the request
+// itself: reads, probes, and the replication protocol.
+func standbyAllowed(r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	switch r.URL.Path {
+	case "/repl/ship", "/repl/promote":
+		return true
+	}
+	return false
+}
+
+// applyReplStream wires a primary-side stream into the replication layer
+// before it opens: the fence check guards every append and publish, and
+// the append observer ships each committed record. On a promoted standby
+// only the fence applies (it passes — the node holds the highest epoch).
+func (s *server) applyReplStream(id, path string, opts *stream.Options) {
+	if s.repl == nil {
+		return
+	}
+	opts.FenceCheck = s.repl.node.FenceCheck
+	if s.repl.primary != nil {
+		opts.OnAppend = s.repl.primary.Hook("stream/"+id, path)
+	}
+}
+
+// registerReplStream attaches an opened stream's journal tail and digest
+// source to the shipper (no-op without a primary shipper).
+func (s *server) registerReplStream(st *stream.Stream, path string) {
+	if s.repl == nil || s.repl.primary == nil {
+		return
+	}
+	log := "stream/" + st.ID()
+	s.repl.primary.Register(log, path, st.JournalSeq(), func(ctx context.Context) (*replica.LogDigest, error) {
+		d, err := st.Digest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &replica.LogDigest{Seq: d.Seq, Rows: d.Rows, Window: d.Window, Risk: d.Risk}, nil
+	})
+}
+
+// unregisterReplStream detaches a closed stream from the shipper.
+func (s *server) unregisterReplStream(id string) {
+	if s.repl == nil || s.repl.primary == nil {
+		return
+	}
+	s.repl.primary.Unregister("stream/" + id)
+}
+
+// replJobHook is the jobs.Options.JournalHook wiring: every job journal
+// ships under the "jobs" root. Nil without a primary shipper.
+func (s *server) replJobHook() func(id, path string) func(seq int, line []byte) error {
+	if s.repl == nil || s.repl.primary == nil {
+		return nil
+	}
+	return func(id, path string) func(seq int, line []byte) error {
+		return s.repl.primary.Hook("jobs/"+id, path)
+	}
+}
+
+// followerFactory builds the standby's replay views: the stream Options
+// are rebuilt from the mirrored WAL's own create record — the same
+// reconstruction startup recovery uses — so the follower's risk state is
+// computed by the same code that will own the stream after a promotion.
+func (s *server) followerFactory(maxRows int, diskHeadroom int64) replica.FollowerFactory {
+	return func(ctx context.Context, id, path string) (*stream.Follower, error) {
+		info, err := stream.Peek(ctx, faultfs.OS, path)
+		if err != nil {
+			return nil, err
+		}
+		reg := &streamRegistry{srv: s, maxRows: maxRows, diskHeadroom: diskHeadroom}
+		opts, err := reg.optionsFromInfo(info)
+		if err != nil {
+			return nil, err
+		}
+		return stream.OpenFollower(ctx, info.ID, path, opts)
+	}
+}
+
+// handleReplShip is the receiver half of the shipping protocol: the
+// primary POSTs batched journal frames (and state digests), the standby
+// appends + fsyncs them and answers its per-log ack positions. A fencing
+// rejection is 409 carrying the prevailing epoch — the signal that demotes
+// the sender.
+func (s *server) handleReplShip(w http.ResponseWriter, r *http.Request) {
+	var req replica.ShipRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(&req); err != nil {
+		s.failRequest(w, http.StatusBadRequest, fmt.Errorf("decoding shipment: %w", err))
+		return
+	}
+	resp, err := s.repl.standby.HandleShip(r.Context(), &req)
+	if err != nil {
+		var fe *replica.FencedError
+		if errors.As(err, &fe) {
+			s.writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error(), "epoch": fe.Seen})
+			return
+		}
+		w.Header().Set("Retry-After", "5")
+		s.httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplPromote fences this standby into the primary role. The fence
+// token (?fence=) must outrank every epoch the node has seen; omitted, it
+// defaults to seen+1. On success the mirrored directories are recovered
+// through the normal startup path — pending release intents complete
+// exactly once — and the full API replaces the read-only one.
+func (s *server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	rs := s.repl
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.promoted.Load() {
+		s.httpError(w, http.StatusConflict,
+			fmt.Errorf("already promoted (epoch %d)", rs.node.Granted()))
+		return
+	}
+	fence := rs.node.Epoch() + 1
+	if v := r.URL.Query().Get("fence"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad fence parameter %q", v))
+			return
+		}
+		fence = n
+	}
+	if err := rs.standby.Promote(r.Context(), fence); err != nil {
+		if replica.IsFenced(err) {
+			s.httpError(w, http.StatusConflict, err)
+			return
+		}
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logPrintf("vadasad: promoted to primary under epoch %d", fence)
+
+	streams := 0
+	if rs.openStreams != nil {
+		n, err := rs.openStreams(r.Context())
+		if err != nil {
+			// The grant is journaled; the node IS the primary now. Failing
+			// recovery is an operator problem, not a reason to un-promote.
+			s.logPrintf("vadasad: promote: recovering streams: %v", err)
+		}
+		streams = n
+	}
+	if rs.openJobs != nil {
+		if err := rs.openJobs(); err != nil {
+			s.logPrintf("vadasad: promote: starting jobs manager: %v", err)
+		}
+	}
+	rs.promoted.Store(true)
+	if rs.rebuild != nil {
+		rs.rebuild()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true, "epoch": fence, "streams": streams,
+	})
+}
+
+// handleReplStatus exposes the replication state: role, epochs, and the
+// side-specific detail (shipping lag and peer acks on a primary; mirrored
+// log positions and divergence on a standby).
+func (s *server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	rs := s.repl
+	out := map[string]any{
+		"role":    rs.node.Role(),
+		"epoch":   rs.node.Epoch(),
+		"granted": rs.node.Granted(),
+	}
+	if rs.primary != nil {
+		out["primary"] = rs.primary.Status()
+	}
+	if rs.standby != nil {
+		out["standby"] = rs.standby.Status()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleStandbyStreams lists the mirrored streams that currently have a
+// replay view.
+func (s *server) handleStandbyStreams(w http.ResponseWriter, r *http.Request) {
+	ids := []string{}
+	for _, fol := range s.repl.standby.Followers() {
+		ids = append(ids, fol.ID())
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"streams": ids, "standby": true})
+}
+
+// handleStandbyRelease serves the currently published (unacked) release of
+// a mirrored stream, digest-verified against the primary's journaled
+// intent — the read-only availability a warm standby buys. It never
+// publishes: with no release in flight it answers 409 and points at the
+// primary.
+func (s *server) handleStandbyRelease(w http.ResponseWriter, r *http.Request) {
+	fol, ok := s.lookupFollower(w, r)
+	if !ok {
+		return
+	}
+	info := fol.Published()
+	if info == nil {
+		s.httpError(w, http.StatusConflict,
+			fmt.Errorf("no release is currently published; releases are gated on the primary"))
+		return
+	}
+	b, err := fol.ReleaseBytes()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Stream  string              `json:"stream"`
+		Standby bool                `json:"standby"`
+		Release *stream.ReleaseInfo `json:"release"`
+		CSV     string              `json:"csv"`
+	}{fol.ID(), true, info, string(b)})
+}
+
+// handleStandbyStatus reports a mirrored stream's replayed counters.
+func (s *server) handleStandbyStatus(w http.ResponseWriter, r *http.Request) {
+	fol, ok := s.lookupFollower(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Stream  string `json:"stream"`
+		Standby bool   `json:"standby"`
+		stream.Status
+	}{fol.ID(), true, fol.Status(r.Context())})
+}
+
+func (s *server) lookupFollower(w http.ResponseWriter, r *http.Request) (*stream.Follower, bool) {
+	id, err := streamID(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	fol := s.repl.standby.Follower("stream/" + id)
+	if fol == nil {
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("no mirrored stream %q on this standby", id))
+		return nil, false
+	}
+	return fol, true
+}

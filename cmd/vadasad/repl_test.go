@@ -1,0 +1,446 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vadasa"
+	"vadasa/internal/dist"
+	"vadasa/internal/govern"
+	"vadasa/internal/replica"
+	"vadasa/internal/stream"
+)
+
+// replPair wires a primary server and a standby server exactly the way
+// main() does with -repl-role, shipping over a real HTTP listener so the
+// transport, the /repl/ship handler and the body limits are all exercised.
+type replPair struct {
+	primary *server
+	standby *server
+	ph, sh  http.Handler
+	p       *replica.Primary
+	sb      *replica.Standby
+	pNode   *replica.Node
+	sNode   *replica.Node
+	pDir    string
+	sDir    string
+}
+
+func newReplPair(t *testing.T, sync bool) *replPair {
+	t.Helper()
+	ctx := context.Background()
+	nf := func() (*vadasa.Framework, error) { return vadasa.New(), nil }
+
+	// Standby side first: the primary needs its listener address.
+	sDir := t.TempDir()
+	sNode, err := replica.OpenNode("s1", filepath.Join(sDir, replica.NodeJournalName), replica.RoleStandby, nil)
+	if err != nil {
+		t.Fatalf("standby node: %v", err)
+	}
+	t.Cleanup(func() { sNode.Close() })
+	srv2 := &server{newFramework: nf, logf: t.Logf}
+	sb, err := replica.NewStandby(replica.StandbyOptions{
+		Node:         sNode,
+		Roots:        map[string]replica.Root{"stream": {Dir: sDir, Ext: ".wal"}},
+		OpenFollower: srv2.followerFactory(0, 0),
+		FollowRoot:   "stream",
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	if err := sb.Recover(ctx); err != nil {
+		t.Fatalf("standby recover: %v", err)
+	}
+	t.Cleanup(sb.Close)
+	srv2.repl = &replState{node: sNode, standby: sb, streamDir: sDir}
+	srv2.repl.openStreams = func(ctx context.Context) (int, error) {
+		srv2.streams = newStreamRegistry(srv2, sDir, 0, 0)
+		return srv2.streams.recover(ctx)
+	}
+	sh := srv2.handler()
+	ts := httptest.NewServer(sh)
+	t.Cleanup(ts.Close)
+
+	pDir := t.TempDir()
+	pNode, err := replica.OpenNode("p1", filepath.Join(pDir, replica.NodeJournalName), replica.RolePrimary, nil)
+	if err != nil {
+		t.Fatalf("primary node: %v", err)
+	}
+	t.Cleanup(func() { pNode.Close() })
+	srv1 := &server{newFramework: nf, logf: t.Logf}
+	p, err := replica.NewPrimary(replica.PrimaryOptions{
+		Node:           pNode,
+		Peers:          []replica.Transport{replica.NewHTTPTransport(ts.URL, nil)},
+		Sync:           sync,
+		SyncTimeout:    10 * time.Second,
+		RetryBase:      5 * time.Millisecond,
+		DigestInterval: 50 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	srv1.repl = &replState{node: pNode, primary: p, streamDir: pDir}
+	srv1.streams = newStreamRegistry(srv1, pDir, 0, 0)
+	p.Start()
+	t.Cleanup(p.Close)
+
+	return &replPair{
+		primary: srv1, standby: srv2,
+		ph: srv1.handler(), sh: sh,
+		p: p, sb: sb, pNode: pNode, sNode: sNode,
+		pDir: pDir, sDir: sDir,
+	}
+}
+
+func waitRepl(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+type releaseBody struct {
+	Stream  string              `json:"stream"`
+	Standby bool                `json:"standby"`
+	Release *stream.ReleaseInfo `json:"release"`
+	CSV     string              `json:"csv"`
+}
+
+// An async pair: the standby mirrors appends and releases, serves the
+// published release and stream status read-only with a standby marker, and
+// rejects writes with 503 + Retry-After so clients can tell "wrong node"
+// from "overloaded node".
+func TestReplStandbyMirrorsAndServesReads(t *testing.T) {
+	c := newReplPair(t, false)
+
+	if rec := do(t, c.ph, "POST", appendURL("s1", "b1"), streamCSV(0, 4)); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, c.ph, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("release status = %d: %s", rec.Code, rec.Body)
+	}
+	var before releaseBody
+	decodeBody(t, rec.Body.Bytes(), &before)
+
+	waitRepl(t, "standby to mirror the release", func() bool {
+		f := c.sb.Follower("stream/s1")
+		return f != nil && f.Published() != nil
+	})
+
+	var list struct {
+		Streams []string `json:"streams"`
+		Standby bool     `json:"standby"`
+	}
+	decodeBody(t, do(t, c.sh, "GET", "/streams", "").Body.Bytes(), &list)
+	if len(list.Streams) != 1 || list.Streams[0] != "s1" || !list.Standby {
+		t.Fatalf("standby stream list %+v", list)
+	}
+
+	rec = do(t, c.sh, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("standby release status = %d: %s", rec.Code, rec.Body)
+	}
+	var mirrored releaseBody
+	decodeBody(t, rec.Body.Bytes(), &mirrored)
+	if !mirrored.Standby || mirrored.CSV != before.CSV || mirrored.Release.Digest != before.Release.Digest {
+		t.Fatalf("standby release does not match the primary's:\nprimary %+v\nstandby %+v", before.Release, mirrored.Release)
+	}
+
+	var st struct {
+		Standby bool `json:"standby"`
+		Rows    int  `json:"rows"`
+	}
+	decodeBody(t, do(t, c.sh, "GET", "/stream/s1/status", "").Body.Bytes(), &st)
+	if !st.Standby || st.Rows != 4 {
+		t.Fatalf("standby status %+v", st)
+	}
+
+	// Writes are refused with an explicit standby marker.
+	rec = do(t, c.sh, "POST", appendURL("s1", "b2"), streamCSV(4, 2))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("standby append status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("standby rejection carries no Retry-After")
+	}
+	var rej struct {
+		Error   string `json:"error"`
+		Standby bool   `json:"standby"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &rej)
+	if !rej.Standby || rej.Error == "" {
+		t.Fatalf("standby rejection body %+v", rej)
+	}
+
+	// /readyz on a healthy standby is 200 with the standby marker.
+	rec = do(t, c.sh, "GET", "/readyz", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"standby":true`) {
+		t.Fatalf("standby readyz = %d: %s", rec.Code, rec.Body)
+	}
+
+	var rstat struct {
+		Role  string `json:"role"`
+		Epoch uint64 `json:"epoch"`
+	}
+	decodeBody(t, do(t, c.ph, "GET", "/replstatus", "").Body.Bytes(), &rstat)
+	if rstat.Role != "primary" || rstat.Epoch != 1 {
+		t.Fatalf("primary replstatus %+v", rstat)
+	}
+	decodeBody(t, do(t, c.sh, "GET", "/replstatus", "").Body.Bytes(), &rstat)
+	if rstat.Role != "standby" {
+		t.Fatalf("standby replstatus %+v", rstat)
+	}
+
+	if d := c.sb.Diverged(); len(d) != 0 {
+		t.Fatalf("standby diverged: %v", d)
+	}
+}
+
+// The HTTP failover path: a synchronously replicated primary publishes a
+// release and disappears; POST /repl/promote fences the standby into the
+// primary role, its recovery re-serves the very same release byte for byte
+// (exactly once), the full API replaces the read-only one in place, and the
+// demoted primary's subsequent writes are rejected with the fencing 503.
+func TestReplPromoteFailoverHTTP(t *testing.T) {
+	c := newReplPair(t, true)
+
+	if rec := do(t, c.ph, "POST", appendURL("s1", "b1"), streamCSV(0, 4)); rec.Code != http.StatusCreated {
+		t.Fatalf("append status = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, c.ph, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("release status = %d: %s", rec.Code, rec.Body)
+	}
+	var before releaseBody
+	decodeBody(t, rec.Body.Bytes(), &before)
+
+	// Synchronous commit: the publish record is already durable on the
+	// standby when the release returns.
+	waitRepl(t, "standby to mirror the release", func() bool {
+		f := c.sb.Follower("stream/s1")
+		return f != nil && f.Published() != nil
+	})
+
+	// The primary "dies" here: nothing more is sent through c.ph until the
+	// demotion checks below.
+	rec = do(t, c.sh, "POST", "/repl/promote", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote status = %d: %s", rec.Code, rec.Body)
+	}
+	var prom struct {
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+		Streams  int    `json:"streams"`
+	}
+	decodeBody(t, rec.Body.Bytes(), &prom)
+	if !prom.Promoted || prom.Epoch != 2 || prom.Streams != 1 {
+		t.Fatalf("promote result %+v", prom)
+	}
+
+	// The promoted node re-serves the primary's release byte-identical.
+	rec = do(t, c.sh, "GET", "/stream/s1/release", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promoted release status = %d: %s", rec.Code, rec.Body)
+	}
+	var after releaseBody
+	decodeBody(t, rec.Body.Bytes(), &after)
+	if after.CSV != before.CSV || after.Release.Digest != before.Release.Digest || after.Release.Seq != before.Release.Seq {
+		t.Fatalf("promoted release differs from the primary's:\nprimary %+v\npromoted %+v", before.Release, after.Release)
+	}
+	if after.Standby {
+		t.Fatalf("promoted node still marks responses standby")
+	}
+
+	// Exactly once: re-served unchanged until acked, then retired — the
+	// next release is a new sequence, proving the write path is live.
+	var again releaseBody
+	decodeBody(t, do(t, c.sh, "GET", "/stream/s1/release", "").Body.Bytes(), &again)
+	if again.Release.Seq != before.Release.Seq || again.Release.Digest != before.Release.Digest {
+		t.Fatalf("re-served release changed: %+v", again.Release)
+	}
+	if rec = do(t, c.sh, "POST", "/stream/s1/ack?seq=1", ""); rec.Code != http.StatusOK {
+		t.Fatalf("ack on promoted node = %d: %s", rec.Code, rec.Body)
+	}
+	decodeBody(t, do(t, c.sh, "GET", "/stream/s1/release", "").Body.Bytes(), &again)
+	if again.Release == nil || again.Release.Seq != 2 {
+		t.Fatalf("post-ack release %+v, want seq 2", again.Release)
+	}
+
+	// The promoted node keeps /repl/ship mounted so the stale primary's
+	// shipments get the fencing 409, not a 404.
+	rec = do(t, c.sh, "POST", "/repl/ship", `{"primary":"p1","epoch":1}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale ship status = %d: %s", rec.Code, rec.Body)
+	}
+
+	// The old primary demotes itself the moment a shipment is fenced.
+	waitRepl(t, "primary demotion", func() bool { return c.pNode.FenceCheck() != nil })
+
+	rec = do(t, c.ph, "POST", appendURL("s1", "b2"), streamCSV(4, 2))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("demoted append status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") != "5" {
+		t.Fatalf("demoted append Retry-After = %q", rec.Header().Get("Retry-After"))
+	}
+	if !strings.Contains(rec.Body.String(), "no longer the primary") {
+		t.Fatalf("demoted append body: %s", rec.Body)
+	}
+	if rec = do(t, c.ph, "GET", "/stream/s1/release", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("demoted release status = %d: %s", rec.Code, rec.Body)
+	}
+
+	var rstat struct {
+		Role    string `json:"role"`
+		Epoch   uint64 `json:"epoch"`
+		Granted uint64 `json:"granted"`
+	}
+	decodeBody(t, do(t, c.ph, "GET", "/replstatus", "").Body.Bytes(), &rstat)
+	if rstat.Epoch != 2 || rstat.Granted != 1 {
+		t.Fatalf("demoted replstatus %+v", rstat)
+	}
+}
+
+// Every load-shedding and unavailability answer must carry a Retry-After
+// header and the uniform {"error": ...} JSON body, so one generic client
+// backoff loop handles saturation, disk pressure, replication fencing and
+// standby redirection alike. Table-driven over the causes failRequest and
+// failStream map to 503/429.
+func TestReplRetryAfterAudit(t *testing.T) {
+	cases := []struct {
+		name       string
+		fail       func(s *server, w http.ResponseWriter)
+		status     int
+		retryAfter string
+		contains   string
+	}{
+		{
+			name: "saturated budget",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failRequest(w, http.StatusInternalServerError, &govern.ErrBudgetExceeded{})
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "15",
+			contains:   "resource budget exhausted",
+		},
+		{
+			name: "workers degraded",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failRequest(w, http.StatusInternalServerError, dist.ErrDegraded)
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "5",
+			contains:   "workers",
+		},
+		{
+			name: "journal volume full",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failRequest(w, http.StatusInternalServerError, syscall.ENOSPC)
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "15",
+			contains:   "out of space",
+		},
+		{
+			name: "demoted primary",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failRequest(w, http.StatusInternalServerError, &replica.FencedError{Epoch: 1, Seen: 2})
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "5",
+			contains:   "no longer the primary",
+		},
+		{
+			name: "sync replication timeout",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failRequest(w, http.StatusInternalServerError, &replica.SyncError{Log: "stream/s1", Seq: 3})
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "5",
+			contains:   "rolled back",
+		},
+		{
+			name: "stream draining",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failStream(w, http.StatusInternalServerError, stream.ErrClosed)
+			},
+			status:     http.StatusServiceUnavailable,
+			retryAfter: "5",
+			contains:   "draining",
+		},
+		{
+			name: "window full",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failStream(w, http.StatusInternalServerError, &stream.WindowFullError{Rows: 10, Adding: 2, Max: 10})
+			},
+			status:     http.StatusTooManyRequests,
+			retryAfter: "1",
+			contains:   "window is full",
+		},
+		{
+			name: "gate closed",
+			fail: func(s *server, w http.ResponseWriter) {
+				s.failStream(w, http.StatusInternalServerError, &stream.GateClosedError{Residual: 3})
+			},
+			status:     http.StatusConflict,
+			retryAfter: "", // a state conflict, not load: retrying the same call cannot help
+			contains:   "gate closed",
+		},
+	}
+	srv := &server{newFramework: func() (*vadasa.Framework, error) { return vadasa.New(), nil }, logf: t.Logf}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			tc.fail(srv, rec)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", rec.Code, tc.status, rec.Body)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			decodeBody(t, rec.Body.Bytes(), &body)
+			if body.Error == "" || !strings.Contains(body.Error, tc.contains) {
+				t.Fatalf("body %q does not contain %q", body.Error, tc.contains)
+			}
+		})
+	}
+
+	// The in-flight limiter's shed path, end to end: cap 1, slot taken.
+	srv.inflight = make(chan struct{}, 1)
+	srv.inflight <- struct{}{}
+	rec := do(t, srv.routes(), "GET", "/measures", "")
+	if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("shed status = %d, Retry-After %q: %s", rec.Code, rec.Header().Get("Retry-After"), rec.Body)
+	}
+
+	// Probes stay exempt while saturated.
+	if rec := do(t, srv.routes(), "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while saturated = %d", rec.Code)
+	}
+	<-srv.inflight
+
+	// Startup recovery answers /readyz 503 with Retry-After.
+	srv.recovering.Store(true)
+	rec = do(t, srv.routes(), "GET", "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "5" {
+		t.Fatalf("recovering readyz = %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	srv.recovering.Store(false)
+}

@@ -68,6 +68,11 @@ type server struct {
 	// anonymization API (-stream-dir): journaled ingestion windows with
 	// gated, exactly-once releases.
 	streams *streamRegistry
+	// repl, when non-nil, is the warm-standby replication wiring
+	// (-repl-role): a primary ships every journal append to its peers
+	// and refuses writes once fenced; a standby mirrors, serves
+	// read-only releases, and can be promoted in place.
+	repl *replState
 }
 
 // defaultBudgetCeiling matches the engine's own MaxWork default: clients may
@@ -132,7 +137,10 @@ func (s *server) routes() http.Handler {
 	if s.streams != nil {
 		s.streamRoutes(mux)
 	}
-	return s.withRecovery(s.withLimit(s.withDeadline(s.withGovern(mux))))
+	if s.repl != nil {
+		s.replRoutes(mux)
+	}
+	return s.withRecovery(s.withLimit(s.withDeadline(s.withGovern(s.withRepl(mux)))))
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -147,16 +155,44 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // be refused with 503s anyway — better to tell the load balancer up front).
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.recovering.Load() {
+		w.Header().Set("Retry-After", "5")
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 			"status": "recovering", "reason": "replaying job journals",
 		})
 		return
 	}
 	if err := s.govern.Err(); err != nil {
+		w.Header().Set("Retry-After", "15")
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 			"status": "saturated", "reason": err.Error(),
 		})
 		return
+	}
+	if s.repl.servingStandby() {
+		// A healthy standby is "ready" for what it serves (mirrored
+		// reads) — but a diverged one is lying about the primary's state
+		// and must be pulled from rotation until an operator rebuilds it.
+		if d := s.repl.standby.Diverged(); len(d) > 0 {
+			w.Header().Set("Retry-After", "60")
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "diverged", "reason": "mirrored state contradicts the primary's digests",
+				"diverged": d, "standby": true,
+			})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"status": "standby", "standby": true})
+		return
+	}
+	if s.repl != nil && s.repl.primary != nil {
+		// Fenced (demoted) or lagging past -repl-lag-max: this node should
+		// not receive new writes.
+		if err := s.repl.primary.ReadyErr(); err != nil {
+			w.Header().Set("Retry-After", "5")
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "replication", "reason": err.Error(),
+			})
+			return
+		}
 	}
 	if s.dist != nil && s.dist.Degraded() {
 		// Degraded is not down: with in-process fallback the service still

@@ -77,11 +77,13 @@ func (r *streamRegistry) recover(ctx context.Context) (int, error) {
 			r.srv.logPrintf("vadasad: stream %s: rebuilding options: %v", id, err)
 			continue
 		}
+		r.srv.applyReplStream(info.ID, path, &opts)
 		s, err := stream.Open(ctx, info.ID, path, opts)
 		if err != nil {
 			r.srv.logPrintf("vadasad: stream %s: recovery failed, skipping: %v", id, err)
 			continue
 		}
+		r.srv.registerReplStream(s, path)
 		r.streams[info.ID] = s
 	}
 	return len(r.streams), nil
@@ -171,7 +173,8 @@ func (r *streamRegistry) create(ctx context.Context, id string, body []byte, q u
 	if s, ok := r.streams[id]; ok {
 		return s, nil
 	}
-	s, err := stream.Open(ctx, id, filepath.Join(r.dir, id+".wal"), stream.Options{
+	path := filepath.Join(r.dir, id+".wal")
+	opts := stream.Options{
 		Assessor:     m,
 		Threshold:    threshold,
 		Semantics:    sem,
@@ -181,10 +184,13 @@ func (r *streamRegistry) create(ctx context.Context, id string, body []byte, q u
 		Governor:     r.srv.govern,
 		DiskHeadroom: r.diskHeadroom,
 		Logf:         r.srv.logPrintf,
-	})
+	}
+	r.srv.applyReplStream(id, path, &opts)
+	s, err := stream.Open(ctx, id, path, opts)
 	if err != nil {
 		return nil, err
 	}
+	r.srv.registerReplStream(s, path)
 	r.streams[id] = s
 	return s, nil
 }
@@ -199,6 +205,7 @@ func (r *streamRegistry) Close(ctx context.Context) {
 		if err := s.Close(ctx); err != nil {
 			r.srv.logPrintf("vadasad: draining stream %s: %v", id, err)
 		}
+		r.srv.unregisterReplStream(id)
 	}
 }
 

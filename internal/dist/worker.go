@@ -120,8 +120,8 @@ type Proc struct {
 	cmd  *exec.Cmd
 	addr string
 
-	mu     sync.Mutex
-	waited bool
+	mu      sync.Mutex
+	waited  bool
 	waitErr error
 }
 

@@ -53,6 +53,11 @@ type Options struct {
 	// PauseProbe is how often paused jobs re-check for pressure to
 	// clear (default 500ms; tests shorten it).
 	PauseProbe time.Duration
+	// JournalHook, when non-nil, builds the per-journal append observer
+	// wired into every job journal (the replication shipper's Hook). id
+	// is the job id, path its journal file. The observer sees each
+	// record after the local fsync and may fail the append.
+	JournalHook func(id, path string) func(seq int, line []byte) error
 }
 
 // Manager owns the worker pool and the journal directory. Create one with
@@ -128,9 +133,13 @@ func NewManager(runner Runner, opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// journalConfig is the filesystem configuration every job journal uses.
-func (m *Manager) journalConfig() journal.Config {
-	return journal.Config{FS: m.opts.FS, DiskHeadroom: m.opts.DiskHeadroom}
+// journalConfig is the filesystem configuration one job's journal uses.
+func (m *Manager) journalConfig(id, path string) journal.Config {
+	cfg := journal.Config{FS: m.opts.FS, DiskHeadroom: m.opts.DiskHeadroom}
+	if m.opts.JournalHook != nil {
+		cfg.OnAppend = m.opts.JournalHook(id, path)
+	}
+	return cfg
 }
 
 // Close stops accepting submissions, cancels running cycles, and waits for
@@ -168,7 +177,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	w, err := journal.CreateWith(m.journalPath(id), m.journalConfig())
+	w, err := journal.CreateWith(m.journalPath(id), m.journalConfig(id, m.journalPath(id)))
 	if err != nil {
 		return Job{}, fmt.Errorf("jobs: creating journal: %w", err)
 	}
@@ -331,7 +340,7 @@ func (m *Manager) recoverOne(id, path string) (string, error) {
 
 	// Unterminated: the job was live when the process died. Reopen (which
 	// truncates any torn tail) and rebuild the committed progress.
-	w, scan, err := journal.OpenAppendWith(path, m.journalConfig())
+	w, scan, err := journal.OpenAppendWith(path, m.journalConfig(id, path))
 	if err != nil {
 		return "", err
 	}

@@ -81,7 +81,7 @@ func (it *Iterator) Next() bool {
 		it.done = true
 		return false
 	}
-	rec, ok := parseLine(line[:len(line)-1], it.want)
+	rec, ok := ParseLine(line[:len(line)-1], it.want)
 	if !ok {
 		it.torn = true
 		it.done = true
@@ -156,5 +156,5 @@ func OpenAppendStream(ctx context.Context, path string, cfg Config, fn func(Reco
 		f.Close()
 		return nil, 0, fmt.Errorf("journal: seeking to tail: %w", err)
 	}
-	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: valid, headroom: cfg.DiskHeadroom}, count, nil
+	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: valid, headroom: cfg.DiskHeadroom, onAppend: cfg.OnAppend}, count, nil
 }

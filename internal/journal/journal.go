@@ -89,6 +89,15 @@ type Config struct {
 	// errors.Is(err, syscall.ENOSPC) — before any bytes are written, so
 	// the journal never adds a torn record to an already-full volume.
 	DiskHeadroom int64
+	// OnAppend, when non-nil, observes every committed append: it is
+	// called with the record's sequence number and the exact framed line
+	// bytes (no trailing newline) after the local fsync succeeds but
+	// before the writer advances its commit point. Returning an error
+	// fails the Append — the caller's usual Repair path then truncates
+	// the locally-durable-but-unacknowledged record, which is how the
+	// replication layer implements synchronous commit: a record either
+	// reaches a follower or never happened.
+	OnAppend func(seq int, line []byte) error
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +118,8 @@ type Writer struct {
 	off int64
 	// headroom is the pre-append free-space floor (0 = unchecked).
 	headroom int64
+	// onAppend is Config.OnAppend (nil = no observer).
+	onAppend func(seq int, line []byte) error
 }
 
 // Create creates a fresh journal at path (failing if it already exists) and
@@ -128,7 +139,7 @@ func CreateWith(path string, cfg Config) (*Writer, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, fs: cfg.FS, path: path, headroom: cfg.DiskHeadroom}, nil
+	return &Writer{f: f, fs: cfg.FS, path: path, headroom: cfg.DiskHeadroom, onAppend: cfg.OnAppend}, nil
 }
 
 // OpenAppend opens an existing journal for appending: it scans the file,
@@ -168,7 +179,7 @@ func OpenAppendWith(path string, cfg Config) (*Writer, *Scan, error) {
 	if n := len(scan.Records); n > 0 {
 		seq = scan.Records[n-1].Seq
 	}
-	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: scan.Valid, headroom: cfg.DiskHeadroom}, scan, nil
+	return &Writer{f: f, fs: cfg.FS, path: path, seq: seq, off: scan.Valid, headroom: cfg.DiskHeadroom, onAppend: cfg.OnAppend}, scan, nil
 }
 
 // Append marshals the payload, frames it with a sequence number and CRC, and
@@ -204,10 +215,23 @@ func (w *Writer) Append(typ Type, payload any) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("journal: syncing %s record: %w", typ, err)
 	}
+	if w.onAppend != nil {
+		// The observer runs between local durability and commit-point
+		// advance: on error the record is on disk but w.off still points
+		// before it, so the caller's Repair truncates it away exactly like
+		// a torn write.
+		framed := buf.Bytes()[:buf.Len()-1] // CRC-prefixed line, newline stripped
+		if err := w.onAppend(rec.Seq, framed); err != nil {
+			return fmt.Errorf("journal: %s append observer: %w", typ, err)
+		}
+	}
 	w.seq = rec.Seq
 	w.off += int64(buf.Len())
 	return nil
 }
+
+// Seq returns the sequence number of the last committed record (0 if none).
+func (w *Writer) Seq() int { return w.seq }
 
 // Repair truncates the file back to the end of the last committed
 // record, discarding whatever a failed append left behind (a torn line
@@ -274,7 +298,7 @@ func ReadFileIn(fsys faultfs.FS, path string) (*Scan, error) {
 			break // incomplete final line: the append never committed
 		}
 		line := data[offset : offset+int64(nl)]
-		rec, ok := parseLine(line, wantSeq)
+		rec, ok := ParseLine(line, wantSeq)
 		if !ok {
 			break
 		}
@@ -287,9 +311,13 @@ func ReadFileIn(fsys faultfs.FS, path string) (*Scan, error) {
 	return scan, nil
 }
 
-// parseLine validates one framed record: 8 hex digits, a space, JSON whose
-// CRC-32C matches and whose sequence number is the expected one.
-func parseLine(line []byte, wantSeq int) (Record, bool) {
+// ParseLine validates one framed record — 8 hex digits, a space, JSON whose
+// CRC-32C matches and whose sequence number is the expected one — and
+// returns the decoded record. It is the single framing rule the scanner,
+// the iterator and the replication receiver all share: a standby accepts a
+// shipped frame only if ParseLine accepts it, so a corrupt or replayed
+// frame can never enter a mirrored journal.
+func ParseLine(line []byte, wantSeq int) (Record, bool) {
 	if len(line) < 10 || line[8] != ' ' {
 		return Record{}, false
 	}

@@ -1,0 +1,703 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vadasa/internal/faultfs"
+	"vadasa/internal/journal"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+	"vadasa/internal/stream"
+)
+
+func testAttrs() []mdb.Attribute {
+	return []mdb.Attribute{
+		{Name: "Id", Category: mdb.Identifier},
+		{Name: "Sector", Category: mdb.QuasiIdentifier},
+		{Name: "Region", Category: mdb.QuasiIdentifier},
+		{Name: "Size", Category: mdb.QuasiIdentifier},
+		{Name: "Weight", Category: mdb.Weight},
+	}
+}
+
+// testRows pairs quasi-identifiers by absolute index so an even-sized
+// window starting at an even offset satisfies k=2 with no suppressions.
+func testRows(start, n int) [][]string {
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := (start + i) / 2
+		out = append(out, []string{
+			fmt.Sprintf("c%d", start+i),
+			fmt.Sprintf("sector%d", k%3),
+			fmt.Sprintf("region%d", k%2),
+			fmt.Sprintf("size%d", k%4),
+			fmt.Sprintf("%d", 10+(start+i)%5),
+		})
+	}
+	return out
+}
+
+func testStreamOptions() stream.Options {
+	return stream.Options{
+		Assessor:  risk.KAnonymity{K: 2},
+		Threshold: 0.5,
+		Semantics: mdb.MaybeMatch,
+		Attrs:     testAttrs(),
+	}
+}
+
+// localTransport delivers shipments straight into a Standby in-process.
+type localTransport struct {
+	sb   *Standby
+	addr string
+}
+
+func (l *localTransport) Ship(ctx context.Context, req *ShipRequest) (*ShipResponse, error) {
+	return l.sb.HandleShip(ctx, req)
+}
+func (l *localTransport) Addr() string { return l.addr }
+func (l *localTransport) Close() error { return nil }
+
+// cluster is a one-primary one-standby harness over real files.
+type cluster struct {
+	t         testing.TB
+	dir       string
+	node      *Node // primary's fencing authority
+	sbNode    *Node // standby's fencing authority
+	primary   *Primary
+	standby   *Standby
+	transport Transport
+	streamDir string // primary's stream WALs
+	mirrorDir string // standby's mirrored stream WALs
+}
+
+func newCluster(t testing.TB, sync bool, wrap func(Transport) Transport) *cluster {
+	t.Helper()
+	dir := t.TempDir()
+	c := &cluster{t: t, dir: dir,
+		streamDir: filepath.Join(dir, "primary"),
+		mirrorDir: filepath.Join(dir, "standby"),
+	}
+	if err := faultfs.OS.MkdirAll(c.streamDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	c.node, err = OpenNode("p1", filepath.Join(c.streamDir, NodeJournalName), RolePrimary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sbNode, err = OpenNode("s1", filepath.Join(dir, "standby-"+NodeJournalName), RoleStandby, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.standby, err = NewStandby(StandbyOptions{
+		Node:       c.sbNode,
+		Roots:      map[string]Root{"stream": {Dir: c.mirrorDir, Ext: ".wal"}},
+		FollowRoot: "stream",
+		OpenFollower: func(ctx context.Context, id, path string) (*stream.Follower, error) {
+			return stream.OpenFollower(ctx, id, path, testStreamOptions())
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.transport = &localTransport{sb: c.standby, addr: "local"}
+	if wrap != nil {
+		c.transport = wrap(c.transport)
+	}
+	c.primary, err = NewPrimary(PrimaryOptions{
+		Node:           c.node,
+		Peers:          []Transport{c.transport},
+		Sync:           sync,
+		SyncTimeout:    5 * time.Second,
+		RetryBase:      5 * time.Millisecond,
+		RetryCap:       50 * time.Millisecond,
+		DigestInterval: -1, // tests drive RefreshDigests directly
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.primary.Start()
+	t.Cleanup(func() {
+		c.primary.Close()
+		c.standby.Close()
+		c.node.Close()
+		c.sbNode.Close()
+	})
+	return c
+}
+
+// openStream opens a primary-side stream wired into the shipper.
+func (c *cluster) openStream(ctx context.Context, id string) *stream.Stream {
+	c.t.Helper()
+	path := filepath.Join(c.streamDir, id+".wal")
+	opts := testStreamOptions()
+	opts.FenceCheck = c.node.FenceCheck
+	opts.OnAppend = c.primary.Hook("stream/"+id, path)
+	s, err := stream.Open(ctx, id, path, opts)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.primary.Register("stream/"+id, path, s.JournalSeq(), func(ctx context.Context) (*LogDigest, error) {
+		d, err := s.Digest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &LogDigest{Seq: d.Seq, Rows: d.Rows, Window: d.Window, Risk: d.Risk}, nil
+	})
+	return s
+}
+
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (c *cluster) waitCaughtUp() {
+	c.t.Helper()
+	waitFor(c.t, "replication to catch up", func() bool { return c.primary.Lag() == 0 })
+}
+
+func TestNodeEpochLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, NodeJournalName)
+
+	n, err := OpenNode("n1", path, RolePrimary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Epoch() != 1 || n.Granted() != 1 {
+		t.Fatalf("fresh primary epoch %d/%d, want 1/1", n.Granted(), n.Epoch())
+	}
+	if err := n.FenceCheck(); err != nil {
+		t.Fatalf("fresh primary fenced: %v", err)
+	}
+	// Seeing a higher epoch demotes, durably.
+	if err := n.Observe(3, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FenceCheck(); !IsFenced(err) {
+		t.Fatalf("demoted primary FenceCheck = %v, want *FencedError", err)
+	}
+	n.Close()
+
+	// A restart cannot un-demote.
+	n, err = OpenNode("n1", path, RolePrimary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FenceCheck(); !IsFenced(err) {
+		t.Fatalf("restarted demoted primary FenceCheck = %v, want *FencedError", err)
+	}
+	// A stale fence token is rejected; a fresh one re-promotes.
+	if err := n.Promote(3); !IsFenced(err) {
+		t.Fatalf("Promote(3) after seeing 3 = %v, want *FencedError", err)
+	}
+	if err := n.Promote(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FenceCheck(); err != nil {
+		t.Fatalf("re-promoted node fenced: %v", err)
+	}
+	n.Close()
+
+	// The grant survives another restart.
+	n, err = OpenNode("n1", path, RolePrimary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Granted() != 4 || n.Epoch() != 4 {
+		t.Fatalf("restarted epoch %d/%d, want 4/4", n.Granted(), n.Epoch())
+	}
+	if err := n.FenceCheck(); err != nil {
+		t.Fatalf("restarted promoted node fenced: %v", err)
+	}
+}
+
+func TestShipAndFollow(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, false, nil)
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(ctx, "b2", testRows(6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitCaughtUp()
+
+	fol := c.standby.Follower("stream/trades")
+	if fol == nil {
+		t.Fatal("standby has no follower for the shipped stream")
+	}
+	if fol.Seq() != s.JournalSeq() {
+		t.Fatalf("follower at seq %d, primary at %d", fol.Seq(), s.JournalSeq())
+	}
+	st := fol.Status(ctx)
+	if st.Rows != 10 || st.Batches != 2 {
+		t.Fatalf("follower status %+v, want 10 rows in 2 batches", st)
+	}
+
+	// The mirrored WAL is byte-identical to the primary's.
+	want, err := faultfs.OS.ReadFile(filepath.Join(c.streamDir, "trades.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faultfs.OS.ReadFile(filepath.Join(c.mirrorDir, "trades.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("mirror differs from primary WAL: %d vs %d bytes", len(got), len(want))
+	}
+
+	// The follower's recomputed digest matches the primary's at the same
+	// position — shipped digests report no divergence.
+	c.primary.RefreshDigests(ctx)
+	waitFor(t, "digest shipment", func() bool {
+		st := c.standby.Status()
+		return !st.LastShip.IsZero()
+	})
+	c.waitCaughtUp()
+	pd, err := s.Digest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := fol.Digest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pd.Equal(fd) {
+		t.Fatalf("digests diverge: primary %+v, follower %+v", pd, fd)
+	}
+	if d := c.standby.Diverged(); len(d) != 0 {
+		t.Fatalf("standby reports divergence %v for identical state", d)
+	}
+	if d := c.primary.Status().Diverged; len(d) != 0 {
+		t.Fatalf("primary recorded divergence %v for identical state", d)
+	}
+}
+
+func TestShipFaultsConverge(t *testing.T) {
+	ctx := context.Background()
+	var ft *FaultTransport
+	c := newCluster(t, false, func(inner Transport) Transport {
+		ft = NewFaultTransport(inner)
+		return ft
+	})
+	// Drop the first shipment, tear the second, duplicate the third: the
+	// retry loop, the framing rules and the sequence check must absorb all
+	// three without poisoning the mirror.
+	ft.DropShip(1)
+	ft.TruncateShip(2)
+	ft.DupShip(3)
+
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitCaughtUp()
+	if ft.Ships() < 3 {
+		t.Fatalf("only %d shipments; the armed faults did not all fire", ft.Ships())
+	}
+
+	fol := c.standby.Follower("stream/trades")
+	if fol == nil || fol.Seq() != s.JournalSeq() {
+		t.Fatalf("standby did not converge (follower %v)", fol)
+	}
+	want, _ := faultfs.OS.ReadFile(filepath.Join(c.streamDir, "trades.wal"))
+	got, _ := faultfs.OS.ReadFile(filepath.Join(c.mirrorDir, "trades.wal"))
+	if !bytes.Equal(want, got) {
+		t.Fatal("mirror differs from primary WAL after injected faults")
+	}
+	if d := c.standby.Diverged(); len(d) != 0 {
+		t.Fatalf("faults marked the standby diverged: %v", d)
+	}
+}
+
+func TestSyncCommitAcksBeforeReturn(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, true, nil)
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous commit: by the time Append returns, the standby has the
+	// records durable — no waiting.
+	if lag := c.primary.Lag(); lag != 0 {
+		t.Fatalf("sync append returned with %d unacknowledged records", lag)
+	}
+	if fol := c.standby.Follower("stream/trades"); fol == nil || fol.Seq() != s.JournalSeq() {
+		t.Fatal("standby behind after synchronous append")
+	}
+}
+
+// deadTransport fails every shipment — a peer that is down.
+type deadTransport struct{}
+
+func (deadTransport) Ship(ctx context.Context, req *ShipRequest) (*ShipResponse, error) {
+	return nil, errors.New("injected: peer down")
+}
+func (deadTransport) Addr() string { return "dead" }
+func (deadTransport) Close() error { return nil }
+
+func TestSyncCommitFailsAndRepairsWithoutFollower(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	node, err := OpenNode("p1", filepath.Join(dir, NodeJournalName), RolePrimary, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	p, err := NewPrimary(PrimaryOptions{
+		Node:           node,
+		Peers:          []Transport{deadTransport{}},
+		Sync:           true,
+		SyncTimeout:    50 * time.Millisecond,
+		RetryBase:      5 * time.Millisecond,
+		DigestInterval: -1,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+
+	path := filepath.Join(dir, "trades.wal")
+	opts := testStreamOptions()
+	opts.FenceCheck = node.FenceCheck
+	opts.OnAppend = p.Hook("stream/trades", path)
+	// With no follower reachable even the create record cannot commit: the
+	// stream never opens, and nothing it wrote survives.
+	if _, err := stream.Open(ctx, "trades", path, opts); err == nil {
+		t.Fatal("stream.Open committed a record with no follower acknowledging it")
+	} else {
+		var se *SyncError
+		if !errors.As(err, &se) {
+			t.Fatalf("Open error %v, want a wrapped *SyncError", err)
+		}
+	}
+}
+
+// intentDigest reads the pending release intent recorded in a WAL.
+func intentDigest(t *testing.T, path string) (string, int) {
+	t.Helper()
+	it, err := journal.RecordsIn(context.Background(), faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	digest, rows := "", 0
+	for it.Next() {
+		rec := it.Record()
+		if rec.Type != "intent" {
+			continue
+		}
+		var p struct {
+			Rows   int    `json:"rows"`
+			Digest string `json:"digest"`
+		}
+		if err := rec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		digest, rows = p.Digest, p.Rows
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return digest, rows
+}
+
+// TestFailoverMidIntent is the acceptance scenario: the primary dies
+// between journaling a release intent and publishing it, the standby is
+// promoted with a higher fence, completes the very same release
+// byte-identically through the normal recovery path, and the demoted
+// primary's subsequent writes fail with the typed fencing error.
+func TestFailoverMidIntent(t *testing.T) {
+	ctx := context.Background()
+	var crashed bool
+	var mu sync.Mutex
+	c := newCluster(t, true, nil)
+
+	// Wire the stream through a hook that "crashes" the primary when the
+	// publish record tries to commit: the intent before it has shipped
+	// (synchronous commit), the publish has not — exactly the SIGKILL
+	// window between intent and publish.
+	id := "trades"
+	path := filepath.Join(c.streamDir, id+".wal")
+	opts := testStreamOptions()
+	opts.FenceCheck = c.node.FenceCheck
+	inner := c.primary.Hook("stream/"+id, path)
+	opts.OnAppend = func(seq int, line []byte) error {
+		mu.Lock()
+		armed := crashed
+		mu.Unlock()
+		if armed && bytes.Contains(line, []byte(`"type":"publish"`)) {
+			return errors.New("injected crash before publish")
+		}
+		return inner(seq, line)
+	}
+	s, err := stream.Open(ctx, id, path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(ctx)
+	c.primary.Register("stream/"+id, path, s.JournalSeq(), func(ctx context.Context) (*LogDigest, error) {
+		d, err := s.Digest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &LogDigest{Seq: d.Seq, Rows: d.Rows, Window: d.Window, Risk: d.Risk}, nil
+	})
+
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	crashed = true
+	mu.Unlock()
+	if _, err := s.Release(ctx); err == nil {
+		t.Fatal("release completed through the injected crash")
+	}
+	// The publish record was truncated by Repair; the intent is the
+	// primary WAL's last word, and the standby mirrors it exactly.
+	c.waitCaughtUp()
+	wantDigest, wantRows := intentDigest(t, path)
+	if wantDigest == "" {
+		t.Fatal("no intent record in the primary WAL")
+	}
+	gotDigest, _ := intentDigest(t, filepath.Join(c.mirrorDir, id+".wal"))
+	if gotDigest != wantDigest {
+		t.Fatalf("mirrored intent digest %q, want %q", gotDigest, wantDigest)
+	}
+
+	// Promote the standby with a fence above every epoch it has seen.
+	fence := c.sbNode.Epoch() + 1
+	if err := c.standby.Promote(ctx, fence); err != nil {
+		t.Fatal(err)
+	}
+	// Promotion is the normal startup recovery over the mirrored WAL: the
+	// pending intent completes into a published release.
+	pOpts := testStreamOptions()
+	pOpts.FenceCheck = c.sbNode.FenceCheck
+	ps, err := stream.Open(ctx, id, filepath.Join(c.mirrorDir, id+".wal"), pOpts)
+	if err != nil {
+		t.Fatalf("promoted open: %v", err)
+	}
+	defer ps.Close(ctx)
+	info, err := ps.Release(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != wantDigest || info.Rows != wantRows {
+		t.Fatalf("promoted release %+v, want digest %q rows %d", info, wantDigest, wantRows)
+	}
+	b, err := ps.ReleaseBytes(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	if hex.EncodeToString(sum[:]) != wantDigest {
+		t.Fatal("promoted release bytes contradict the intent digest")
+	}
+	// Exactly once: re-requesting serves the same release, not a new one.
+	again, err := ps.Release(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Seq != info.Seq || again.Digest != info.Digest {
+		t.Fatalf("re-served release %+v, want %+v", again, info)
+	}
+
+	// The demoted primary learns its place through the ship channel (the
+	// promoted standby refuses its shipments), and every write path fails
+	// with the typed fencing error.
+	mu.Lock()
+	crashed = false
+	mu.Unlock()
+	c.primary.RefreshDigests(ctx) // wakes the ship loop
+	waitFor(t, "primary demotion", func() bool { return IsFenced(c.node.FenceCheck()) })
+	if _, err := s.Append(ctx, "b2", testRows(6, 4)); !IsFenced(err) {
+		t.Fatalf("demoted primary Append = %v, want *FencedError", err)
+	}
+	if _, err := s.Release(ctx); !IsFenced(err) {
+		t.Fatalf("demoted primary Release = %v, want *FencedError", err)
+	}
+	// A demoted primary restarting with that pending intent must refuse to
+	// reopen the stream — completing the publish would double-release.
+	s.Close(ctx)
+	rOpts := testStreamOptions()
+	rOpts.FenceCheck = c.node.FenceCheck
+	if rs, err := stream.Open(ctx, id, path, rOpts); err == nil {
+		rs.Close(ctx)
+		t.Fatal("demoted primary reopened a stream with a pending intent")
+	} else if !IsFenced(err) {
+		t.Fatalf("demoted reopen error %v, want *FencedError", err)
+	}
+}
+
+func TestStandbyRejectsStaleEpochAndDivergenceIsSticky(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, false, nil)
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitCaughtUp()
+
+	// A shipment from a lower epoch than the standby has seen is fenced.
+	if err := c.sbNode.Observe(9, "test"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.standby.HandleShip(ctx, &ShipRequest{Primary: "old", Epoch: 1})
+	if !IsFenced(err) {
+		t.Fatalf("stale-epoch shipment = %v, want *FencedError", err)
+	}
+
+	// A digest that contradicts the replayed state marks the log diverged,
+	// stickily.
+	fol := c.standby.Follower("stream/trades")
+	resp, err := c.standby.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 9, Digests: []LogDigest{{
+		Log: "stream/trades", Seq: fol.Seq(), Rows: 6,
+		Window: "0000000000000000000000000000000000000000000000000000000000000000",
+		Risk:   "0000000000000000000000000000000000000000000000000000000000000000",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Diverged) != 1 || resp.Diverged[0] != "stream/trades" {
+		t.Fatalf("diverged = %v, want [stream/trades]", resp.Diverged)
+	}
+	resp, err = c.standby.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Diverged) != 1 {
+		t.Fatalf("divergence not sticky: %v", resp.Diverged)
+	}
+}
+
+func TestStandbyRecoverResumes(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, false, nil)
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitCaughtUp()
+	seq := c.standby.Follower("stream/trades").Seq()
+	c.standby.Close()
+
+	// A restarted standby picks the mirror back up from its files alone.
+	sb2, err := NewStandby(StandbyOptions{
+		Node:       c.sbNode,
+		Roots:      map[string]Root{"stream": {Dir: c.mirrorDir, Ext: ".wal"}},
+		FollowRoot: "stream",
+		OpenFollower: func(ctx context.Context, id, path string) (*stream.Follower, error) {
+			return stream.OpenFollower(ctx, id, path, testStreamOptions())
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb2.Close()
+	if err := sb2.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fol := sb2.Follower("stream/trades")
+	if fol == nil || fol.Seq() != seq {
+		t.Fatalf("recovered standby follower %v, want seq %d", fol, seq)
+	}
+	// Duplicate frames below the durable floor are absorbed silently.
+	data, err := faultfs.OS.ReadFile(filepath.Join(c.mirrorDir, "trades.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := data[:bytes.IndexByte(data, '\n')]
+	resp, err := sb2.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 1, Frames: []Frame{
+		{Log: "stream/trades", Seq: 1, Line: first},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Acked["stream/trades"] != seq {
+		t.Fatalf("ack after duplicate = %d, want %d", resp.Acked["stream/trades"], seq)
+	}
+	after, _ := faultfs.OS.ReadFile(filepath.Join(c.mirrorDir, "trades.wal"))
+	if !bytes.Equal(data, after) {
+		t.Fatal("duplicate frame mutated the mirror")
+	}
+}
+
+func TestStandbyRejectsGapsAndCorruptFrames(t *testing.T) {
+	ctx := context.Background()
+	c := newCluster(t, false, nil)
+	s := c.openStream(ctx, "trades")
+	defer s.Close(ctx)
+	if _, err := s.Append(ctx, "b1", testRows(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitCaughtUp()
+	seq := c.standby.Follower("stream/trades").Seq()
+
+	// A gapped frame is not applied and not acked past the floor.
+	resp, err := c.standby.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 1, Frames: []Frame{
+		{Log: "stream/trades", Seq: seq + 5, Line: []byte("deadbeef {}")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Acked["stream/trades"] != seq {
+		t.Fatalf("gap advanced the ack to %d", resp.Acked["stream/trades"])
+	}
+	// A corrupt frame at the right sequence is rejected by the CRC.
+	resp, err = c.standby.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 1, Frames: []Frame{
+		{Log: "stream/trades", Seq: seq + 1, Line: []byte("deadbeef {\"broken\":true}")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Acked["stream/trades"] != seq {
+		t.Fatalf("corrupt frame advanced the ack to %d", resp.Acked["stream/trades"])
+	}
+	if d := c.standby.Diverged(); len(d) != 0 {
+		t.Fatalf("transport corruption must not mark divergence, got %v", d)
+	}
+	// Path-escaping log names are refused outright.
+	resp, err = c.standby.HandleShip(ctx, &ShipRequest{Primary: "p1", Epoch: 1, Frames: []Frame{
+		{Log: "stream/../evil", Seq: 1, Line: []byte("deadbeef {}")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Acked["stream/../evil"]; ok {
+		t.Fatal("standby acked a path-escaping log name")
+	}
+}

@@ -1,0 +1,557 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vadasa/internal/faultfs"
+	"vadasa/internal/journal"
+	"vadasa/internal/stream"
+)
+
+// Root maps a log namespace to a local directory: a frame for
+// "<root>/<name>" lands in Dir/<name><Ext>. The extensions mirror the
+// primary's layout — stream WALs are "<id>.wal", job journals are
+// "<id>.journal" — so a promoted standby's files are exactly where the
+// normal startup recovery expects them.
+type Root struct {
+	Dir string
+	Ext string
+}
+
+// FollowerFactory builds the read-only replay view over a mirrored stream
+// WAL — on a server, a closure that rebuilds the stream Options from the
+// WAL's create record exactly as startup recovery does, then calls
+// stream.OpenFollower. A nil factory mirrors bytes only (still enough for
+// a byte-identical promotion; divergence detection and read-only serving
+// need the follower).
+type FollowerFactory func(ctx context.Context, id, path string) (*stream.Follower, error)
+
+// StandbyOptions tunes a Standby. Node and Roots are required.
+type StandbyOptions struct {
+	// Node is the fencing authority.
+	Node *Node
+	// Roots maps log namespaces ("stream", "jobs") to local directories.
+	Roots map[string]Root
+	// OpenFollower builds replay views for logs under FollowRoot.
+	OpenFollower FollowerFactory
+	// FollowRoot is the namespace whose logs get followers ("stream").
+	FollowRoot string
+	// FS is the filesystem mirrored journals are written through.
+	FS faultfs.FS
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// flog is one mirrored journal on the standby.
+type flog struct {
+	name     string // "<root>/<name>"
+	id       string // bare name
+	root     string
+	path     string
+	f        faultfs.File
+	seq      int // last durable, contiguous sequence
+	follower *stream.Follower
+	// materialized is the release sequence whose file was last regenerated
+	// next to the mirror (release files do not ship; see materializeLocked).
+	materialized int
+	diverged     bool
+	lastErr      string
+}
+
+// logName validates the bare log identifier inside a namespace: the same
+// shape the server allows for stream IDs and job IDs, and in particular
+// nothing that can escape the root directory.
+var logName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,127}$`)
+
+// Standby receives shipments: it validates every frame with the journal's
+// own framing rules, appends it to the mirrored file, fsyncs once per log
+// per shipment, and only then acknowledges and feeds the record to the
+// log's follower. The mirrored files are the real recovery substrate —
+// Promote closes the followers and the normal startup recovery path takes
+// over, byte-for-byte on the same WALs the primary wrote.
+type Standby struct {
+	opts StandbyOptions
+	fs   faultfs.FS
+
+	mu       sync.Mutex
+	logs     map[string]*flog
+	promoted bool
+	closed   bool
+	lastShip time.Time
+	shipFrom string
+	frames   int64 // total frames accepted
+}
+
+// NewStandby builds a standby receiver.
+func NewStandby(opts StandbyOptions) (*Standby, error) {
+	if opts.Node == nil {
+		return nil, fmt.Errorf("replica: StandbyOptions.Node is required")
+	}
+	if len(opts.Roots) == 0 {
+		return nil, fmt.Errorf("replica: StandbyOptions.Roots is required")
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	for name, r := range opts.Roots {
+		if err := fs.MkdirAll(r.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("replica: creating %s root: %w", name, err)
+		}
+	}
+	return &Standby{opts: opts, fs: fs, logs: make(map[string]*flog)}, nil
+}
+
+func (sb *Standby) logf(format string, args ...any) {
+	if sb.opts.Logf != nil {
+		sb.opts.Logf(format, args...)
+	}
+}
+
+// Recover reopens every mirrored journal found under the roots — a
+// restarting standby resumes exactly where its files left off, including
+// repairing torn tails from a crash mid-append.
+func (sb *Standby) Recover(ctx context.Context) error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for rootName, root := range sb.opts.Roots {
+		paths, err := sb.fs.Glob(filepath.Join(root.Dir, "*"+root.Ext))
+		if err != nil {
+			return fmt.Errorf("replica: scanning %s root: %w", rootName, err)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if filepath.Base(path) == NodeJournalName {
+				continue
+			}
+			id := strings.TrimSuffix(filepath.Base(path), root.Ext)
+			if !logName.MatchString(id) {
+				continue
+			}
+			name := rootName + "/" + id
+			if _, ok := sb.logs[name]; ok {
+				continue
+			}
+			fl, err := sb.openLogLocked(ctx, rootName, id)
+			if err != nil {
+				sb.logf("replica: recovering mirror %s: %v", name, err)
+				continue
+			}
+			sb.logs[name] = fl
+		}
+	}
+	return nil
+}
+
+// openLogLocked opens (or creates) the mirrored file for one log,
+// scanning it for the durable sequence floor and repairing torn tails,
+// then attaches a follower when the namespace calls for one.
+func (sb *Standby) openLogLocked(ctx context.Context, rootName, id string) (*flog, error) {
+	root, ok := sb.opts.Roots[rootName]
+	if !ok {
+		return nil, fmt.Errorf("replica: unknown log root %q", rootName)
+	}
+	if !logName.MatchString(id) {
+		return nil, fmt.Errorf("replica: invalid log name %q", id)
+	}
+	fl := &flog{name: rootName + "/" + id, id: id, root: rootName, path: filepath.Join(root.Dir, id+root.Ext)}
+	if _, err := sb.fs.ReadFile(fl.path); err == nil {
+		it, err := journal.RecordsIn(ctx, sb.fs, fl.path)
+		if err != nil {
+			return nil, err
+		}
+		for it.Next() {
+		}
+		if err := it.Err(); err != nil {
+			it.Close()
+			return nil, err
+		}
+		valid, seq, torn := it.Valid(), it.LastSeq(), it.Torn()
+		it.Close()
+		f, err := sb.fs.OpenFile(fl.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := f.Truncate(valid); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("replica: truncating torn mirror tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("replica: syncing mirror repair: %w", err)
+			}
+		}
+		if _, err := f.Seek(valid, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		fl.f, fl.seq = f, seq
+	} else {
+		f, err := sb.fs.OpenFile(fl.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("replica: creating mirror: %w", err)
+		}
+		if dir, derr := sb.fs.Open(root.Dir); derr == nil {
+			dir.Sync()
+			dir.Close()
+		}
+		fl.f = f
+	}
+	sb.attachFollowerLocked(ctx, fl)
+	return fl, nil
+}
+
+// attachFollowerLocked (re)builds the follower over the mirrored file.
+// Failure is not fatal — the standby keeps mirroring bytes and retries on
+// the next shipment — but it is loud, because without a follower there is
+// no divergence detection and no read-only serving for that log.
+func (sb *Standby) attachFollowerLocked(ctx context.Context, fl *flog) {
+	if fl.follower != nil || fl.root != sb.opts.FollowRoot || sb.opts.OpenFollower == nil || fl.seq == 0 {
+		return
+	}
+	fol, err := sb.opts.OpenFollower(ctx, fl.id, fl.path)
+	if err != nil {
+		fl.lastErr = err.Error()
+		sb.logf("replica: follower for %s: %v", fl.name, err)
+		return
+	}
+	fl.follower = fol
+	fl.lastErr = ""
+	sb.materializeLocked(fl)
+}
+
+// materializeLocked regenerates the published release's file next to the
+// mirrored WAL. Journals ship, release files do not; without the file a
+// promotion's stream recovery (which verifies it against the publish
+// record) would fail. Running right after the publish record is applied —
+// while the replayed window still matches the journaled digest — makes the
+// regeneration exact. A mirror that cannot produce the file is not a
+// faithful standby: that is divergence, not a transient fault.
+func (sb *Standby) materializeLocked(fl *flog) {
+	pub := fl.follower.Published()
+	if pub == nil || pub.Seq == fl.materialized {
+		return
+	}
+	if err := fl.follower.MaterializePublished(filepath.Dir(fl.path)); err != nil {
+		sb.logf("replica: %s DIVERGED: %v", fl.name, err)
+		fl.diverged = true
+		fl.lastErr = err.Error()
+		return
+	}
+	fl.materialized = pub.Seq
+}
+
+// HandleShip is the receiver half of the protocol. It enforces the epoch
+// fence, makes every acceptable frame durable, advances per-log acks, and
+// checks any piggybacked digests against the local replay state.
+func (sb *Standby) HandleShip(ctx context.Context, req *ShipRequest) (*ShipResponse, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.closed {
+		return nil, fmt.Errorf("replica: standby is closed")
+	}
+	if sb.promoted {
+		return nil, &FencedError{Epoch: req.Epoch, Seen: sb.opts.Node.Epoch()}
+	}
+	if seen := sb.opts.Node.Epoch(); req.Epoch < seen {
+		return nil, &FencedError{Epoch: req.Epoch, Seen: seen}
+	}
+	if err := sb.opts.Node.Observe(req.Epoch, "ship from "+req.Primary); err != nil {
+		return nil, err
+	}
+	sb.lastShip = time.Now()
+	sb.shipFrom = req.Primary
+
+	// Group frames per log, preserving arrival order (the primary ships
+	// each log's frames in sequence order).
+	order := make([]string, 0, 4)
+	byLog := make(map[string][]Frame)
+	for _, fr := range req.Frames {
+		if _, ok := byLog[fr.Log]; !ok {
+			order = append(order, fr.Log)
+		}
+		byLog[fr.Log] = append(byLog[fr.Log], fr)
+	}
+
+	resp := &ShipResponse{Epoch: sb.opts.Node.Epoch(), Acked: make(map[string]int)}
+	for _, name := range order {
+		fl, err := sb.logLocked(ctx, name)
+		if err != nil {
+			sb.logf("replica: shipment for %s refused: %v", name, err)
+			continue
+		}
+		sb.applyFramesLocked(ctx, fl, byLog[name])
+	}
+	for _, d := range req.Digests {
+		sb.checkDigestLocked(ctx, d)
+	}
+	// Ack every known log, not just the touched ones: a primary that
+	// restarted learns its peers' positions from the first response.
+	for name, fl := range sb.logs {
+		resp.Acked[name] = fl.seq
+		if fl.diverged {
+			resp.Diverged = append(resp.Diverged, name)
+		}
+	}
+	sort.Strings(resp.Diverged)
+	return resp, nil
+}
+
+func (sb *Standby) logLocked(ctx context.Context, name string) (*flog, error) {
+	if fl, ok := sb.logs[name]; ok {
+		return fl, nil
+	}
+	rootName, id, ok := strings.Cut(name, "/")
+	if !ok {
+		return nil, fmt.Errorf("replica: malformed log name %q", name)
+	}
+	fl, err := sb.openLogLocked(ctx, rootName, id)
+	if err != nil {
+		return nil, err
+	}
+	sb.logs[name] = fl
+	return fl, nil
+}
+
+// applyFramesLocked validates, appends and fsyncs one log's frames, then
+// replays the accepted records into the follower. Duplicates (seq at or
+// below the durable floor) are skipped; a gap or a corrupt frame stops
+// the log's batch — nothing past it is acked, and the primary re-ships
+// from the ack point.
+func (sb *Standby) applyFramesLocked(ctx context.Context, fl *flog, frames []Frame) {
+	var accepted []journal.Record
+	var buf []byte
+	next := fl.seq + 1
+	for _, fr := range frames {
+		if fr.Seq <= fl.seq {
+			continue // duplicate delivery: already durable
+		}
+		if fr.Seq != next {
+			fl.lastErr = fmt.Sprintf("gap: frame %d after %d", fr.Seq, next-1)
+			break
+		}
+		rec, ok := journal.ParseLine(fr.Line, fr.Seq)
+		if !ok {
+			fl.lastErr = fmt.Sprintf("corrupt frame at seq %d", fr.Seq)
+			sb.logf("replica: %s: rejecting corrupt frame at seq %d", fl.name, fr.Seq)
+			break
+		}
+		buf = append(buf, fr.Line...)
+		buf = append(buf, '\n')
+		accepted = append(accepted, rec)
+		next++
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	if _, err := fl.f.Write(buf); err != nil {
+		fl.lastErr = err.Error()
+		sb.repairLocked(ctx, fl)
+		return
+	}
+	if err := fl.f.Sync(); err != nil {
+		fl.lastErr = err.Error()
+		sb.repairLocked(ctx, fl)
+		return
+	}
+	fl.seq = accepted[len(accepted)-1].Seq
+	fl.lastErr = ""
+	sb.frames += int64(len(accepted))
+
+	if fl.follower == nil {
+		sb.attachFollowerLocked(ctx, fl) // replays the whole file, new records included
+		return
+	}
+	for _, rec := range accepted {
+		if err := fl.follower.Apply(ctx, rec); err != nil {
+			// The mirrored journal holds a record the replay rejects: the
+			// replica's state machine disagrees with the primary's. That is
+			// divergence, not a transient fault.
+			sb.logf("replica: %s DIVERGED: replaying seq %d: %v", fl.name, rec.Seq, err)
+			fl.diverged = true
+			fl.lastErr = err.Error()
+			fl.follower.Close()
+			fl.follower = nil
+			return
+		}
+		sb.materializeLocked(fl)
+	}
+}
+
+// repairLocked truncates a mirrored file back to its durable floor after
+// a failed append, reopening the handle — the mirror-side analogue of
+// journal.Writer.Repair.
+func (sb *Standby) repairLocked(ctx context.Context, fl *flog) {
+	fl.f.Close()
+	name, id, root := fl.name, fl.id, fl.root
+	reopened, err := sb.openLogLocked(ctx, root, id)
+	if err != nil {
+		sb.logf("replica: repairing mirror %s: %v", name, err)
+		delete(sb.logs, name)
+		return
+	}
+	if fl.follower != nil && reopened.follower == nil {
+		reopened.follower = fl.follower
+	}
+	reopened.diverged = fl.diverged
+	sb.logs[name] = reopened
+}
+
+// checkDigestLocked compares a primary digest against the local replay
+// state. Only an exact sequence match is comparable; a mismatch at the
+// same sequence is divergence and is sticky until an operator rebuilds
+// the mirror.
+func (sb *Standby) checkDigestLocked(ctx context.Context, d LogDigest) {
+	fl, ok := sb.logs[d.Log]
+	if !ok || fl.follower == nil || fl.seq != d.Seq {
+		return
+	}
+	got, err := fl.follower.Digest(ctx)
+	if err != nil {
+		sb.logf("replica: digest of %s at seq %d: %v", d.Log, d.Seq, err)
+		return
+	}
+	if got.Rows != d.Rows || got.Window != d.Window || got.Risk != d.Risk {
+		sb.logf("replica: %s DIVERGED at seq %d: rows %d/%d window %.12s…/%.12s… risk %.12s…/%.12s…",
+			d.Log, d.Seq, got.Rows, d.Rows, got.Window, d.Window, got.Risk, d.Risk)
+		fl.diverged = true
+	}
+}
+
+// Follower returns the replay view of one mirrored stream (nil if the log
+// is unknown or has no follower) — the standby's read-only serving path.
+func (sb *Standby) Follower(name string) *stream.Follower {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if fl, ok := sb.logs[name]; ok {
+		return fl.follower
+	}
+	return nil
+}
+
+// Followers lists the mirrored logs under the follow root that currently
+// have a replay view, sorted by name.
+func (sb *Standby) Followers() []*stream.Follower {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	names := make([]string, 0, len(sb.logs))
+	for name, fl := range sb.logs {
+		if fl.follower != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*stream.Follower, 0, len(names))
+	for _, name := range names {
+		out = append(out, sb.logs[name].follower)
+	}
+	return out
+}
+
+// Diverged lists logs whose state digests contradicted the primary's.
+func (sb *Standby) Diverged() []string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	var out []string
+	for name, fl := range sb.logs {
+		if fl.diverged {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Promote fences the standby into a primary: the grant (which must
+// outrank every seen epoch) is journaled, the followers and mirror
+// handles are closed, and further shipments are rejected with
+// *FencedError. The caller then runs the NORMAL startup recovery over the
+// mirrored directories — stream.Open completes any release caught between
+// intent and publish, exactly as it would after a local crash; there is
+// no promotion-specific state machine.
+func (sb *Standby) Promote(ctx context.Context, fence uint64) error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.promoted {
+		return fmt.Errorf("replica: already promoted (epoch %d)", sb.opts.Node.Granted())
+	}
+	if err := sb.opts.Node.Promote(fence); err != nil {
+		return err
+	}
+	sb.closeLogsLocked()
+	sb.promoted = true
+	return nil
+}
+
+// Close releases every mirror handle and follower without promoting;
+// further shipments are refused with a retryable error.
+func (sb *Standby) Close() {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.closed = true
+	sb.closeLogsLocked()
+}
+
+func (sb *Standby) closeLogsLocked() {
+	for _, fl := range sb.logs {
+		if fl.follower != nil {
+			fl.follower.Close()
+			fl.follower = nil
+		}
+		if fl.f != nil {
+			fl.f.Close()
+			fl.f = nil
+		}
+	}
+}
+
+// LogStatus is one mirrored journal in StandbyStatus.
+type LogStatus struct {
+	Name      string `json:"name"`
+	Seq       int    `json:"seq"`
+	Follower  bool   `json:"follower"`
+	Diverged  bool   `json:"diverged,omitempty"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// StandbyStatus is the standby half of /replstatus.
+type StandbyStatus struct {
+	Promoted bool        `json:"promoted"`
+	Frames   int64       `json:"frames"`
+	LastShip time.Time   `json:"lastShip,omitzero"`
+	ShipFrom string      `json:"shipFrom,omitempty"`
+	Logs     []LogStatus `json:"logs,omitempty"`
+	Diverged []string    `json:"diverged,omitempty"`
+}
+
+// Status snapshots the standby for observability.
+func (sb *Standby) Status() StandbyStatus {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	st := StandbyStatus{Promoted: sb.promoted, Frames: sb.frames, LastShip: sb.lastShip, ShipFrom: sb.shipFrom}
+	names := make([]string, 0, len(sb.logs))
+	for name := range sb.logs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fl := sb.logs[name]
+		st.Logs = append(st.Logs, LogStatus{
+			Name: name, Seq: fl.seq, Follower: fl.follower != nil,
+			Diverged: fl.diverged, LastError: fl.lastErr,
+		})
+		if fl.diverged {
+			st.Diverged = append(st.Diverged, name)
+		}
+	}
+	return st
+}

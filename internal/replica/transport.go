@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport carries shipments to one standby. Implementations must be safe
+// for concurrent use. A *FencedError return means the standby holds a
+// higher epoch — the sender must demote itself; any other error means the
+// shipment's fate is unknown and the sender retries (frames are idempotent
+// on the receiver, so re-delivery is safe).
+type Transport interface {
+	Ship(ctx context.Context, req *ShipRequest) (*ShipResponse, error)
+	Addr() string
+	Close() error
+}
+
+// HTTPTransport ships to a vadasad standby's POST /repl/ship endpoint.
+type HTTPTransport struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport for a standby at base — a URL like
+// "http://host:port" (a bare host:port is accepted and prefixed). client
+// may be nil, selecting a private keep-alive client; per-call deadlines
+// come from the context.
+func NewHTTPTransport(base string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 2,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return &HTTPTransport{base: base, client: client}
+}
+
+// Addr implements Transport.
+func (h *HTTPTransport) Addr() string { return h.base }
+
+// Close implements Transport.
+func (h *HTTPTransport) Close() error {
+	h.client.CloseIdleConnections()
+	return nil
+}
+
+// Ship implements Transport. A 409 response carrying an epoch decodes to
+// *FencedError; anything else non-2xx is an opaque retryable failure.
+func (h *HTTPTransport) Ship(ctx context.Context, sr *ShipRequest) (*ShipResponse, error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: encoding shipment: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/repl/ship", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: shipping to %s: %w", h.base, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusConflict {
+		var fe struct {
+			Error string `json:"error"`
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&fe); err == nil && fe.Epoch > 0 {
+			return nil, &FencedError{Epoch: sr.Epoch, Seen: fe.Epoch}
+		}
+		return nil, fmt.Errorf("replica: %s refused shipment with 409", h.base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: %s answered %d", h.base, resp.StatusCode)
+	}
+	var out ShipResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("replica: %s: corrupt ship response: %w", h.base, err)
+	}
+	return &out, nil
+}
+
+// FaultTransport wraps a Transport and injects deterministic shipping
+// faults, addressed by 1-based Ship count — the replication sibling of
+// internal/dist's FaultTransport. Chaos tests use it to prove the
+// protocol's idempotency: a dropped shipment is retried, a duplicated one
+// is absorbed by the standby's sequence check, and a torn frame is
+// rejected by the journal framing rules without poisoning the mirror.
+type FaultTransport struct {
+	inner Transport
+
+	mu       sync.Mutex
+	ships    int
+	drop     map[int]bool
+	dup      map[int]bool
+	truncate map[int]bool
+}
+
+// NewFaultTransport wraps inner with an initially fault-free injector.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{
+		inner:    inner,
+		drop:     make(map[int]bool),
+		dup:      make(map[int]bool),
+		truncate: make(map[int]bool),
+	}
+}
+
+// DropShip swallows the n-th Ship (1-based): the standby never sees it and
+// the caller gets a retryable error.
+func (f *FaultTransport) DropShip(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drop[n] = true
+}
+
+// DupShip delivers the n-th Ship's request twice, returning the second
+// response — the network-level duplicate the standby's per-log sequence
+// check must absorb.
+func (f *FaultTransport) DupShip(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dup[n] = true
+}
+
+// TruncateShip corrupts the n-th Ship in transit: every frame loses the
+// second half of its line bytes (a torn write on the wire). The standby
+// must reject the frames — CRC or sequence — and ack nothing.
+func (f *FaultTransport) TruncateShip(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncate[n] = true
+}
+
+// Ships reports how many Ship invocations the transport has seen.
+func (f *FaultTransport) Ships() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ships
+}
+
+// Ship implements Transport, applying any faults armed for this call.
+func (f *FaultTransport) Ship(ctx context.Context, req *ShipRequest) (*ShipResponse, error) {
+	f.mu.Lock()
+	f.ships++
+	n := f.ships
+	drop := f.drop[n]
+	dup := f.dup[n]
+	trunc := f.truncate[n]
+	f.mu.Unlock()
+
+	if drop {
+		return nil, fmt.Errorf("replica: injected drop of shipment %d to %s", n, f.Addr())
+	}
+	if trunc && len(req.Frames) > 0 {
+		torn := *req
+		torn.Frames = make([]Frame, len(req.Frames))
+		for i, fr := range req.Frames {
+			fr.Line = fr.Line[:len(fr.Line)/2]
+			torn.Frames[i] = fr
+		}
+		req = &torn
+	}
+	resp, err := f.inner.Ship(ctx, req)
+	if dup && err == nil {
+		// Duplicate delivery: the standby sees the same frames again; its
+		// sequence check skips them and the second response is returned.
+		resp, err = f.inner.Ship(ctx, req)
+	}
+	return resp, err
+}
+
+// Addr implements Transport.
+func (f *FaultTransport) Addr() string { return f.inner.Addr() }
+
+// Close implements Transport.
+func (f *FaultTransport) Close() error { return f.inner.Close() }

@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"vadasa/internal/attack"
+	"vadasa/internal/mdb"
+	"vadasa/internal/risk"
+)
+
+// attackRows is the window for the release-vs-attack validation: two
+// weight-2 twins (re-identification risk 1/4), two weight-1 twins (risk
+// 1/2, exactly at the gate threshold), and a weight-1 singleton whose risk
+// 1 forces the gate to suppress before it can publish.
+func attackRows() [][]string {
+	return [][]string{
+		{"a1", "s0", "r0", "z0", "2"},
+		{"a2", "s0", "r0", "z0", "2"},
+		{"b1", "s1", "r1", "z1", "1"},
+		{"b2", "s1", "r1", "z1", "1"},
+		{"x1", "s2", "r0", "z2", "1"},
+	}
+}
+
+func attackDataset(t *testing.T, rows [][]string) *mdb.Dataset {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("Id,Sector,Region,Size,Weight\n")
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	d, err := mdb.ReadCSV(strings.NewReader(b.String()), "orig", testAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// A published stream release must hold up against the linkage attacker of
+// Section 2.2: on the original window the attacker's expected success
+// equals the computed re-identification risk tuple for tuple, and on the
+// gated release no tuple's expected success exceeds the threshold the gate
+// enforced — the empirical counterpart of the risk computation the release
+// decision was based on.
+func TestReleaseSurvivesLinkageAttack(t *testing.T) {
+	ctx := context.Background()
+	rows := attackRows()
+	orig := attackDataset(t, rows)
+
+	// The oracle is the population implied by the original window's exact
+	// weights — built before anonymization, as an external source would be.
+	oracle, truth, err := attack.Build(orig, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := oracle.Run(orig, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risks, err := risk.ReIdentification{}.Assess(orig, mdb.MaybeMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range before.PerRow {
+		if math.Abs(out.Expected-risks[i]) > 1e-9 {
+			t.Errorf("tuple %d: expected attack success %g, computed risk %g",
+				out.RowID, out.Expected, risks[i])
+		}
+	}
+
+	// Stream the same window and publish through the gate.
+	opts := testOptions()
+	opts.Assessor = risk.ReIdentification{}
+	s := openTest(t, t.TempDir(), opts)
+	defer s.Close(ctx)
+	if _, err := s.Append(ctx, "b1", rows); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Release(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Suppressions == 0 {
+		t.Fatalf("the gate published the risk-1 singleton without suppressing: %+v", info)
+	}
+	b, err := s.ReleaseBytes(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released, err := mdb.ReadCSV(bytes.NewReader(b), "released", testAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := oracle.Run(released, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gate's promise, validated empirically: no released tuple is
+	// easier to re-identify than the threshold allows, none got easier
+	// than before, and the window's total exposure went down.
+	for i, out := range after.PerRow {
+		if out.Expected > opts.Threshold+1e-9 {
+			t.Errorf("released tuple %d: expected attack success %g exceeds threshold %g",
+				out.RowID, out.Expected, opts.Threshold)
+		}
+		if out.Expected > before.PerRow[i].Expected+1e-12 {
+			t.Errorf("released tuple %d got easier to attack: %g -> %g",
+				out.RowID, before.PerRow[i].Expected, out.Expected)
+		}
+	}
+	if after.ExpectedSuccesses >= before.ExpectedSuccesses {
+		t.Fatalf("release did not reduce expected re-identifications: %g -> %g",
+			before.ExpectedSuccesses, after.ExpectedSuccesses)
+	}
+	// The suppressed singleton specifically: certainty before, diluted
+	// into the whole population after.
+	last := len(after.PerRow) - 1
+	if before.PerRow[last].Expected != 1 {
+		t.Fatalf("singleton expected success before = %g, want 1", before.PerRow[last].Expected)
+	}
+	if after.PerRow[last].Expected >= 0.5 {
+		t.Fatalf("singleton expected success after = %g, want < 0.5", after.PerRow[last].Expected)
+	}
+}

@@ -30,6 +30,9 @@ func (s *Stream) Release(ctx context.Context) (*ReleaseInfo, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if err := s.checkFence(); err != nil {
+		return nil, err
+	}
 	if s.pending != nil {
 		// An earlier attempt crashed or failed between intent and publish:
 		// the intent's promise is completed before anything else happens.
@@ -210,6 +213,14 @@ func (s *Stream) appendPublish(p publishPayload) error {
 // crashes and still publish exactly once (the publish record is the one
 // and only commit point).
 func (s *Stream) completePending(ctx context.Context) error {
+	// A fenced (demoted) node must never commit a publish: the promoted
+	// peer may have completed and served this very release already, and a
+	// second publication would break exactly-once. The check runs here —
+	// the last gate before the publish record — so every caller (live
+	// release, retry, startup recovery) is covered.
+	if err := s.checkFence(); err != nil {
+		return err
+	}
 	p := s.pending
 	if s.relBytes == nil {
 		var buf bytes.Buffer
@@ -280,6 +291,9 @@ func (s *Stream) Ack(ctx context.Context, seq int) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if err := s.checkFence(); err != nil {
+		return err
 	}
 	if s.pending != nil {
 		return &PendingReleaseError{Release: s.pending.Release}

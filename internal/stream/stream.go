@@ -106,6 +106,21 @@ type Options struct {
 	FS faultfs.FS
 	// DiskHeadroom is the journal's pre-append free-space floor.
 	DiskHeadroom int64
+	// FenceCheck, when non-nil, guards every client-visible mutation and
+	// the publish commit point: it is consulted before Append, Withdraw,
+	// Release and Ack touch the journal, and again inside completePending
+	// before the publish record is committed. The replication layer
+	// installs the node's epoch fence here, so a demoted primary's writes
+	// fail with its typed fencing error instead of double-publishing a
+	// release the promoted standby already owns.
+	FenceCheck func() error
+	// OnAppend is threaded into the journal writer's configuration: it
+	// observes every committed record (sequence number plus the exact
+	// framed line, newline stripped) after the local fsync but before the
+	// commit point advances. The replication layer installs its shipper
+	// here; in synchronous mode the hook's error fails the append and the
+	// stream's normal Repair path truncates the unreplicated record.
+	OnAppend func(seq int, line []byte) error
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -279,7 +294,7 @@ func Open(ctx context.Context, id, path string, opts Options) (*Stream, error) {
 	if s.fs == nil {
 		s.fs = faultfs.OS
 	}
-	cfg := journal.Config{FS: s.fs, DiskHeadroom: opts.DiskHeadroom}
+	cfg := journal.Config{FS: s.fs, DiskHeadroom: opts.DiskHeadroom, OnAppend: opts.OnAppend}
 
 	if probe, err := s.fs.Open(path); err == nil {
 		probe.Close()
@@ -322,6 +337,24 @@ func (s *Stream) logf(format string, args ...any) {
 	}
 }
 
+// checkFence consults the installed epoch fence (nil means unfenced). It
+// runs under s.mu, before the journal sees the mutation, so a demoted
+// primary refuses writes without leaving anything to repair.
+func (s *Stream) checkFence() error {
+	if s.opts.FenceCheck == nil {
+		return nil
+	}
+	return s.opts.FenceCheck()
+}
+
+// JournalSeq returns the sequence number of the last committed journal
+// record — the tail position a replication shipper registers for this log.
+func (s *Stream) JournalSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Seq()
+}
+
 // Append journals and admits one ingestion batch. Every cell must be a
 // constant (labelled-null tokens are rejected — nulls enter the window only
 // through gated suppressions); the weight column, when the schema has one,
@@ -334,6 +367,9 @@ func (s *Stream) Append(ctx context.Context, batchID string, rows [][]string) (*
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if err := s.checkFence(); err != nil {
+		return nil, err
 	}
 	if s.pending != nil {
 		return nil, &PendingReleaseError{Release: s.pending.Release}
@@ -428,6 +464,9 @@ func (s *Stream) Withdraw(ctx context.Context, rowIDs []int) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if err := s.checkFence(); err != nil {
+		return err
 	}
 	if s.pending != nil {
 		return &PendingReleaseError{Release: s.pending.Release}

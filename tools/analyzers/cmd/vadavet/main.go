@@ -11,10 +11,11 @@ import (
 	"vadasa/tools/analyzers/distfence"
 	"vadasa/tools/analyzers/governcharge"
 	"vadasa/tools/analyzers/hotgroup"
+	"vadasa/tools/analyzers/replfence"
 	"vadasa/tools/analyzers/streamfence"
 	"vadasa/tools/analyzers/unitchecker"
 )
 
 func main() {
-	unitchecker.Main(ctxpass.Analyzer, distfence.Analyzer, governcharge.Analyzer, hotgroup.Analyzer, streamfence.Analyzer)
+	unitchecker.Main(ctxpass.Analyzer, distfence.Analyzer, governcharge.Analyzer, hotgroup.Analyzer, replfence.Analyzer, streamfence.Analyzer)
 }

@@ -1,0 +1,96 @@
+// Package replfence guards the replication fencing invariant: in the
+// packages that take part in journal-shipping replication (stream and
+// replica), a publish record may be journaled only behind an epoch-fence
+// check. A demoted primary that publishes commits a release the promoted
+// peer may have already completed and served — exactly-once publication is
+// only exactly-once while every publish path consults the fence first.
+//
+// The pass flags any function in package stream or replica that calls
+// appendPublish without also calling checkFence (or the raw FenceCheck
+// hook) in the same body. A publish whose fence check is established by the
+// caller is annotated with `//replfence:ok <reason>` on the calling line or
+// the preceding one. _test.go files are skipped.
+package replfence
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the replfence pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "replfence",
+	Doc:  "replicated publish paths must check the epoch fence before journaling a publish record",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name != "stream" && file.Name.Name != "replica" {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ok := okLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, isFn := decl.(*ast.FuncDecl)
+			if !isFn || fn.Body == nil {
+				continue
+			}
+			var publishes []token.Pos
+			fenced := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				switch f := call.Fun.(type) {
+				case *ast.Ident:
+					switch f.Name {
+					case "appendPublish":
+						publishes = append(publishes, f.Pos())
+					case "checkFence", "FenceCheck":
+						fenced = true
+					}
+				case *ast.SelectorExpr:
+					switch f.Sel.Name {
+					case "appendPublish":
+						publishes = append(publishes, f.Sel.Pos())
+					case "checkFence", "FenceCheck":
+						fenced = true
+					}
+				}
+				return true
+			})
+			if fenced {
+				continue
+			}
+			for _, pos := range publishes {
+				line := pass.Fset.Position(pos).Line
+				if ok[line] || ok[line-1] {
+					continue
+				}
+				pass.Reportf(pos,
+					"publish record journaled without an epoch-fence check in %s: call checkFence first, or annotate //replfence:ok with why the caller holds the fence",
+					fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//replfence:ok") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

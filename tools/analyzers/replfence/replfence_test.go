@@ -1,0 +1,15 @@
+package replfence
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+)
+
+func TestReplfence(t *testing.T) {
+	checktest.Run(t, "testdata/src/a", Analyzer)
+}
+
+func TestReplfenceIgnoresOtherPackages(t *testing.T) {
+	checktest.Run(t, "testdata/src/b", Analyzer)
+}
