@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint-programs vet-analyzers staticcheck govulncheck check bench chaos soak replchaos
+.PHONY: build test vet race lint-programs vet-analyzers taint-report staticcheck govulncheck check bench chaos soak replchaos
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ lint-programs:
 vet-analyzers:
 	cd tools/analyzers && $(GO) build -o vadavet ./cmd/vadavet && $(GO) test ./...
 	$(GO) vet -vettool=$(abspath tools/analyzers/vadavet) ./...
+
+# taint-report runs the conftaint confidentiality-flow analyzer through its
+# own driver (bypassing go vet's result cache) and writes a machine-readable
+# inventory — every finding plus every active //conftaint:ok waiver with its
+# justification — to taint-report.json. Non-gating: the gate is conftaint
+# inside vet-analyzers; this is the audit artifact a data officer reviews.
+taint-report:
+	cd tools/analyzers && $(GO) run ./cmd/taintreport -C $(abspath .) > $(abspath taint-report.json)
+	cat taint-report.json
 
 # The static analyzers are separate modules, not dependencies of this one
 # (the repo stays stdlib-only). When the binaries are on PATH they run;

@@ -491,7 +491,9 @@ func cmdAnonymize(args []string) error {
 		res.Iterations, res.EverRisky, res.NullsInjected, 100*res.InfoLoss, len(res.Residual))
 	if *explain {
 		for _, dec := range res.Decisions {
-			fmt.Fprintln(os.Stderr, " ", dec)
+			// Decision.String renders cell values as digests — the explain
+			// log motivates each step without disclosing microdata.
+			fmt.Fprintln(os.Stderr, " ", dec.String())
 		}
 	}
 	return nil

@@ -172,7 +172,9 @@ func runPipeline(cfg PipelineConfig, logw io.Writer) error {
 			return err
 		}
 		for _, dec := range res.Decisions {
-			fmt.Fprintln(logFile, dec)
+			// Decision.String digests cell values; the decision log is an
+			// operational artifact, not a second copy of the microdata.
+			fmt.Fprintln(logFile, dec.String())
 		}
 		if err := logFile.Close(); err != nil {
 			return err

@@ -26,10 +26,13 @@ type Decision struct {
 	AffectedRows int
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The old and new values are rendered as
+// digests: decision logs and explain output are operational surfaces, and
+// the exact cell values live (waived, access-controlled) in the journal.
+// Consumers needing the raw values read the Old/New fields directly.
 func (d Decision) String() string {
-	return fmt.Sprintf("iter %d: %s on tuple %d: %s %v -> %v (risk %.4g, %d rows)",
-		d.Iteration, d.Method, d.RowID, d.Attr, d.Old, d.New, d.Risk, d.AffectedRows)
+	return fmt.Sprintf("iter %d: %s on tuple %d: %s %s -> %s (risk %.4g, %d rows)",
+		d.Iteration, d.Method, d.RowID, d.Attr, d.Old.Redacted(), d.New.Redacted(), d.Risk, d.AffectedRows)
 }
 
 // Context carries the state an anonymization step works in: the dataset

@@ -356,10 +356,16 @@ func TestDecisionString(t *testing.T) {
 	d := Decision{RowID: 7, Attr: "Sector", Old: mdb.Const("Textiles"),
 		New: mdb.Null(3), Method: "local-suppression", Risk: 1, Iteration: 2, AffectedRows: 1}
 	s := d.String()
-	for _, want := range []string{"tuple 7", "Sector", "Textiles", "⊥3", "local-suppression"} {
+	// Cell values are rendered as digests: the decision log is an
+	// operational surface and must not carry raw microdata. Labelled
+	// nulls are already anonymous and keep their ⊥i form.
+	for _, want := range []string{"tuple 7", "Sector", mdb.Const("Textiles").Redacted(), "⊥3", "local-suppression"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Decision.String() = %q missing %q", s, want)
 		}
+	}
+	if strings.Contains(s, "Textiles") {
+		t.Errorf("Decision.String() = %q leaks the raw cell value", s)
 	}
 }
 

@@ -416,8 +416,8 @@ func replayCheckpoint(work *mdb.Dataset, cp Checkpoint, res *Result, exhausted, 
 					}
 				}
 				if n != dec.AffectedRows {
-					return fmt.Errorf("anon: replay iteration %d: recoding %s %v touched %d rows, journal says %d — journal does not match this dataset",
-						cp.Iteration, dec.Attr, dec.Old, n, dec.AffectedRows)
+					return fmt.Errorf("anon: replay iteration %d: recoding %s %s touched %d rows, journal says %d — journal does not match this dataset",
+						cp.Iteration, dec.Attr, dec.Old.Redacted(), n, dec.AffectedRows)
 				}
 			}
 		default:

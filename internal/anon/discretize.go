@@ -35,13 +35,13 @@ func Discretize(d *mdb.Dataset, attr string, cuts []float64, kb *hierarchy.Hiera
 		}
 		num, err := strconv.ParseFloat(v.Constant(), 64)
 		if err != nil {
-			return fmt.Errorf("anon: row %d: attribute %q value %q is not numeric",
-				r.ID, attr, v.Constant())
+			return fmt.Errorf("anon: row %d: attribute %q value %s is not numeric",
+				r.ID, attr, v.Redacted())
 		}
 		label, ok := hierarchy.MapToInterval(num, cuts)
 		if !ok {
-			return fmt.Errorf("anon: row %d: attribute %q value %g outside [%g, %g]",
-				r.ID, attr, num, cuts[0], cuts[len(cuts)-1])
+			return fmt.Errorf("anon: row %d: attribute %q value %s outside [%g, %g]",
+				r.ID, attr, v.Redacted(), cuts[0], cuts[len(cuts)-1])
 		}
 		r.Values[idx] = mdb.Const(label)
 	}

@@ -39,8 +39,8 @@ func Microaggregate(d *mdb.Dataset, attr string, k int) error {
 		}
 		f, err := strconv.ParseFloat(v.Constant(), 64)
 		if err != nil {
-			return fmt.Errorf("anon: row %d: attribute %q value %q is not numeric",
-				r.ID, attr, v.Constant())
+			return fmt.Errorf("anon: row %d: attribute %q value %s is not numeric",
+				r.ID, attr, v.Redacted())
 		}
 		entries = append(entries, entry{row: row, value: f})
 	}

@@ -105,8 +105,8 @@ func BuildWithOptions(d *mdb.Dataset, opts BuildOptions) (*Oracle, map[int]strin
 			}
 			f, err := strconv.ParseFloat(v.Constant(), 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("attack: row %d: signal attribute %q value %q is not numeric",
-					r.ID, opts.SignalAttr, v.Constant())
+				return nil, nil, fmt.Errorf("attack: row %d: signal attribute %q value %s is not numeric",
+					r.ID, opts.SignalAttr, v.Redacted())
 			}
 			sigValues = append(sigValues, f)
 		}

@@ -162,6 +162,7 @@ func Fig7d(scale float64) ([]RelStats, error) {
 			rels := int(float64(nRels) * scale)
 			g := cluster.NewGraph()
 			if rels > 0 {
+				//conftaint:ok synthetic benchmark identifiers, not respondent microdata
 				if err := cluster.StarOwnerships(g, ids, rels, 4, 7); err != nil {
 					return nil, err
 				}

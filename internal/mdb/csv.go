@@ -2,6 +2,7 @@ package mdb
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,7 +45,9 @@ func ReadCSV(r io.Reader, name string, attrs []Attribute) (*Dataset, error) {
 			}
 			wt, err := strconv.ParseFloat(v.Constant(), 64)
 			if err != nil {
-				return nil, fmt.Errorf("mdb: CSV line %d: bad weight %q: %v", line, v.Constant(), err)
+				// Redacted value, unwrapped error: the raw cell must not appear
+				// in the error, and strconv.NumError embeds its input string.
+				return nil, fmt.Errorf("mdb: CSV line %d: bad weight %s: %v", line, v.Redacted(), errors.Unwrap(err))
 			}
 			row.Weight = wt
 		}

@@ -1,0 +1,33 @@
+package mdb
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Redaction: the only sanctioned way for cell values to appear in error
+// strings, log lines and other diagnostics. Raw cell text identifies
+// respondents — that is the whole premise of the exchange — so operational
+// surfaces get a short, stable digest instead: enough to correlate two
+// reports of the same value, useless for recovering it. The conftaint
+// analyzer enforces the discipline; these helpers are its escape route.
+
+// Redacted renders v safely for diagnostics: labelled nulls keep their
+// public ⊥i form (the suppression output is not confidential), constants
+// become an 8-hex-digit digest.
+//
+//conftaint:sanitize
+func (v Value) Redacted() string {
+	if v.null != 0 {
+		return v.String()
+	}
+	return RedactString(v.s)
+}
+
+// RedactString digests raw cell text for diagnostics.
+//
+//conftaint:sanitize
+func RedactString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return "sha256:" + hex.EncodeToString(sum[:4])
+}

@@ -16,7 +16,7 @@ import (
 // local suppression. The zero Value is the empty constant.
 type Value struct {
 	null uint64 // 0 means constant; otherwise the labelled-null id
-	s    string
+	s    string //conftaint:source raw microdata cell text
 }
 
 // Const returns a constant value.

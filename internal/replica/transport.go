@@ -18,6 +18,10 @@ import (
 // shipment's fate is unknown and the sender retries (frames are idempotent
 // on the receiver, so re-delivery is safe).
 type Transport interface {
+	// Ship leaves the process boundary: every frame shipped is a
+	// confidentiality sink for the conftaint analyzer.
+	//
+	//conftaint:sink
 	Ship(ctx context.Context, req *ShipRequest) (*ShipResponse, error)
 	Addr() string
 	Close() error

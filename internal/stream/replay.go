@@ -261,8 +261,10 @@ func (s *Stream) applyAnon(p anonPayload) error {
 		}
 		r := s.d.Rows[pos]
 		if got := r.Values[attr].String(); got != rec.Old {
-			return fmt.Errorf("stream: row %d %s holds %q, journal expected %q",
-				rec.RowID, rec.Attr, got, rec.Old)
+			// Digests, not raw cells: enough to show the mismatch without
+			// copying microdata into an error that reaches logs.
+			return fmt.Errorf("stream: row %d %s holds %s, journal expected %s",
+				rec.RowID, rec.Attr, r.Values[attr].Redacted(), mdb.RedactString(rec.Old))
 		}
 		r.Values[attr] = mdb.ParseValue(rec.New, &s.d.Nulls)
 		s.pendSupp++

@@ -26,6 +26,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strconv"
@@ -419,12 +420,15 @@ func (s *Stream) validateBatch(rows [][]string) error {
 		}
 		for j, cell := range r {
 			if mdb.ParseValue(cell, &scratch).IsNull() {
-				return fmt.Errorf("stream: batch row %d: %s is the labelled-null token %q; appended rows must be constants", i, s.d.Attrs[j].Name, cell)
+				// The offending cell is client-supplied microdata; digest it
+				// rather than echo it into an error that reaches server logs.
+				return fmt.Errorf("stream: batch row %d: %s is a labelled-null token (%s); appended rows must be constants", i, s.d.Attrs[j].Name, mdb.RedactString(cell))
 			}
 		}
 		if w >= 0 {
 			if _, err := strconv.ParseFloat(r[w], 64); err != nil {
-				return fmt.Errorf("stream: batch row %d: bad weight %q: %v", i, r[w], err)
+				// Unwrapped: strconv.NumError embeds the raw input string.
+				return fmt.Errorf("stream: batch row %d: bad weight %s: %v", i, mdb.RedactString(r[w]), errors.Unwrap(err))
 			}
 		}
 	}

@@ -1,15 +1,25 @@
 // Package analysis is a deliberately small, dependency-free subset of the
-// golang.org/x/tools/go/analysis API: just enough structure to write
-// AST-level analyzers and drive them from the unitchecker protocol that
-// `go vet -vettool` speaks. The shapes mirror the upstream package so the
-// analyzers can migrate to x/tools unchanged if the dependency ever becomes
-// available.
+// golang.org/x/tools/go/analysis API: enough structure to write AST-level
+// and type-checked analyzers and drive them from the unitchecker protocol
+// that `go vet -vettool` speaks. The shapes mirror the upstream package so
+// the analyzers can migrate to x/tools unchanged if the dependency ever
+// becomes available.
+//
+// Beyond the original AST-only surface, a Pass now optionally carries full
+// go/types information (TypesPkg, TypesInfo) and a fact mechanism: an
+// analyzer declares prototype facts in Analyzer.FactTypes, attaches facts to
+// objects or to the package while analyzing, and reads facts attached by the
+// same analyzer when it ran over the dependencies of the current package.
+// Drivers serialize facts between compilation units (the unitchecker
+// protocol's .vetx files) so summaries cross package boundaries without any
+// whole-program view.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // An Analyzer is one named check over a package's syntax trees.
@@ -22,7 +32,31 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
+	// NeedsTypes requests full type information: the driver type-checks
+	// the compilation unit (through go/importer export data under go vet,
+	// or a source loader in the checktest harness) and populates
+	// Pass.TypesPkg / Pass.TypesInfo before Run. AST-only analyzers leave
+	// it false and keep running even where type-checking is impossible
+	// (the standalone directory sweep).
+	NeedsTypes bool
+	// FactTypes lists prototype values (pointers to exported struct
+	// types) for every fact kind the analyzer exports or imports. Drivers
+	// gob-register them so facts survive serialization between
+	// compilation units.
+	FactTypes []Fact
+	// Applies, when non-nil, restricts the analyzer to compilation units
+	// whose import path it accepts. Units it rejects are skipped entirely
+	// — no diagnostics, no facts — which also lets the driver skip
+	// type-checking units no typed analyzer wants (the whole standard
+	// library, under `go vet ./...`).
+	Applies func(importPath string) bool
 }
+
+// A Fact is a serializable datum an analyzer attaches to an object or a
+// package so later passes over importing packages can read it. Concrete
+// fact types must be pointers to structs with exported fields (they travel
+// by gob) and implement the marker method.
+type Fact interface{ AFact() }
 
 // A Pass carries one package's worth of parsed input to an analyzer.
 type Pass struct {
@@ -32,13 +66,100 @@ type Pass struct {
 	Files []*ast.File
 	// Pkg is the package name from the syntax trees (no type checking).
 	Pkg string
+	// Path is the import path of the unit when the driver knows it
+	// (always under go vet; the fixture path under checktest; empty in
+	// the standalone directory sweep).
+	Path string
+	// TypesPkg and TypesInfo are set iff Analyzer.NeedsTypes: the
+	// type-checked package and the fully populated go/types info maps
+	// (Types, Defs, Uses, Selections, Implicits, Instances, Scopes).
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
 	// Report receives each diagnostic.
 	Report func(Diagnostic)
+
+	// Facts is the driver-provided fact store for this run; nil for
+	// AST-only drivers. Analyzers use the typed accessors below.
+	Facts *FactStore
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis. The driver serializes it for importing units.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil {
+		panic("analysis: ExportObjectFact on a pass without a fact store")
+	}
+	p.Facts.setObject(packagePath(obj, p), ObjectKey(obj), fact)
+}
+
+// ImportObjectFact copies the fact of the same concrete type attached to
+// obj (by this pass or by the run over obj's defining package) into fact,
+// reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.getObject(packagePath(obj, p), ObjectKey(obj), fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts == nil {
+		panic("analysis: ExportPackageFact on a pass without a fact store")
+	}
+	p.Facts.setObject(p.Path, "", fact)
+}
+
+// ImportPackageFact copies the package fact of the same concrete type for
+// pkgPath into fact, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkgPath string, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.getObject(pkgPath, "", fact)
+}
+
+// packagePath resolves the path facts about obj are filed under: the
+// current unit's path for objects defined here (obj.Pkg().Path() can spell
+// the unit's own path differently under test variants), the defining
+// package's path otherwise.
+func packagePath(obj types.Object, p *Pass) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if p.TypesPkg != nil && obj.Pkg() == p.TypesPkg {
+		return p.Path
+	}
+	return obj.Pkg().Path()
+}
+
+// ObjectKey names an object stably across compilation units, so facts
+// serialized by the defining unit can be found by importers: package-level
+// functions, types, variables and constants go by name; methods by
+// "Receiver.Method" with pointer receivers stripped. Only package-scoped
+// objects (and their methods) have useful keys — facts on locals do not
+// travel, matching the upstream design.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+			if iface, ok := t.(*types.Interface); ok {
+				_ = iface // interface literal receiver: fall through to name
+			}
+		}
+	}
+	return obj.Name()
 }
 
 // A Diagnostic is one finding.

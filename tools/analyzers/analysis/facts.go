@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// FactStore holds the facts visible to one compilation unit: everything
+// decoded from the dependencies' fact files plus everything the current
+// unit's analyzers export. It is keyed by (package path, object key) — an
+// empty object key is a package-level fact — and, within a key, by the
+// concrete fact type, so distinct analyzers (and distinct fact kinds of one
+// analyzer) never collide.
+//
+// The zero FactStore is not ready; use NewFactStore.
+type FactStore struct {
+	// m[pkgPath][objectKey][factTypeName] = fact
+	m map[string]map[string]map[string]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]map[string]Fact)}
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).String() }
+
+func (s *FactStore) setObject(pkgPath, key string, fact Fact) {
+	pkg := s.m[pkgPath]
+	if pkg == nil {
+		pkg = make(map[string]map[string]Fact)
+		s.m[pkgPath] = pkg
+	}
+	obj := pkg[key]
+	if obj == nil {
+		obj = make(map[string]Fact)
+		pkg[key] = obj
+	}
+	obj[factTypeName(fact)] = fact
+}
+
+// getObject copies the stored fact with out's concrete type into out via
+// reflection (out must be a non-nil pointer, as all Facts are).
+func (s *FactStore) getObject(pkgPath, key string, out Fact) bool {
+	fact, ok := s.m[pkgPath][key][factTypeName(out)]
+	if !ok {
+		return false
+	}
+	dst := reflect.ValueOf(out).Elem()
+	dst.Set(reflect.ValueOf(fact).Elem())
+	return true
+}
+
+// gobFact is the serialized form of one fact. Fact is an interface field:
+// gob requires every concrete fact type to be registered, which
+// RegisterFactTypes does from the analyzers' FactTypes declarations.
+type gobFact struct {
+	PkgPath string
+	Object  string // "" = package fact
+	Fact    Fact
+}
+
+// RegisterFactTypes gob-registers the prototype facts of the analyzers so
+// Encode/Decode round-trip them. Safe to call repeatedly with the same
+// prototypes.
+func RegisterFactTypes(analyzers ...*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode serializes every fact in the store, deterministically ordered.
+// The output of a unit becomes the input of its importers (the .vetx file
+// of the unitchecker protocol).
+func (s *FactStore) Encode() ([]byte, error) {
+	var out []gobFact
+	for pkgPath, objs := range s.m {
+		for key, byType := range objs {
+			for _, fact := range byType {
+				out = append(out, gobFact{PkgPath: pkgPath, Object: key, Fact: fact})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return factTypeName(out[i].Fact) < factTypeName(out[j].Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges serialized facts into the store. Empty input is a valid
+// empty fact set (AST-only units and older tool versions write empty vetx
+// files).
+func (s *FactStore) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&in); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	for _, gf := range in {
+		s.setObject(gf.PkgPath, gf.Object, gf.Fact)
+	}
+	return nil
+}
+
+// Len reports how many facts the store holds.
+func (s *FactStore) Len() int {
+	n := 0
+	for _, objs := range s.m {
+		for _, byType := range objs {
+			n += len(byType)
+		}
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Waivers tracks one file's `//<tool>:ok <reason>` escape comments and
+// which of them actually suppressed a finding. A waiver covers a finding on
+// its own line or the line below — the two placements the fence analyzers
+// have always accepted — and a waiver that covers nothing is itself a
+// finding (ReportStale): escapes must not outlive the code they excused,
+// because a forgotten one would silently cover the next violation
+// introduced on its line.
+type Waivers struct {
+	tool  string
+	lines map[int]token.Pos
+	used  map[int]bool
+}
+
+// CollectWaivers scans file for comments beginning "//<tool>:ok".
+func CollectWaivers(fset *token.FileSet, file *ast.File, tool string) *Waivers {
+	w := &Waivers{tool: tool, lines: make(map[int]token.Pos), used: make(map[int]bool)}
+	prefix := "//" + tool + ":ok"
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, prefix) {
+				w.lines[fset.Position(c.Pos()).Line] = c.Pos()
+			}
+		}
+	}
+	return w
+}
+
+// Suppresses reports whether a waiver covers a finding on line, marking the
+// waiver used.
+func (w *Waivers) Suppresses(line int) bool {
+	for _, l := range []int{line, line - 1} {
+		if _, ok := w.lines[l]; ok {
+			w.used[l] = true
+			return true
+		}
+	}
+	return false
+}
+
+// ReportStale reports every waiver that suppressed nothing, in line order.
+func (w *Waivers) ReportStale(pass *Pass) {
+	lines := make([]int, 0, len(w.lines))
+	for l := range w.lines {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	for _, l := range lines {
+		if !w.used[l] {
+			pass.Reportf(w.lines[l],
+				"stale //%s:ok waiver: it suppresses no %s finding on this or the next line",
+				w.tool, w.tool)
+		}
+	}
+}

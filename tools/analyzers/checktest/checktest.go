@@ -5,19 +5,34 @@
 // the (double-quoted, backquote-quoted also accepted) regular expression.
 // Diagnostics without a matching want, and wants without a diagnostic, fail
 // the test.
+//
+// AST-only analyzers run exactly as before: the fixture files are parsed,
+// never compiled, so they may reference undeclared qualifiers. Analyzers
+// with NeedsTypes get the full treatment instead: the fixture tree is
+// loaded as real packages (directory name = import path, so `testdata/src/b`
+// may `import "a"`), type-checked from source in dependency order with the
+// standard library resolved through the toolchain's export data, and facts
+// are gob round-tripped between packages through the same serialization the
+// unitchecker protocol uses — a corpus exercising cross-package summaries
+// therefore exercises the wire format too.
 package checktest
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"vadasa/tools/analyzers/analysis"
@@ -26,9 +41,255 @@ import (
 
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
-// Run analyzes the non-test .go files under dir with a and compares the
-// findings against the fixtures' want comments.
+// Run analyzes the fixture files under dir with a and compares the
+// findings against the fixtures' want comments. For AST-only analyzers dir
+// is one fixture package; for typed analyzers dir may be either one
+// package directory or a `testdata/src` root holding several packages that
+// import each other by directory name.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	if a.NeedsTypes {
+		runTyped(t, dir, a)
+		return
+	}
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, collectGoFiles(t, dir))
+	wants := collectWants(t, fset, files)
+	diags := unitchecker.RunAnalyzers(fset, files, []*analysis.Analyzer{a})
+	var findings []unitchecker.Finding
+	for _, d := range diags {
+		findings = append(findings, unitchecker.Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+	}
+	matchWants(t, wants, findings)
+}
+
+// runTyped loads the fixture tree as type-checked packages and runs the
+// analyzer over each in dependency order, facts flowing between them.
+func runTyped(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	analysis.RegisterFactTypes(a)
+	root, pkgDirs := fixturePackages(t, dir)
+
+	fset := token.NewFileSet()
+	type fixturePkg struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	pkgs := make(map[string]*fixturePkg)
+	var external []string
+	seenExternal := make(map[string]bool)
+	for _, pd := range pkgDirs {
+		rel, err := filepath.Rel(root, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.ToSlash(rel)
+		fp := &fixturePkg{path: path, files: parseDir(t, fset, collectGoFiles(t, pd))}
+		for _, f := range fp.files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp.imports = append(fp.imports, ip)
+			}
+		}
+		pkgs[path] = fp
+	}
+	for _, fp := range pkgs {
+		for _, ip := range fp.imports {
+			if _, local := pkgs[ip]; !local && !seenExternal[ip] {
+				seenExternal[ip] = true
+				external = append(external, ip)
+			}
+		}
+	}
+	std := stdImporter(t, fset, external)
+
+	// Topological order over the local import graph: dependencies first,
+	// so facts a package exports are on the shelf when its importers run.
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		fp, ok := pkgs[path]
+		if !ok || state[path] == 2 {
+			return
+		}
+		if state[path] == 1 {
+			t.Fatalf("fixture import cycle through %q", path)
+		}
+		state[path] = 1
+		for _, ip := range fp.imports {
+			visit(ip)
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		visit(p)
+	}
+
+	checked := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	store := analysis.NewFactStore()
+	var findings []unitchecker.Finding
+	var allFiles []*ast.File
+	for _, path := range order {
+		fp := pkgs[path]
+		allFiles = append(allFiles, fp.files...)
+		tc := &types.Config{Importer: imp}
+		info := unitchecker.NewTypesInfo()
+		tpkg, err := tc.Check(path, fset, fp.files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture package %q: %v", path, err)
+		}
+		checked[path] = tpkg
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     fp.files,
+			Pkg:       tpkg.Name(),
+			Path:      path,
+			TypesPkg:  tpkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, unitchecker.Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			},
+			Facts: store,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %q: %v", a.Name, path, err)
+		}
+		// Round-trip the facts through the unitchecker wire format after
+		// every package: the next package reads exactly what a separate
+		// process would have.
+		data, err := store.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store = analysis.NewFactStore()
+		if err := store.Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matchWants(t, collectWants(t, fset, allFiles), findings)
+}
+
+// fixturePackages resolves dir to (root, package directories): a directory
+// holding .go files directly is a single package rooted at its parent;
+// otherwise every subdirectory with .go files is a package rooted at dir.
+func fixturePackages(t *testing.T, dir string) (string, []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := false
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			direct = true
+			break
+		}
+	}
+	if direct {
+		return filepath.Dir(dir), []string{dir}
+	}
+	var pkgDirs []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		gos, globErr := filepath.Glob(filepath.Join(path, "*.go"))
+		if globErr != nil {
+			return globErr
+		}
+		if len(gos) > 0 {
+			pkgDirs = append(pkgDirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) == 0 {
+		t.Fatalf("no fixture packages under %s", dir)
+	}
+	sort.Strings(pkgDirs)
+	return dir, pkgDirs
+}
+
+// stdExports caches toolchain export-data locations across tests in one
+// process; `go list -export` is not cheap.
+var (
+	stdMu      sync.Mutex
+	stdExports = make(map[string]string)
+)
+
+// stdImporter resolves non-fixture imports through the toolchain: one
+// `go list -export -deps` call discovers the compiler export data for the
+// requested packages and everything below them, and a gc importer reads it.
+func stdImporter(t *testing.T, fset *token.FileSet, roots []string) types.Importer {
+	t.Helper()
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	var missing []string
+	for _, r := range roots {
+		if _, ok := stdExports[r]; !ok && r != "unsafe" {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			msg := err.Error()
+			if ee, ok := err.(*exec.ExitError); ok {
+				msg = string(ee.Stderr)
+			}
+			t.Fatalf("go list -export %v: %s", missing, msg)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for dec.More() {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err != nil {
+				t.Fatal(err)
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	exports := make(map[string]string, len(stdExports))
+	for k, v := range stdExports {
+		exports[k] = v
+	}
+	gc := unitchecker.ExportDataImporter(fset, exports)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func collectGoFiles(t *testing.T, dir string) []string {
 	t.Helper()
 	var paths []string
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
@@ -47,8 +308,11 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("no fixture files under %s", dir)
 	}
 	sort.Strings(paths)
+	return paths
+}
 
-	fset := token.NewFileSet()
+func parseDir(t *testing.T, fset *token.FileSet, paths []string) []*ast.File {
+	t.Helper()
 	var files []*ast.File
 	for _, path := range paths {
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
@@ -57,27 +321,27 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 		files = append(files, f)
 	}
+	return files
+}
 
-	wants := collectWants(t, fset, files)
-	diags := unitchecker.RunAnalyzers(fset, files, []*analysis.Analyzer{a})
-
+func matchWants(t *testing.T, wants []want, findings []unitchecker.Finding) {
+	t.Helper()
 	matched := make([]bool, len(wants))
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+	for _, d := range findings {
 		ok := false
 		for i, w := range wants {
-			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
 				continue
 			}
 			if !w.re.MatchString(d.Message) {
-				t.Errorf("%s: diagnostic %q does not match want %v", pos, d.Message, w.re)
+				t.Errorf("%s: diagnostic %q does not match want %v", d.Pos, d.Message, w.re)
 			}
 			matched[i] = true
 			ok = true
 			break
 		}
 		if !ok {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
 		}
 	}
 	for i, w := range wants {

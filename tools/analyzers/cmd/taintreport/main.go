@@ -1,0 +1,238 @@
+// Command taintreport runs the conftaint analyzer over the main module and
+// emits a machine-readable JSON inventory: every finding the analyzer would
+// report plus every active //conftaint:ok waiver with its justification.
+//
+// It is the non-gating companion to `go vet -vettool=vadavet`: vet fails the
+// build on unwaived findings, taintreport produces the artifact a data
+// officer reviews — on a clean tree the findings list is empty and the
+// waiver list is the complete record of sanctioned raw-data flows.
+//
+// Unlike go vet it drives the unitchecker protocol directly (one in-process
+// AnalyzeUnit per package over `go list -export -deps` output), so it is
+// never satisfied from vet's result cache and always reflects the tree as
+// it is on disk.
+//
+// Usage: taintreport [-C dir] > report.json  (exit 0 even with findings)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+	"vadasa/tools/analyzers/conftaint"
+	"vadasa/tools/analyzers/unitchecker"
+)
+
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Imports    []string
+	Standard   bool
+}
+
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type waiver struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Justification string `json:"justification"`
+}
+
+type report struct {
+	Tool     string    `json:"tool"`
+	Module   string    `json:"module"`
+	Packages int       `json:"packages"`
+	Findings []finding `json:"findings"`
+	Waivers  []waiver  `json:"waivers"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taintreport: ")
+	dir := flag.String("C", ".", "module directory to analyze")
+	flag.Parse()
+	analysis.RegisterFactTypes(conftaint.Analyzer)
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkgs, module, err := listPackages(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vetxDir, err := os.MkdirTemp("", "taintreport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(vetxDir)
+
+	goVersion := goEnv(root, "GOVERSION")
+	exports := make(map[string]string)
+	vetx := make(map[string]string)
+	rep := report{Tool: "conftaint", Module: module, Findings: []finding{}, Waivers: []waiver{}}
+
+	// go list -deps emits dependencies before importers, so by the time a
+	// package is analyzed every dependency's facts are already on disk.
+	for i, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || !conftaint.Analyzer.Applies(p.ImportPath) {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for j, f := range p.GoFiles {
+			files[j] = filepath.Join(p.Dir, f)
+		}
+		importMap := make(map[string]string, len(p.Imports))
+		for _, imp := range p.Imports {
+			importMap[imp] = imp
+		}
+		cfg := &unitchecker.Config{
+			ID:          p.ImportPath,
+			Compiler:    "gc",
+			Dir:         p.Dir,
+			ImportPath:  p.ImportPath,
+			GoVersion:   goVersion,
+			GoFiles:     files,
+			ImportMap:   importMap,
+			PackageFile: exports,
+			PackageVetx: vetx,
+			VetxOutput:  filepath.Join(vetxDir, fmt.Sprintf("unit%d.vetx", i)),
+		}
+		found, err := unitchecker.AnalyzeUnit(cfg, []*analysis.Analyzer{conftaint.Analyzer})
+		if err != nil {
+			log.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		vetx[p.ImportPath] = cfg.VetxOutput
+		rep.Packages++
+		for _, f := range found {
+			rep.Findings = append(rep.Findings, finding{
+				Analyzer: f.Analyzer,
+				File:     relTo(root, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		ws, err := scanWaivers(root, files)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Waivers = append(rep.Waivers, ws...)
+	}
+
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	sort.Slice(rep.Waivers, func(i, j int) bool {
+		a, b := rep.Waivers[i], rep.Waivers[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// listPackages returns the module's packages plus their transitive
+// dependencies, dependencies first, with compiler export data built.
+func listPackages(root string) ([]listedPackage, string, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Imports,Standard", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, "", fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, "", fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	mod := exec.Command("go", "list", "-m")
+	mod.Dir = root
+	modOut, err := mod.Output()
+	if err != nil {
+		return nil, "", fmt.Errorf("go list -m: %v", err)
+	}
+	return pkgs, strings.TrimSpace(string(modOut)), nil
+}
+
+// scanWaivers inventories //conftaint:ok directives so the report shows
+// every sanctioned flow alongside its recorded justification.
+func scanWaivers(root string, files []string) ([]waiver, error) {
+	var ws []waiver
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			pos := strings.Index(line, "//conftaint:ok")
+			// A waiver is a directive comment, so //conftaint:ok must open
+			// the comment — prose that merely mentions the directive (doc
+			// comments explaining the policy) starts its comment earlier.
+			if pos < 0 || strings.Index(line, "//") != pos {
+				continue
+			}
+			ws = append(ws, waiver{
+				File:          relTo(root, name),
+				Line:          i + 1,
+				Justification: strings.TrimSpace(line[pos+len("//conftaint:ok"):]),
+			})
+		}
+	}
+	return ws, nil
+}
+
+func relTo(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+func goEnv(dir, key string) string {
+	cmd := exec.Command("go", "env", key)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

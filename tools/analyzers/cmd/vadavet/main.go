@@ -7,6 +7,7 @@
 package main
 
 import (
+	"vadasa/tools/analyzers/conftaint"
 	"vadasa/tools/analyzers/ctxpass"
 	"vadasa/tools/analyzers/distfence"
 	"vadasa/tools/analyzers/governcharge"
@@ -17,5 +18,5 @@ import (
 )
 
 func main() {
-	unitchecker.Main(ctxpass.Analyzer, distfence.Analyzer, governcharge.Analyzer, hotgroup.Analyzer, replfence.Analyzer, streamfence.Analyzer)
+	unitchecker.Main(conftaint.Analyzer, ctxpass.Analyzer, distfence.Analyzer, governcharge.Analyzer, hotgroup.Analyzer, replfence.Analyzer, streamfence.Analyzer)
 }

@@ -1,0 +1,1075 @@
+// Package conftaint is the confidentiality-flow analyzer: a type-checked,
+// interprocedural taint pass proving that raw microdata cells never reach an
+// output sink except through the statistically vetted release path.
+//
+// The paper's invariant — raw financial microdata leaves the exchange only
+// as a vetted release — is enforced dynamically by the stream gate
+// (intent→publish). conftaint makes the same invariant checkable at compile
+// time over the exchange's own Go code:
+//
+//   - Sources. A named type annotated `//conftaint:source` (or any type
+//     structurally containing one — struct fields, slice/array/map/pointer
+//     elements) is confidential: every expression of such a type is raw
+//     data. Struct fields annotated `//conftaint:source` taint their
+//     selector expressions and make the owning type confidential. Functions
+//     annotated `//conftaint:source` return raw data. In this repo the root
+//     annotations live on mdb.Value (every dataset cell) so mdb.Row,
+//     mdb.Dataset, anon.Decision etc. are confidential by containment.
+//   - Sinks. fmt.Errorf / errors.New (typed errors and error bodies), the
+//     log print family and (*log.Logger) methods, fmt.Print* to standard
+//     output, fmt.Fprint* when the writer is an http.ResponseWriter or
+//     *os.File, http.Error, http.ResponseWriter.Write, panic, and every
+//     function annotated `//conftaint:sink` (journal appends, replication
+//     ship transports).
+//   - Sanitizers. Functions annotated `//conftaint:sanitize` (value
+//     digests, the release-gate encoders) and the crypto/hash standard
+//     library packages return clean data regardless of their arguments.
+//
+// Strings extracted from confidential values (Value.Constant, Value.String)
+// are tracked through assignments, concatenation, composite literals,
+// ranges and calls. Summaries make the analysis interprocedural without a
+// whole-program view: for every function the pass computes which parameters
+// flow to its results and which parameters reach a sink inside it, and
+// exports the summary as a unitchecker fact; importing packages report at
+// the call site when actual tainted data meets such a parameter.
+//
+// Escapes are `//conftaint:ok <reason>` on the flagged line or the line
+// above. A waiver that suppresses nothing is itself reported stale, so
+// escapes cannot outlive the code they excused.
+//
+// Scope: the analyzer runs over the vadasa module except `examples/` and
+// `cmd/experiments` (demo and research binaries that render synthetic data
+// by design) and `_test.go` files. The standard library portion of the
+// build graph is skipped entirely.
+package conftaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vadasa/tools/analyzers/analysis"
+)
+
+// Analyzer is the conftaint pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "conftaint",
+	Doc:        "raw microdata cells must not reach error strings, logs, HTTP writes, journal payloads or replication frames except through vetted release paths",
+	Run:        run,
+	NeedsTypes: true,
+	FactTypes:  []analysis.Fact{(*Summary)(nil), (*PkgMarks)(nil)},
+	Applies:    appliesTo,
+}
+
+// appliesTo keeps the pass on the exchange's own code: the vadasa module
+// minus the demo/research binaries, never the standard library.
+func appliesTo(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i] // "pkg [pkg.test]" test variants
+	}
+	if path != "vadasa" && !strings.HasPrefix(path, "vadasa/") {
+		// Fixture corpora (checktest) bypass Applies; under go vet only
+		// the exchange's module is in scope.
+		return false
+	}
+	switch {
+	case strings.HasPrefix(path, "vadasa/tools/"),
+		strings.HasPrefix(path, "vadasa/examples/"),
+		path == "vadasa/cmd/experiments":
+		return false
+	}
+	return true
+}
+
+// Summary is the per-function fact: how taint moves through a call to it.
+type Summary struct {
+	// ReturnsTaint: the results carry raw data regardless of arguments.
+	ReturnsTaint bool
+	// Sanitizes: the results are clean regardless of arguments
+	// (directive //conftaint:sanitize; overrides everything).
+	Sanitizes bool
+	// SinkAll: every argument is written to an output channel
+	// (directive //conftaint:sink).
+	SinkAll bool
+	// PropMask bit i set: parameter i flows into the results. For
+	// methods, bit 0 is the receiver and parameters follow.
+	PropMask uint64
+	// SinkMask bit i set: parameter i reaches a sink inside the function
+	// (directly or through further calls).
+	SinkMask uint64
+}
+
+// AFact implements analysis.Fact.
+func (*Summary) AFact() {}
+
+func (s *Summary) zero() bool {
+	return !s.ReturnsTaint && !s.Sanitizes && !s.SinkAll && s.PropMask == 0 && s.SinkMask == 0
+}
+
+// PkgMarks is the per-package fact: which of the package's named types and
+// struct fields are confidentiality sources, so importing packages extend
+// the containment closure without seeing the directives.
+type PkgMarks struct {
+	SourceTypes  []string // type names
+	SourceFields []string // "Type.Field"
+}
+
+// AFact implements analysis.Fact.
+func (*PkgMarks) AFact() {}
+
+// concrete is the taint bit meaning "definitely raw data"; lower bits mean
+// "tainted iff the corresponding parameter is".
+const concrete uint64 = 1 << 63
+
+const maxParams = 62
+
+type checker struct {
+	pass *analysis.Pass
+
+	// sourceTypes / sourceFields key "pkgpath.Type" / "pkgpath.Type.Field".
+	sourceTypes  map[string]bool
+	sourceFields map[string]bool
+	marksLoaded  map[string]bool // packages whose PkgMarks were merged
+	confCache    map[types.Type]bool
+
+	// summaries holds this package's in-progress function summaries;
+	// imported ones come from facts.
+	summaries map[*types.Func]*Summary
+	directive map[*types.Func]string // source|sink|sanitize
+
+	// decls maps each analyzed function object to its syntax.
+	decls map[*types.Func]*ast.FuncDecl
+
+	// waivers: file -> line -> comment position; usedWaivers the subset
+	// that suppressed a finding.
+	waivers     map[string]map[int]token.Pos
+	usedWaivers map[string]map[int]bool
+
+	reports map[string]report // keyed pos+message for dedup
+	record  bool              // final pass: collect reports
+}
+
+type report struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.TypesInfo == nil {
+		return fmt.Errorf("conftaint needs type information")
+	}
+	c := &checker{
+		pass:         pass,
+		sourceTypes:  make(map[string]bool),
+		sourceFields: make(map[string]bool),
+		marksLoaded:  make(map[string]bool),
+		confCache:    make(map[types.Type]bool),
+		summaries:    make(map[*types.Func]*Summary),
+		directive:    make(map[*types.Func]string),
+		decls:        make(map[*types.Func]*ast.FuncDecl),
+		waivers:      make(map[string]map[int]token.Pos),
+		usedWaivers:  make(map[string]map[int]bool),
+		reports:      make(map[string]report),
+	}
+	c.collectDirectives()
+
+	// Package-level fixpoint over the function summaries: bodies are
+	// re-analyzed until no summary changes, so intra-package call chains
+	// (and recursion) converge regardless of declaration order. Taint
+	// only ever grows, so the iteration is monotone and bounded.
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for fn, decl := range c.decls {
+			next := c.analyzeFunc(fn, decl)
+			if *next != *c.summaries[fn] {
+				c.summaries[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final pass with frozen summaries collects the diagnostics.
+	c.record = true
+	for fn, decl := range c.decls {
+		c.analyzeFunc(fn, decl)
+	}
+
+	c.emit()
+	c.exportFacts()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+
+const (
+	dirSource   = "//conftaint:source"
+	dirSink     = "//conftaint:sink"
+	dirSanitize = "//conftaint:sanitize"
+	dirOK       = "//conftaint:ok"
+)
+
+func (c *checker) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// collectDirectives scans every non-test file for conftaint directives and
+// waivers, seeds the summaries of annotated functions, and registers
+// annotated types/fields as sources.
+func (c *checker) collectDirectives() {
+	info := c.pass.TypesInfo
+	for _, file := range c.pass.Files {
+		if c.isTestFile(file.Pos()) {
+			continue
+		}
+		fname := c.pass.Fset.Position(file.Pos()).Filename
+		dirLines := make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				line := c.pass.Fset.Position(cm.Pos()).Line
+				switch {
+				case strings.HasPrefix(cm.Text, dirOK):
+					if c.waivers[fname] == nil {
+						c.waivers[fname] = make(map[int]token.Pos)
+					}
+					c.waivers[fname][line] = cm.Pos()
+				case strings.HasPrefix(cm.Text, dirSource):
+					dirLines[line] = "source"
+				case strings.HasPrefix(cm.Text, dirSink):
+					dirLines[line] = "sink"
+				case strings.HasPrefix(cm.Text, dirSanitize):
+					dirLines[line] = "sanitize"
+				}
+			}
+		}
+		directiveFor := func(doc *ast.CommentGroup, pos token.Pos) string {
+			if d, ok := dirLines[c.pass.Fset.Position(pos).Line]; ok {
+				return d
+			}
+			if doc != nil {
+				start := c.pass.Fset.Position(doc.Pos()).Line
+				end := c.pass.Fset.Position(doc.End()).Line
+				for l := start; l <= end; l++ {
+					if d, ok := dirLines[l]; ok {
+						return d
+					}
+				}
+			}
+			return ""
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := info.Defs[n.Name].(*types.Func)
+				if fn == nil {
+					return true
+				}
+				if n.Body != nil {
+					c.decls[fn] = n
+				}
+				c.summaries[fn] = &Summary{}
+				if d := directiveFor(n.Doc, n.Pos()); d != "" {
+					c.directive[fn] = d
+					c.applyDirective(fn, d)
+				}
+			case *ast.TypeSpec:
+				obj := info.Defs[n.Name]
+				if obj == nil {
+					return true
+				}
+				if d := directiveFor(n.Doc, n.Pos()); d == "source" {
+					c.sourceTypes[c.pass.Path+"."+n.Name.Name] = true
+				} else if n.Comment != nil {
+					if d := directiveFor(n.Comment, n.Comment.Pos()); d == "source" {
+						c.sourceTypes[c.pass.Path+"."+n.Name.Name] = true
+					}
+				}
+				// Struct fields and interface methods may carry their
+				// own directives.
+				switch t := n.Type.(type) {
+				case *ast.StructType:
+					for _, f := range t.Fields.List {
+						d := directiveFor(f.Doc, f.Pos())
+						if d == "" && f.Comment != nil {
+							d = directiveFor(f.Comment, f.Comment.Pos())
+						}
+						if d != "source" {
+							continue
+						}
+						for _, name := range f.Names {
+							c.sourceFields[c.pass.Path+"."+n.Name.Name+"."+name.Name] = true
+						}
+						c.sourceTypes[c.pass.Path+"."+n.Name.Name] = true
+					}
+				case *ast.InterfaceType:
+					for _, m := range t.Methods.List {
+						d := directiveFor(m.Doc, m.Pos())
+						if d == "" && m.Comment != nil {
+							d = directiveFor(m.Comment, m.Comment.Pos())
+						}
+						if d == "" {
+							continue
+						}
+						for _, name := range m.Names {
+							if fn, ok := info.Defs[name].(*types.Func); ok {
+								c.directive[fn] = d
+								c.summaries[fn] = &Summary{}
+								c.applyDirective(fn, d)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) applyDirective(fn *types.Func, d string) {
+	s := c.summaries[fn]
+	switch d {
+	case "source":
+		s.ReturnsTaint = true
+	case "sink":
+		s.SinkAll = true
+	case "sanitize":
+		s.Sanitizes = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Confidential types
+
+// loadMarks merges the PkgMarks fact of pkgPath into the source tables.
+func (c *checker) loadMarks(pkgPath string) {
+	if pkgPath == "" || pkgPath == c.pass.Path || c.marksLoaded[pkgPath] {
+		return
+	}
+	c.marksLoaded[pkgPath] = true
+	var m PkgMarks
+	if !c.pass.ImportPackageFact(pkgPath, &m) {
+		return
+	}
+	for _, t := range m.SourceTypes {
+		c.sourceTypes[pkgPath+"."+t] = true
+	}
+	for _, f := range m.SourceFields {
+		c.sourceFields[pkgPath+"."+f] = true
+	}
+}
+
+// confidential reports whether values of t are raw microdata: t is an
+// annotated source type, or structurally contains one.
+func (c *checker) confidential(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c.confCache[t]; ok {
+		return v
+	}
+	c.confCache[t] = false // cycle breaker; corrected below
+	v := c.confidentialUncached(t, make(map[types.Type]bool))
+	c.confCache[t] = v
+	return v
+}
+
+func (c *checker) confidentialUncached(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil {
+			c.loadMarks(obj.Pkg().Path())
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if c.pass.TypesPkg != nil && obj.Pkg() == c.pass.TypesPkg {
+				key = c.pass.Path + "." + obj.Name()
+			}
+			if c.sourceTypes[key] {
+				return true
+			}
+		}
+		return c.confidentialUncached(t.Underlying(), seen)
+	case *types.Pointer:
+		return c.confidentialUncached(t.Elem(), seen)
+	case *types.Slice:
+		return c.confidentialUncached(t.Elem(), seen)
+	case *types.Array:
+		return c.confidentialUncached(t.Elem(), seen)
+	case *types.Map:
+		return c.confidentialUncached(t.Key(), seen) || c.confidentialUncached(t.Elem(), seen)
+	case *types.Chan:
+		return c.confidentialUncached(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.confidentialUncached(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sourceField reports whether selecting field obj (owner named type) is an
+// annotated raw-data access.
+func (c *checker) sourceField(recv types.Type, field *types.Var) bool {
+	t := recv
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkgPath := named.Obj().Pkg().Path()
+	if c.pass.TypesPkg != nil && named.Obj().Pkg() == c.pass.TypesPkg {
+		pkgPath = c.pass.Path
+	}
+	c.loadMarks(pkgPath)
+	return c.sourceFields[pkgPath+"."+named.Obj().Name()+"."+field.Name()]
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis
+
+type fnScope struct {
+	c        *checker
+	fn       *types.Func
+	decl     *ast.FuncDecl
+	taint    map[types.Object]uint64
+	paramBit map[types.Object]uint64
+	results  []types.Object // named results, for naked returns
+	sum      *Summary
+}
+
+func (c *checker) analyzeFunc(fn *types.Func, decl *ast.FuncDecl) *Summary {
+	if c.isTestFile(decl.Pos()) {
+		return &Summary{}
+	}
+	s := &fnScope{
+		c:        c,
+		fn:       fn,
+		decl:     decl,
+		taint:    make(map[types.Object]uint64),
+		paramBit: make(map[types.Object]uint64),
+		sum:      &Summary{},
+	}
+	if d := c.directive[fn]; d != "" {
+		c.applyDirective(fn, d)
+		*s.sum = *c.summaries[fn]
+		if s.sum.Sanitizes {
+			// A sanitizer's body is trusted: it exists to reduce raw
+			// data to a safe form, so its internals are not re-flagged.
+			return s.sum
+		}
+	}
+
+	bit := 0
+	addParam := func(obj types.Object) {
+		if obj != nil && bit < maxParams {
+			s.paramBit[obj] = 1 << uint(bit)
+		}
+		bit++
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		addParam(sig.Recv())
+	} else if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		bit++
+	}
+	info := c.pass.TypesInfo
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				bit++
+				continue
+			}
+			for _, name := range f.Names {
+				addParam(info.Defs[name])
+			}
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					s.results = append(s.results, obj)
+				}
+			}
+		}
+	}
+
+	// Local fixpoint: loops feed assignments backwards, so sweep the body
+	// until the taint map stabilizes.
+	for i := 0; i < 10; i++ {
+		if !s.sweep() {
+			break
+		}
+	}
+	// Named results accumulate through assignments; fold them in even when
+	// every return is naked.
+	for _, obj := range s.results {
+		s.fold(s.taint[obj])
+	}
+	return s.sum
+}
+
+// fold records m as reaching the function's results.
+func (s *fnScope) fold(m uint64) {
+	if m&concrete != 0 {
+		s.sum.ReturnsTaint = true
+	}
+	s.sum.PropMask |= m &^ concrete
+}
+
+// sweep walks the body once, updating the taint map and evaluating every
+// call; it reports whether any local taint changed.
+func (s *fnScope) sweep() bool {
+	changed := false
+	set := func(obj types.Object, m uint64) {
+		if obj == nil || m == 0 {
+			return
+		}
+		if s.taint[obj]|m != s.taint[obj] {
+			s.taint[obj] |= m
+			changed = true
+		}
+	}
+	info := s.c.pass.TypesInfo
+	ast.Inspect(s.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				var rhs uint64
+				perValue := len(n.Lhs) == len(n.Rhs)
+				if !perValue {
+					for _, r := range n.Rhs {
+						rhs |= s.exprTaint(r)
+					}
+				}
+				for i, l := range n.Lhs {
+					m := rhs
+					if perValue {
+						m = s.exprTaint(n.Rhs[i])
+					}
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						set(obj, m)
+					}
+				}
+			} else {
+				// op= : x += y keeps x's taint and adds y's.
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj := info.Uses[id]
+					if obj == nil {
+						obj = info.Defs[id]
+					}
+					set(obj, s.exprTaint(n.Rhs[0]))
+				}
+			}
+		case *ast.ValueSpec:
+			var rhs uint64
+			perValue := len(n.Names) == len(n.Values)
+			if !perValue {
+				for _, v := range n.Values {
+					rhs |= s.exprTaint(v)
+				}
+			}
+			for i, name := range n.Names {
+				m := rhs
+				if perValue {
+					m = s.exprTaint(n.Values[i])
+				}
+				set(info.Defs[name], m)
+			}
+		case *ast.RangeStmt:
+			m := s.exprTaint(n.X)
+			// Range keys never inherit the container's taint: slice and
+			// array keys are positions, and map keys of a confidential
+			// type are caught by the type rule at every use anyway. (A
+			// flow-tainted key of plain type — a map keyed by cell text —
+			// is a known blind spot, documented in DESIGN.md.)
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				set(obj, m)
+			}
+		case *ast.CallExpr:
+			s.callTaint(n)
+		}
+		return true
+	})
+	// Returns belonging to this function (not to nested FuncLits) feed
+	// the summary.
+	ast.Inspect(s.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			for _, e := range r.Results {
+				s.fold(s.exprTaint(e))
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// exprTaint evaluates the taint mask of e.
+func (s *fnScope) exprTaint(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	info := s.c.pass.TypesInfo
+	if tv, ok := info.Types[e]; ok && tv.IsValue() && types.Identical(tv.Type, errorType) {
+		// Errors are always clean: the single point of report is where raw
+		// data is formatted INTO an error (fmt.Errorf, errors.New), so a
+		// propagated error value never re-triggers downstream sinks.
+		return 0
+	}
+	m := uint64(0)
+	if tv, ok := info.Types[e]; ok && tv.IsValue() && s.c.confidential(tv.Type) {
+		m |= concrete
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.FuncLit:
+		return m
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj != nil {
+			m |= s.taint[obj] | s.paramBit[obj]
+		}
+		return m
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if f, ok := sel.Obj().(*types.Var); ok && s.c.sourceField(sel.Recv(), f) {
+				m |= concrete
+			}
+			// Struct field selection deliberately does not inherit the
+			// container's taint: d.Name on a confidential Dataset is a
+			// schema name, not a cell. Annotated fields and
+			// confidential field types are what propagate.
+			return m
+		}
+		// Qualified identifier (pkg.Var): no local flow to add.
+		return m
+	case *ast.IndexExpr:
+		if tv, ok := info.Types[e.Index]; ok && tv.IsType() {
+			return m | s.exprTaint(e.X) // generic instantiation
+		}
+		return m | s.exprTaint(e.X)
+	case *ast.IndexListExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.SliceExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.StarExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.ParenExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return m | s.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		return m | s.exprTaint(e.X) | s.exprTaint(e.Y)
+	case *ast.KeyValueExpr:
+		return m | s.exprTaint(e.Value)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			m |= s.exprTaint(el)
+		}
+		return m
+	case *ast.CallExpr:
+		return m | s.callTaint(e)
+	}
+	return m
+}
+
+// callTaint evaluates a call: checks sink arguments, applies sanitizers and
+// summaries, and returns the taint of the call's results.
+func (s *fnScope) callTaint(call *ast.CallExpr) uint64 {
+	info := s.c.pass.TypesInfo
+
+	// Type conversion: T(x).
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		m := uint64(0)
+		for _, a := range call.Args {
+			m |= s.exprTaint(a)
+		}
+		if t, ok := info.Types[call]; ok && t.IsValue() && s.c.confidential(t.Type) {
+			m |= concrete
+		}
+		return m
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "new", "make", "delete", "close", "clear", "recover":
+				return 0
+			case "panic":
+				s.checkSinkArgs(call, call.Args, "panic")
+				return 0
+			default: // append, copy, min, max, complex, real, imag...
+				m := uint64(0)
+				for _, a := range call.Args {
+					m |= s.exprTaint(a)
+				}
+				return m
+			}
+		}
+	}
+
+	callee := s.staticCallee(fun)
+	if callee == nil {
+		// Call through a function value: propagate conservatively.
+		m := uint64(0)
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			m |= s.exprTaint(sel.X)
+		}
+		for _, a := range call.Args {
+			m |= s.exprTaint(a)
+		}
+		return m
+	}
+
+	pkgPath := ""
+	if callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+		if s.c.pass.TypesPkg != nil && callee.Pkg() == s.c.pass.TypesPkg {
+			pkgPath = s.c.pass.Path
+		}
+	}
+	key := pkgPath + "." + analysis.ObjectKey(callee)
+
+	// Builtin sinks.
+	if spec, ok := builtinSinks[key]; ok {
+		args := call.Args
+		if spec.writerGated {
+			if len(args) == 0 || !s.c.sinkWriter(info.Types[args[0]].Type) {
+				// Not writing to an output channel: plain propagation
+				// (building a string in a buffer is not yet a leak).
+				m := uint64(0)
+				for _, a := range call.Args {
+					m |= s.exprTaint(a)
+				}
+				return m
+			}
+		}
+		if spec.from < len(args) {
+			args = args[spec.from:]
+		} else {
+			args = nil
+		}
+		if spec.recvToo {
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				s.checkSinkArgs(call, []ast.Expr{sel.X}, key)
+			}
+		}
+		s.checkSinkArgs(call, args, key)
+		return 0
+	}
+
+	// Builtin sanitizers: digests and HMACs reduce raw data to safe
+	// fingerprints.
+	if strings.HasPrefix(pkgPath, "crypto/") || strings.HasPrefix(pkgPath, "hash/") || pkgPath == "crypto" || pkgPath == "hash" {
+		for _, a := range call.Args {
+			s.exprTaint(a) // still evaluate for nested calls
+		}
+		return 0
+	}
+
+	// Summary: in-package in-progress, or an imported fact. A callee in a
+	// package this analyzer covers (Applies) with no exported fact has a
+	// zero summary — it was analyzed and neither taints, sinks nor
+	// propagates — so only genuinely un-analyzed code (the standard
+	// library) gets the conservative treatment below.
+	var sum *Summary
+	if local, ok := s.c.summaries[callee]; ok {
+		sum = local
+	} else if callee.Pkg() != nil {
+		var imported Summary
+		if s.c.pass.ImportObjectFact(callee, &imported) {
+			sum = &imported
+		} else if appliesTo(pkgPath) {
+			sum = &Summary{}
+		}
+	}
+
+	recv, args := s.callArgs(fun, call, callee)
+	if sum != nil {
+		if sum.Sanitizes {
+			return 0
+		}
+		if sum.SinkAll {
+			s.checkSinkArgs(call, args, key)
+			return 0
+		}
+		m := uint64(0)
+		if sum.ReturnsTaint {
+			m |= concrete
+		}
+		m |= s.maskedArgTaint(sum.PropMask, recv, args, callee)
+		if sink := s.maskedArgTaint(sum.SinkMask, recv, args, callee); sink != 0 {
+			if sink&concrete != 0 {
+				s.report(call.Pos(), fmt.Sprintf(
+					"raw microdata flows into %s, which passes it to an output sink", key))
+			}
+			s.sum.SinkMask |= sink &^ concrete
+		}
+		if t, ok := info.Types[call]; ok && t.IsValue() && s.c.confidential(t.Type) {
+			m |= concrete
+		}
+		return m
+	}
+
+	// Unknown callee (standard library and friends): conservative
+	// propagation — fmt.Sprintf of a raw cell is a raw string.
+	m := uint64(0)
+	if recv != nil {
+		m |= s.exprTaint(recv)
+	}
+	for _, a := range args {
+		m |= s.exprTaint(a)
+	}
+	if t, ok := info.Types[call]; ok && t.IsValue() && s.c.confidential(t.Type) {
+		m |= concrete
+	}
+	return m
+}
+
+// callArgs splits a call into (receiver expr or nil, positional args).
+func (s *fnScope) callArgs(fun ast.Expr, call *ast.CallExpr, callee *types.Func) (ast.Expr, []ast.Expr) {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if s.c.pass.TypesInfo.Selections[sel] != nil {
+				return sel.X, call.Args // method value call
+			}
+		}
+	}
+	return nil, call.Args
+}
+
+// maskedArgTaint unions the taint of the arguments selected by mask, using
+// the same parameter numbering the summary was computed with (receiver =
+// bit 0 for methods; the variadic bit covers every trailing argument).
+func (s *fnScope) maskedArgTaint(mask uint64, recv ast.Expr, args []ast.Expr, callee *types.Func) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	out := uint64(0)
+	bit := 0
+	if sig != nil && sig.Recv() != nil {
+		if mask&1 != 0 && recv != nil {
+			out |= s.exprTaint(recv)
+		}
+		bit = 1
+	}
+	nparams := 0
+	if sig != nil {
+		nparams = sig.Params().Len()
+	}
+	for i := 0; i < nparams; i++ {
+		b := uint64(1) << uint(bit+i)
+		if mask&b == 0 {
+			continue
+		}
+		if sig.Variadic() && i == nparams-1 {
+			for j := i; j < len(args); j++ {
+				out |= s.exprTaint(args[j])
+			}
+			continue
+		}
+		if i < len(args) {
+			out |= s.exprTaint(args[i])
+		}
+	}
+	return out
+}
+
+// checkSinkArgs evaluates each argument against the sink: concrete taint is
+// a finding; parameter taint becomes part of this function's SinkMask so
+// callers are checked at their call sites.
+func (s *fnScope) checkSinkArgs(call *ast.CallExpr, args []ast.Expr, sinkName string) {
+	for _, a := range args {
+		m := s.exprTaint(a)
+		if m&concrete != 0 {
+			s.report(a.Pos(), fmt.Sprintf(
+				"raw microdata reaches %s: redact it (attribute index + value digest, mdb redaction helpers) or annotate //conftaint:ok with why this output is vetted", sinkName))
+		}
+		s.sum.SinkMask |= m &^ concrete
+	}
+}
+
+func (s *fnScope) report(pos token.Pos, msg string) {
+	if !s.c.record {
+		return
+	}
+	p := s.c.pass.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+	s.c.reports[key] = report{pos: pos, msg: msg}
+}
+
+// staticCallee resolves the called *types.Func, or nil for dynamic calls.
+func (s *fnScope) staticCallee(fun ast.Expr) *types.Func {
+	info := s.c.pass.TypesInfo
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr:
+		return s.staticCallee(ast.Unparen(fun.X))
+	case *ast.IndexListExpr:
+		return s.staticCallee(ast.Unparen(fun.X))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Builtin sink table
+
+type sinkSpec struct {
+	from        int  // first argument index to check
+	recvToo     bool // also check the receiver
+	writerGated bool // only a sink when arg 0 is an output writer
+}
+
+var builtinSinks = map[string]sinkSpec{
+	"fmt.Errorf":                    {},
+	"fmt.Print":                     {},
+	"fmt.Printf":                    {},
+	"fmt.Println":                   {},
+	"fmt.Fprint":                    {from: 1, writerGated: true},
+	"fmt.Fprintf":                   {from: 1, writerGated: true},
+	"fmt.Fprintln":                  {from: 1, writerGated: true},
+	"errors.New":                    {},
+	"log.Print":                     {},
+	"log.Printf":                    {},
+	"log.Println":                   {},
+	"log.Fatal":                     {},
+	"log.Fatalf":                    {},
+	"log.Fatalln":                   {},
+	"log.Panic":                     {},
+	"log.Panicf":                    {},
+	"log.Panicln":                   {},
+	"log.Output":                    {from: 1},
+	"log.Logger.Print":              {},
+	"log.Logger.Printf":             {},
+	"log.Logger.Println":            {},
+	"log.Logger.Fatal":              {},
+	"log.Logger.Fatalf":             {},
+	"log.Logger.Fatalln":            {},
+	"log.Logger.Panic":              {},
+	"log.Logger.Panicf":             {},
+	"log.Logger.Panicln":            {},
+	"log.Logger.Output":             {from: 1},
+	"net/http.Error":                {from: 1},
+	"net/http.ResponseWriter.Write": {},
+}
+
+// sinkWriter reports whether writing to t publishes data: the HTTP response
+// stream or a real file handle (os.Stdout, os.Stderr, opened files).
+func (c *checker) sinkWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "net/http.ResponseWriter" || s == "*os.File"
+}
+
+// ---------------------------------------------------------------------------
+// Emission: waivers, stale waivers, facts
+
+func (c *checker) emit() {
+	for _, r := range c.reports {
+		p := c.pass.Fset.Position(r.pos)
+		if w := c.waivers[p.Filename]; w != nil {
+			line := 0
+			if _, ok := w[p.Line]; ok {
+				line = p.Line
+			} else if _, ok := w[p.Line-1]; ok {
+				line = p.Line - 1
+			}
+			if line != 0 {
+				if c.usedWaivers[p.Filename] == nil {
+					c.usedWaivers[p.Filename] = make(map[int]bool)
+				}
+				c.usedWaivers[p.Filename][line] = true
+				continue
+			}
+		}
+		c.pass.Report(analysis.Diagnostic{Pos: r.pos, Message: r.msg})
+	}
+	// Stale waivers: an escape that no longer suppresses anything is dead
+	// weight that would silently excuse the next leak on that line.
+	for fname, lines := range c.waivers {
+		for line, pos := range lines {
+			if !c.usedWaivers[fname][line] {
+				c.pass.Reportf(pos, "stale //conftaint:ok waiver: it suppresses no conftaint finding on this or the next line")
+			}
+		}
+	}
+}
+
+func (c *checker) exportFacts() {
+	for fn, sum := range c.summaries {
+		if sum.zero() {
+			continue
+		}
+		c.pass.ExportObjectFact(fn, sum)
+	}
+	var marks PkgMarks
+	prefix := c.pass.Path + "."
+	for key := range c.sourceTypes {
+		if strings.HasPrefix(key, prefix) {
+			name := strings.TrimPrefix(key, prefix)
+			if !strings.Contains(name, ".") {
+				marks.SourceTypes = append(marks.SourceTypes, name)
+			}
+		}
+	}
+	for key := range c.sourceFields {
+		if strings.HasPrefix(key, prefix) {
+			marks.SourceFields = append(marks.SourceFields, strings.TrimPrefix(key, prefix))
+		}
+	}
+	if len(marks.SourceTypes)+len(marks.SourceFields) > 0 {
+		sortStrings(marks.SourceTypes)
+		sortStrings(marks.SourceFields)
+		c.pass.ExportPackageFact(&marks)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

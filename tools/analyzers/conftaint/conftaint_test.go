@@ -1,0 +1,35 @@
+package conftaint_test
+
+import (
+	"testing"
+
+	"vadasa/tools/analyzers/checktest"
+	"vadasa/tools/analyzers/conftaint"
+)
+
+func TestConftaint(t *testing.T) {
+	checktest.Run(t, "testdata/src", conftaint.Analyzer)
+}
+
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"vadasa", true},
+		{"vadasa/internal/mdb", true},
+		{"vadasa/internal/stream [vadasa/internal/stream.test]", true},
+		{"vadasa/cmd/vadasad", true},
+		{"vadasa/cmd/experiments", false},
+		{"vadasa/examples/chaos", false},
+		{"vadasa/tools/analyzers/conftaint", false},
+		{"fmt", false},
+		{"net/http", false},
+		{"vadasa.test", false},
+	}
+	for _, c := range cases {
+		if got := conftaint.Analyzer.Applies(c.path); got != c.want {
+			t.Errorf("Applies(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package a models the microdata side: a confidential cell type, an
+// accessor, a sanitizer, a containment struct and an annotated sink.
+package a
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log"
+)
+
+// Value is one raw microdata cell.
+type Value struct {
+	s string //conftaint:source
+}
+
+// NewValue wraps raw text in a cell.
+func NewValue(s string) Value { return Value{s: s} }
+
+// Constant returns the raw cell text; the taint follows it.
+func (v Value) Constant() string { return v.s }
+
+// Redacted reduces a cell to a safe digest.
+//
+//conftaint:sanitize
+func Redacted(v Value) string {
+	sum := sha256.Sum256([]byte(v.Constant()))
+	return hex.EncodeToString(sum[:4])
+}
+
+// Row is confidential by containment: it holds Values.
+type Row struct {
+	ID    int
+	Cells []Value
+}
+
+func Leak(v Value) error {
+	return fmt.Errorf("bad cell %q", v.Constant()) // want "raw microdata reaches fmt.Errorf"
+}
+
+func LeakLog(r Row) {
+	log.Printf("row %v", r) // want "raw microdata reaches log.Printf"
+}
+
+func Clean(v Value) error {
+	return fmt.Errorf("bad cell %s", Redacted(v))
+}
+
+func CleanIndex(r Row, i int) error {
+	return fmt.Errorf("row %d cell %d invalid", r.ID, i)
+}
+
+// Format returns the raw cell text decorated; callers inherit the taint.
+func Format(v Value) string {
+	return "cell " + v.Constant()
+}
+
+// SinkParam forwards its argument into an error: callers with raw data are
+// flagged at their call sites through the exported summary.
+func SinkParam(msg string) error {
+	return fmt.Errorf("wrapped: %s", msg)
+}
+
+func LeakViaParam(v Value) error {
+	return SinkParam(v.Constant()) // want "raw microdata flows into a.SinkParam"
+}
+
+// Store publishes its payload.
+//
+//conftaint:sink
+func Store(payload []byte) {}
+
+func LeakStore(v Value) {
+	Store([]byte(v.Constant())) // want "raw microdata reaches a.Store"
+}
+
+func WaivedStore(v Value) {
+	//conftaint:ok journaled raw cells are the crash-recovery record
+	Store([]byte(v.Constant()))
+}
+
+//conftaint:ok nothing on the next line leaks // want "stale //conftaint:ok waiver"
+func NotLeaky() error {
+	return fmt.Errorf("all good")
+}
+
+// Flow through locals, loops and concatenation.
+func LeakLoop(rows []Row) error {
+	joined := ""
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			joined += c.Constant()
+		}
+	}
+	if joined != "" {
+		return fmt.Errorf("cells: %s", joined) // want "raw microdata reaches fmt.Errorf"
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package b imports a: every flow below crosses the package boundary, so
+// the findings depend on the facts package a exported — Value's source
+// marks, Format's returns-taint summary, SinkParam's sink-parameter
+// summary, Store's sink directive and Redacted's sanitizer directive.
+package b
+
+import (
+	"fmt"
+	"log"
+
+	"a"
+)
+
+func LeakAcross(v a.Value) error {
+	return fmt.Errorf("cell %q", a.Format(v)) // want "raw microdata reaches fmt.Errorf"
+}
+
+func CleanAcross(v a.Value) error {
+	return fmt.Errorf("cell %s", a.Redacted(v))
+}
+
+func LeakSummaryAcross(v a.Value) error {
+	return a.SinkParam(a.Format(v)) // want "raw microdata flows into a.SinkParam"
+}
+
+func LeakContainment(r a.Row) {
+	log.Println("row", r.Cells) // want "raw microdata reaches log.Println"
+}
+
+func LeakStoreAcross(v a.Value) {
+	a.Store([]byte(v.Constant())) // want "raw microdata reaches a.Store"
+}
+
+func CleanMetadata(r a.Row) error {
+	return fmt.Errorf("row %d rejected", r.ID)
+}
+
+func WaivedAcross(v a.Value) {
+	a.Store([]byte(v.Constant())) //conftaint:ok sanctioned journal append of raw cells
+}

@@ -35,7 +35,7 @@ func run(pass *analysis.Pass) error {
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
 			continue
 		}
-		ok := okLines(pass.Fset, file)
+		ok := analysis.CollectWaivers(pass.Fset, file, "distfence")
 		for _, decl := range file.Decls {
 			fn, isFn := decl.(*ast.FuncDecl)
 			if !isFn || fn.Body == nil {
@@ -68,7 +68,7 @@ func run(pass *analysis.Pass) error {
 			}
 			for _, pos := range touches {
 				line := pass.Fset.Position(pos).Line
-				if ok[line] || ok[line-1] {
+				if ok.Suppresses(line) {
 					continue
 				}
 				pass.Reportf(pos,
@@ -76,18 +76,7 @@ func run(pass *analysis.Pass) error {
 					fn.Name.Name)
 			}
 		}
+		ok.ReportStale(pass)
 	}
 	return nil
-}
-
-func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	out := make(map[int]bool)
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//distfence:ok") {
-				out[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return out
 }

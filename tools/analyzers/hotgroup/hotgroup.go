@@ -13,7 +13,6 @@ package hotgroup
 
 import (
 	"go/ast"
-	"go/token"
 	"strings"
 
 	"vadasa/tools/analyzers/analysis"
@@ -40,7 +39,7 @@ func run(pass *analysis.Pass) error {
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
 			continue
 		}
-		ok := okLines(pass.Fset, file)
+		ok := analysis.CollectWaivers(pass.Fset, file, "hotgroup")
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, isCall := n.(*ast.CallExpr)
 			if !isCall {
@@ -54,7 +53,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			line := pass.Fset.Position(call.Pos()).Line
-			if ok[line] || ok[line-1] {
+			if ok.Suppresses(line) {
 				return true
 			}
 			pass.Reportf(call.Pos(),
@@ -62,18 +61,7 @@ func run(pass *analysis.Pass) error {
 				sel.Sel.Name)
 			return true
 		})
+		ok.ReportStale(pass)
 	}
 	return nil
-}
-
-func okLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	out := make(map[int]bool)
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//hotgroup:ok") {
-				out[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return out
 }

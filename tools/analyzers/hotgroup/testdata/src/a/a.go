@@ -39,3 +39,8 @@ func notMdb(d *dataset, qi []int) []int {
 	var o other
 	return o.ComputeGroups(d, qi, 0) // receiver is not mdb: fine
 }
+
+//hotgroup:ok leftover waiver, regroup was removed // want `stale //hotgroup:ok waiver`
+func noRegroup(d *dataset, qi []int) []int {
+	return qi
+}

@@ -12,14 +12,23 @@
 //	           "file:line:col: message" lines and exit 1 when any were
 //	           found, 0 otherwise
 //
-// The driver must always write the Config.VetxOutput facts file (ours is
-// empty — these analyzers are AST-only and export no facts) or the build
-// tool complains about the missing cache entry.
+// The driver always writes the Config.VetxOutput facts file. For AST-only
+// analyzers it is an empty byte sequence, as before; analyzers that declare
+// FactTypes get their exported facts gob-serialized there, and the facts of
+// every dependency (read back from Config.PackageVetx) are merged in, so
+// fact visibility is transitive without a whole-program pass.
+//
+// Analyzers with NeedsTypes get a full go/types pass over the unit: the
+// importer reads the compiler export data go vet lists in
+// Config.PackageFile (mapped through Config.ImportMap), exactly as the
+// upstream unitchecker does. Units no typed analyzer applies to — see
+// Analyzer.Applies — skip type-checking entirely, which keeps `go vet
+// -vettool` cheap over the standard library portion of the build graph.
 //
 // For convenience outside go vet, a directory argument analyzes the
-// non-test .go files under it (recursively): `vadavet ./internal/...`-style
-// package patterns are go vet's job, but `vadavet .` works for a quick
-// local sweep.
+// non-test .go files under it (recursively) with the AST-only analyzers:
+// `vadavet ./internal/...`-style package patterns are go vet's job, but
+// `vadavet .` works for a quick local sweep.
 package unitchecker
 
 import (
@@ -28,8 +37,10 @@ import (
 	"flag"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"io/fs"
 	"log"
@@ -45,12 +56,29 @@ import (
 // Only the fields this driver consumes are declared; unknown fields are
 // ignored by encoding/json.
 type Config struct {
-	ID                        string
-	ImportPath                string
-	GoFiles                   []string
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	// ImportMap maps source-level import path strings to canonical
+	// package paths; PackageFile maps canonical paths to compiler export
+	// data; PackageVetx maps them to the fact files earlier tool
+	// invocations wrote for the dependencies.
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// A Finding is one diagnostic, tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
 }
 
 // Main runs the protocol and exits the process.
@@ -58,6 +86,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
 	log.SetPrefix(progname + ": ")
+	analysis.RegisterFactTypes(analyzers...)
 
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
 	flag.Var(versionFlag{}, "V", "print version and exit")
@@ -165,8 +194,46 @@ func runConfig(path string, analyzers []*analysis.Analyzer) int {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		log.Fatalf("cannot decode JSON config file %s: %v", path, err)
 	}
+	findings, err := AnalyzeUnit(cfg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, never diagnostics.
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// AnalyzeUnit analyzes the single compilation unit cfg describes: it
+// parses the unit, type-checks it when a selected analyzer needs types,
+// threads dependency facts in and exports the unit's facts to
+// cfg.VetxOutput. A type-check or parse failure returns (nil, nil) when
+// cfg.SucceedOnTypecheckFailure is set — the compiler will report the
+// error — and an error otherwise.
+func AnalyzeUnit(cfg *Config, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	if len(cfg.GoFiles) == 0 {
-		log.Fatalf("package has no files: %s", cfg.ImportPath)
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	// Applies lets an analyzer bow out of units it has no business with
+	// (the standard library, example binaries); if none of the applicable
+	// analyzers needs types, the whole go/types pass is skipped.
+	var applicable []*analysis.Analyzer
+	needTypes := false
+	needFacts := false
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(cfg.ImportPath) {
+			continue
+		}
+		applicable = append(applicable, a)
+		needTypes = needTypes || a.NeedsTypes
+		needFacts = needFacts || len(a.FactTypes) > 0
 	}
 
 	fset := token.NewFileSet()
@@ -176,42 +243,209 @@ func runConfig(path string, analyzers []*analysis.Analyzer) int {
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
 				// The compiler will report the syntax error; stay quiet.
-				writeVetx(cfg)
-				return 0
+				writeVetx(cfg, nil)
+				return nil, nil
 			}
-			log.Fatal(err)
+			return nil, err
 		}
 		files = append(files, f)
 	}
 
-	diags := RunAnalyzers(fset, files, analyzers)
-	writeVetx(cfg)
-	if cfg.VetxOnly {
-		// Dependency pass: facts only, never diagnostics.
-		return 0
+	store := analysis.NewFactStore()
+	if needFacts {
+		for _, vetx := range sortedValues(cfg.PackageVetx) {
+			data, err := os.ReadFile(vetx)
+			if err != nil {
+				// A missing dependency fact file means the dependency ran
+				// an older tool build; treat as an empty fact set.
+				continue
+			}
+			if err := store.Decode(data); err != nil {
+				return nil, fmt.Errorf("%s: reading facts %s: %w", cfg.ImportPath, vetx, err)
+			}
+		}
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+
+	var typesPkg *types.Package
+	var info *types.Info
+	if needTypes {
+		var err error
+		typesPkg, info, err = typeCheck(cfg, fset, files)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg, store)
+				return nil, nil
+			}
+			return nil, fmt.Errorf("%s: type-checking: %w", cfg.ImportPath, err)
+		}
 	}
-	if len(diags) > 0 {
-		return 1
+
+	var findings []Finding
+	for _, a := range applicable {
+		if cfg.VetxOnly && len(a.FactTypes) == 0 {
+			// Facts-only pass over a dependency: analyzers that export
+			// nothing have nothing to contribute.
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      files[0].Name.Name,
+			Path:     cfg.ImportPath,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			},
+			Facts: store,
+		}
+		if a.NeedsTypes {
+			pass.TypesPkg = typesPkg
+			pass.TypesInfo = info
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
 	}
-	return 0
+	writeVetx(cfg, store)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		if findings[i].Pos.Line != findings[j].Pos.Line {
+			return findings[i].Pos.Line < findings[j].Pos.Line
+		}
+		return findings[i].Pos.Column < findings[j].Pos.Column
+	})
+	return findings, nil
 }
 
-// writeVetx persists the (empty) facts file the build tool expects.
-func writeVetx(cfg *Config) {
+// typeCheck runs go/types over the unit with an importer backed by the
+// compiler export data go vet supplied.
+func typeCheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: langVersion(cfg.GoVersion),
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo returns a types.Info with every map populated, the shape
+// both this driver and the checktest source loader hand to analyzers.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// langVersion trims a toolchain version like "go1.22.3" to the language
+// version form go/types accepts ("go1.22"); anything unrecognized is
+// passed through empty so type-checking falls back to the tool's default.
+func langVersion(v string) string {
+	if !strings.HasPrefix(v, "go1.") {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[0] + "." + parts[1]
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExportDataImporter returns a gc-export-data importer over an explicit
+// import-path → file map — the resolver both the checktest source loader
+// and the taintreport driver use for toolchain packages.
+func ExportDataImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// writeVetx persists the unit's facts where go vet expects them. An empty
+// store (or nil, on type-check failure) writes the empty file the build
+// tool demands.
+func writeVetx(cfg *Config, store *analysis.FactStore) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	var data []byte
+	if store != nil && store.Len() > 0 {
+		var err error
+		data, err = store.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// runDir analyzes every non-test .go file under dir, grouped per directory
-// so each package is one pass.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// runDir analyzes every non-test .go file under dir with the AST-only
+// analyzers, grouped per directory so each package is one pass. Typed
+// analyzers need export data the filesystem alone cannot provide, so they
+// are skipped here; go vet (or the taintreport driver) is the way to run
+// them.
 func runDir(dir string, analyzers []*analysis.Analyzer) int {
+	var astOnly []*analysis.Analyzer
+	for _, a := range analyzers {
+		if !a.NeedsTypes {
+			astOnly = append(astOnly, a)
+		}
+	}
 	perDir := make(map[string][]string)
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -247,7 +481,7 @@ func runDir(dir string, analyzers []*analysis.Analyzer) int {
 			}
 			files = append(files, f)
 		}
-		diags := RunAnalyzers(fset, files, analyzers)
+		diags := RunAnalyzers(fset, files, astOnly)
 		for _, diag := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(diag.Pos), diag.Message)
 		}
@@ -259,7 +493,9 @@ func runDir(dir string, analyzers []*analysis.Analyzer) int {
 }
 
 // RunAnalyzers executes each analyzer over the files and returns the
-// findings sorted by position. Exported for the checktest harness.
+// findings sorted by position. AST-only entry point — typed analyzers
+// would see a pass without type information — exported for the checktest
+// harness and the directory sweep.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
 	pkg := ""
 	if len(files) > 0 {

@@ -1,0 +1,216 @@
+package unitchecker_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vadasa/tools/analyzers/analysis"
+	"vadasa/tools/analyzers/unitchecker"
+)
+
+// testFact travels between the two fixture units through the vetx files.
+type testFact struct{ Msg string }
+
+func (*testFact) AFact() {}
+
+// factAnalyzer exports a fact for every function it defines and reports a
+// diagnostic for every cross-package function use whose defining unit
+// exported one — so a finding in package b proves the fact survived the
+// gob wire format and the vetx file round-trip.
+func factAnalyzer() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name:       "factcheck",
+		Doc:        "test analyzer exercising the fact protocol",
+		NeedsTypes: true,
+		FactTypes:  []analysis.Fact{(*testFact)(nil)},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					pass.ExportObjectFact(obj, &testFact{Msg: pass.Path + "." + fd.Name.Name})
+				}
+			}
+		}
+		for id, obj := range pass.TypesInfo.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg() == pass.TypesPkg {
+				continue
+			}
+			var f testFact
+			if pass.ImportObjectFact(fn, &f) {
+				pass.Reportf(id.Pos(), "fact: %s", f.Msg)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// writeFile is a test helper.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactRoundTrip drives AnalyzeUnit exactly as go vet would: unit a is
+// compiled with the real compiler for export data and analyzed VetxOnly;
+// unit b imports a through ImportMap/PackageFile/PackageVetx and must see
+// a's facts.
+func TestFactRoundTrip(t *testing.T) {
+	a := factAnalyzer()
+	analysis.RegisterFactTypes(a)
+	dir := t.TempDir()
+
+	asrc := filepath.Join(dir, "a.go")
+	writeFile(t, asrc, "package a\n\nfunc F() int { return 1 }\n")
+	bsrc := filepath.Join(dir, "b.go")
+	writeFile(t, bsrc, "package b\n\nimport \"a\"\n\nfunc G() int { return a.F() }\n")
+
+	aobj := filepath.Join(dir, "a.o")
+	cmd := exec.Command("go", "tool", "compile", "-p", "a", "-o", aobj, asrc)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go tool compile: %v\n%s", err, out)
+	}
+
+	avetx := filepath.Join(dir, "a.vetx")
+	findings, err := unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ID:         "a",
+		ImportPath: "a",
+		GoFiles:    []string{asrc},
+		VetxOnly:   true,
+		VetxOutput: avetx,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("unit a: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unit a: unexpected findings %v", findings)
+	}
+	if st, err := os.Stat(avetx); err != nil || st.Size() == 0 {
+		t.Fatalf("unit a wrote no facts: %v", err)
+	}
+
+	bvetx := filepath.Join(dir, "b.vetx")
+	findings, err = unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ID:          "b",
+		ImportPath:  "b",
+		GoFiles:     []string{bsrc},
+		ImportMap:   map[string]string{"a": "a"},
+		PackageFile: map[string]string{"a": aobj},
+		PackageVetx: map[string]string{"a": avetx},
+		VetxOutput:  bvetx,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("unit b: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Message != "fact: a.F" {
+		t.Fatalf("unit b: want one finding \"fact: a.F\", got %v", findings)
+	}
+
+	// b's vetx must re-export a's facts (transitive visibility): decode it
+	// and check both packages' entries are present.
+	data, err := os.ReadFile(bvetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := analysis.NewFactStore()
+	if err := store.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("unit b vetx: want facts for a.F and b.G, got %d facts", store.Len())
+	}
+}
+
+// TestTypecheckFailure checks both sides of SucceedOnTypecheckFailure: with
+// the flag the driver stays quiet and still writes the (empty) vetx file;
+// without it the type error surfaces.
+func TestTypecheckFailure(t *testing.T) {
+	a := factAnalyzer()
+	analysis.RegisterFactTypes(a)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "broken.go")
+	writeFile(t, src, "package broken\n\nfunc F() int { return undefinedIdent }\n")
+
+	vetx := filepath.Join(dir, "broken.vetx")
+	findings, err := unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ImportPath:                "broken",
+		GoFiles:                   []string{src},
+		VetxOutput:                vetx,
+		SucceedOnTypecheckFailure: true,
+	}, []*analysis.Analyzer{a})
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("with SucceedOnTypecheckFailure: want quiet success, got findings=%v err=%v", findings, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx file not written on tolerated failure: %v", err)
+	}
+
+	_, err = unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ImportPath: "broken",
+		GoFiles:    []string{src},
+	}, []*analysis.Analyzer{a})
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("without SucceedOnTypecheckFailure: want type-check error, got %v", err)
+	}
+}
+
+// TestParseFailure mirrors TestTypecheckFailure for syntax errors.
+func TestParseFailure(t *testing.T) {
+	a := factAnalyzer()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.go")
+	writeFile(t, src, "package bad\n\nfunc {\n")
+
+	findings, err := unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ImportPath:                "bad",
+		GoFiles:                   []string{src},
+		SucceedOnTypecheckFailure: true,
+	}, []*analysis.Analyzer{a})
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("tolerated parse failure: got findings=%v err=%v", findings, err)
+	}
+	if _, err := unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ImportPath: "bad",
+		GoFiles:    []string{src},
+	}, []*analysis.Analyzer{a}); err == nil {
+		t.Fatal("parse failure without the flag: want error")
+	}
+}
+
+// TestAppliesSkipsTypecheck: when every typed analyzer rejects the unit,
+// AnalyzeUnit must not attempt type-checking at all — the fixture would
+// fail it (an import with no export data provided).
+func TestAppliesSkipsTypecheck(t *testing.T) {
+	a := factAnalyzer()
+	a.Applies = func(path string) bool { return false }
+	dir := t.TempDir()
+	src := filepath.Join(dir, "skip.go")
+	writeFile(t, src, "package skip\n\nimport \"nosuchpkg\"\n\nvar _ = nosuchpkg.X\n")
+
+	vetx := filepath.Join(dir, "skip.vetx")
+	findings, err := unitchecker.AnalyzeUnit(&unitchecker.Config{
+		ImportPath: "skip",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}, []*analysis.Analyzer{a})
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("rejected unit: want quiet skip, got findings=%v err=%v", findings, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx file must exist even for skipped units: %v", err)
+	}
+}
