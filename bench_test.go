@@ -8,11 +8,14 @@ package vadasa
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"vadasa/internal/anon"
 	"vadasa/internal/cluster"
 	"vadasa/internal/datalog"
+	"vadasa/internal/govern"
 	"vadasa/internal/mdb"
+	"vadasa/internal/programs"
 	"vadasa/internal/risk"
 	"vadasa/internal/synth"
 )
@@ -227,5 +230,98 @@ func BenchmarkAnonymizationCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runCycle(b, d, risk.KAnonymity{K: 3}, mdb.MaybeMatch)
+	}
+}
+
+// Declarative-path benchmarks at the paper's full dataset sizes. Unlike the
+// bench-scale families above, these run the risk programs through the
+// reasoning engine at n up to 500000 tuples under a 1 GiB governor budget
+// (a representative production -mem-budget): the largest datapoint doubles
+// as the capacity gate for the evaluator's columnar fact store.
+
+var declarativeSizes = []int{50_000, 200_000, 500_000}
+
+func declarativeEDB(n int) *datalog.Database {
+	d := synth.Generate(synth.Config{Tuples: n, QIs: 4, Dist: synth.DistU, Seed: 4})
+	edb := datalog.NewDatabase()
+	programs.TupleFacts(edb, d)
+	return edb
+}
+
+func runDeclarativeRisk(b *testing.B, prog *datalog.Program, edb *datalog.Database,
+	root *govern.Governor, wantFacts int) {
+	b.Helper()
+	eg := root.Child("evaluation", govern.Limits{})
+	defer eg.Close()
+	res, err := datalog.Run(prog, edb, &datalog.Options{MaxFacts: 10_000_000, Governor: eg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got := len(res.Facts("riskout")); got != wantFacts {
+		b.Fatalf("riskout = %d facts, want %d", got, wantFacts)
+	}
+}
+
+// BenchmarkDeclarativeKAnonymity is Algorithm 4 through the reasoning
+// engine: per-combination mcount plus the threshold case split.
+func BenchmarkDeclarativeKAnonymity(b *testing.B) {
+	for _, n := range declarativeSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prog, edb := programs.KAnonymity(4, 2), declarativeEDB(n)
+			root := govern.New("bench", govern.Limits{MaxBytes: 1 << 30})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runDeclarativeRisk(b, prog, edb, root, n)
+			}
+		})
+	}
+}
+
+// BenchmarkDeclarativeReIdentification is Algorithm 3 through the
+// reasoning engine: msum of sampling weights per combination, risk 1/ΣW.
+func BenchmarkDeclarativeReIdentification(b *testing.B) {
+	for _, n := range declarativeSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prog, edb := programs.ReIdentification(4), declarativeEDB(n)
+			root := govern.New("bench", govern.Limits{MaxBytes: 1 << 30})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runDeclarativeRisk(b, prog, edb, root, n)
+			}
+		})
+	}
+}
+
+// BenchmarkKAnonymityNativeVsDeclarative times the native assessor and the
+// declarative program on the same 50k dataset and reports their ratio —
+// the price of full explainability, tracked release over release as the
+// decl-vs-native-ratio metric in BENCH_*.json.
+func BenchmarkKAnonymityNativeVsDeclarative(b *testing.B) {
+	const n = 50_000
+	d := synth.Generate(synth.Config{Tuples: n, QIs: 4, Dist: synth.DistU, Seed: 4})
+	edb := datalog.NewDatabase()
+	programs.TupleFacts(edb, d)
+	prog := programs.KAnonymity(4, 2)
+	native := risk.KAnonymity{K: 2}
+	var tNative, tDecl time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := native.Assess(d, mdb.MaybeMatch); err != nil {
+			b.Fatal(err)
+		}
+		tNative += time.Since(t0)
+		t1 := time.Now()
+		res, err := datalog.Run(prog, edb, &datalog.Options{MaxFacts: 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tDecl += time.Since(t1)
+		if got := len(res.Facts("riskout")); got != n {
+			b.Fatalf("riskout = %d facts, want %d", got, n)
+		}
+	}
+	if tNative > 0 {
+		b.ReportMetric(float64(tDecl)/float64(tNative), "decl-vs-native-ratio")
 	}
 }

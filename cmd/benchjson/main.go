@@ -1,12 +1,13 @@
-// Command benchjson converts `go test -bench` output into the BENCH_5.json
-// machine-readable record documented in DESIGN.md: one entry per benchmark
-// with the standard ns/op, B/op and allocs/op columns plus every custom
-// metric (riskeval-ms/op, nulls/op, loss%/op, ...) the suite reports.
+// Command benchjson converts `go test -bench` output into the versioned
+// BENCH_<PR>.json machine-readable record documented in DESIGN.md: one entry
+// per benchmark with the standard ns/op, B/op and allocs/op columns plus
+// every custom metric (riskeval-ms/op, nulls/op, loss%/op,
+// decl-vs-native-ratio, ...) the suite reports.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... > bench.out
-//	go run ./cmd/benchjson -o BENCH_5.json bench.out
+//	go run ./cmd/benchjson -o BENCH_10.json bench.out
 //
 // With no file argument the benchmark output is read from stdin. Lines that
 // are not benchmark results (headers, PASS/ok, build noise) are ignored, so

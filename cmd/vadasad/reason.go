@@ -183,10 +183,11 @@ func (s *server) handleReason(w http.ResponseWriter, r *http.Request) {
 		violations = append(violations, v.String())
 	}
 	s.writeJSON(w, http.StatusOK, struct {
-		Facts       map[string][][]any `json:"facts"`
-		Violations  []string           `json:"violations,omitempty"`
-		Diagnostics []lint.Diagnostic  `json:"diagnostics,omitempty"`
-	}{facts, violations, diags})
+		Facts       map[string][][]any    `json:"facts"`
+		Violations  []string              `json:"violations,omitempty"`
+		Diagnostics []lint.Diagnostic     `json:"diagnostics,omitempty"`
+		Stats       vadasa.ReasoningStats `json:"stats"`
+	}{facts, violations, diags, res.Stats})
 }
 
 // valJSON renders a runtime value for the JSON response: strings and

@@ -64,9 +64,19 @@ func TestReasonEndpoint(t *testing.T) {
 	}
 	var out struct {
 		Facts map[string][][]any `json:"facts"`
+		Stats struct {
+			Rounds       int   `json:"rounds"`
+			DerivedFacts int   `json:"derived_facts"`
+			Attempts     int64 `json:"match_attempts"`
+			MaxWork      int64 `json:"max_work"`
+		} `json:"stats"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatal(err)
+	}
+	if out.Stats.Rounds < 1 || out.Stats.DerivedFacts < 1 ||
+		out.Stats.Attempts < 1 || out.Stats.MaxWork < 1 {
+		t.Errorf("stats not populated: %s", rec.Body)
 	}
 	got := map[[2]string]bool{}
 	for _, row := range out.Facts["ctr"] {

@@ -1,0 +1,1401 @@
+package datalog
+
+// This file is the execution layer of the rebuilt evaluator. The compiled
+// plan (compile.go) reduces rule bodies to sequences of cSteps over interned
+// ids; the walk here is a backtracking join over those steps with no map
+// environments, no key strings and no per-candidate allocation. Parallelism
+// comes in two independent shapes — whole strata whose read/write sets are
+// disjoint, and partitions of a large delta within one rule — and both are
+// constructed so the derived database, provenance, labelled-null identities
+// and diagnostics are bit-identical to the sequential evaluator (see
+// DESIGN.md §16 for the argument).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vadasa/internal/pool"
+)
+
+// fid packs a fact identity: predicate id in the high word, row position in
+// the low. It replaces the pred+"/"+Key() strings the old engine built for
+// every provenance and violation lookup.
+func fid(pid, pos uint32) uint64 { return uint64(pid)<<32 | uint64(pos) }
+
+type evaluator struct {
+	ctx     context.Context
+	prog    *Program
+	opt     Options
+	db      *Database
+	prov    map[uint64]derivation
+	strata  map[string]int
+	nStrata int
+	nullCtr uint64
+	skolem  map[string]Val
+	subst   map[uint64]Val
+	orders  [][]int
+	crules  []*cRule
+
+	predIDs   map[string]uint32
+	predNames []string
+
+	workers  int
+	work     atomic.Int64
+	rounds   atomic.Int64
+	chargeMu sync.Mutex
+	charged  int64
+	peak     int64
+
+	parStrata int
+	egdPasses int
+
+	aggState []map[string]*aggGroup
+}
+
+// aggGroup accumulates one aggregation group. The contributor map is keyed
+// by the interned id of the contributor expression — the same identity the
+// old engine spelled as cv.Key() — and sortKey reproduces the old engine's
+// group-key string so dirty groups flush in the identical order.
+type aggGroup struct {
+	groupVids []uint32
+	sortKey   string
+	used      []uint64
+	contrib   map[uint32]Val
+	emitted   bool
+	dirty     bool
+}
+
+// stratumCtx is the per-stratum evaluation state: a private interner view
+// and a private provenance map, so strata running in parallel never touch a
+// shared map. Fact ids are globally unique (a fact is inserted once, by the
+// one stratum that owns its predicate), so merging the maps afterwards is
+// collision-free in any order.
+type stratumCtx struct {
+	ev   *evaluator
+	iv   iview
+	prov map[uint64]derivation
+}
+
+// pendEmit is one buffered head emission from a parallel delta partition:
+// the body fact ids and the head rows, applied in partition order during the
+// deterministic merge.
+type pendEmit struct {
+	used []uint64
+	rows [][]uint32
+}
+
+// parallelCandidateMin is the smallest candidate count worth partitioning;
+// below it the fork/join overhead exceeds the join work.
+const parallelCandidateMin = 4096
+
+// walkCtx is the state of one backtracking join walk. env is a flat slot
+// array of interned ids; slots statically unbound at a step hold garbage
+// from earlier candidates, which is safe because the fixed literal order
+// means they are never read before the step that binds them.
+type walkCtx struct {
+	ev         *evaluator
+	sc         *stratumCtx
+	c          *cRule
+	restrictLi int
+	lo, hi     uint32
+	env        []uint32
+	used       []uint64
+	iv         *iview
+	err        error
+	stop       bool
+	buffer     *[]pendEmit
+	derived    int
+	rowBuf     []uint32
+	gkeyBuf    []byte
+}
+
+func (w *walkCtx) spend() error {
+	n := w.ev.work.Add(1)
+	if n > w.ev.opt.MaxWork {
+		return fmt.Errorf("datalog: exceeded the work budget of %d match attempts (join explosion?)", w.ev.opt.MaxWork)
+	}
+	if n&ctxPollMask == 0 {
+		return w.ev.ctxErr()
+	}
+	return nil
+}
+
+func (ev *evaluator) ctxErr() error {
+	if err := ev.ctx.Err(); err != nil {
+		return fmt.Errorf("datalog: evaluation cancelled after %d match attempts: %w", ev.work.Load(), err)
+	}
+	return nil
+}
+
+// matchRow unifies a compiled atom pattern against a stored row. Binding
+// writes the row id straight into the slot; checks compare ids, which is
+// exactly Equal because the interner canonicalizes by the same equivalence
+// Compare uses. No undo is needed (see walkCtx.env).
+func matchRow(st *cStep, row []uint32, env []uint32) bool {
+	if len(row) != len(st.args) {
+		return false
+	}
+	for i := range st.args {
+		a := &st.args[i]
+		if a.slot < 0 {
+			if row[i] != a.vid {
+				return false
+			}
+		} else if a.bind {
+			env[a.slot] = row[i]
+		} else if env[a.slot] != row[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalExprS evaluates an expression over the slot environment, decoding ids
+// through the walk's interner view. Error strings match the map-environment
+// evaluator exactly.
+func (w *walkCtx) evalExprS(e Expr) (Val, error) {
+	switch x := e.(type) {
+	case ExprTerm:
+		if x.T.Kind == TConst {
+			return x.T.Val, nil
+		}
+		s, ok := w.c.slotOf[x.T.Name]
+		if !ok || w.env[s] == unboundVid {
+			return Val{}, fmt.Errorf("datalog: unbound variable %s", x.T.Name)
+		}
+		return w.iv.val(w.env[s]), nil
+	case ExprNeg:
+		v, err := w.evalExprS(x.E)
+		if err != nil {
+			return Val{}, err
+		}
+		if v.k != KNum {
+			return Val{}, fmt.Errorf("datalog: unary '-' on non-number %s", v)
+		}
+		return Num(-v.n), nil
+	case ExprCall:
+		spec, ok := builtins[x.Name]
+		if !ok {
+			return Val{}, fmt.Errorf("datalog: unknown function %q", x.Name)
+		}
+		args := make([]Val, len(x.Args))
+		for i, a := range x.Args {
+			v, err := w.evalExprS(a)
+			if err != nil {
+				return Val{}, err
+			}
+			args[i] = v
+		}
+		return spec.apply(args)
+	case ExprBin:
+		l, err := w.evalExprS(x.L)
+		if err != nil {
+			return Val{}, err
+		}
+		r, err := w.evalExprS(x.R)
+		if err != nil {
+			return Val{}, err
+		}
+		if l.k != KNum || r.k != KNum {
+			return Val{}, fmt.Errorf("datalog: arithmetic %q on non-numbers %s, %s", x.Op, l, r)
+		}
+		switch x.Op {
+		case "+":
+			return Num(l.n + r.n), nil
+		case "-":
+			return Num(l.n - r.n), nil
+		case "*":
+			return Num(l.n * r.n), nil
+		case "/":
+			if r.n == 0 {
+				return Val{}, fmt.Errorf("datalog: division by zero")
+			}
+			return Num(l.n / r.n), nil
+		}
+	}
+	return Val{}, fmt.Errorf("datalog: bad expression %v", e)
+}
+
+func (w *walkCtx) walk(step int) {
+	if step == len(w.c.steps) {
+		w.emit()
+		return
+	}
+	st := &w.c.steps[step]
+	switch st.kind {
+	case LAtom:
+		restricted := st.li == w.restrictLi
+		if st.idx != nil {
+			h := probeHash(st, w.env)
+			if restricted {
+				bucket := st.idx.m[h]
+				// Bucket positions ascend with insertion, so the delta
+				// window is a contiguous sub-slice.
+				i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= w.lo })
+				for ; i < len(bucket); i++ {
+					pos := bucket[i]
+					if pos >= w.hi {
+						break
+					}
+					if err := w.spend(); err != nil {
+						w.err = err
+						return
+					}
+					if !matchRow(st, st.rel.row(int(pos)), w.env) {
+						continue
+					}
+					w.used = append(w.used, fid(st.pid, pos))
+					w.walk(step + 1)
+					w.used = w.used[:len(w.used)-1]
+					if w.err != nil || w.stop {
+						return
+					}
+				}
+				return
+			}
+			// Unrestricted: re-fetch the bucket each iteration so facts the
+			// rule itself derives mid-pass stay visible, exactly like the
+			// old engine's live byFirst scan.
+			for i := 0; ; i++ {
+				bucket := st.idx.m[h]
+				if i >= len(bucket) {
+					return
+				}
+				pos := bucket[i]
+				if err := w.spend(); err != nil {
+					w.err = err
+					return
+				}
+				if !matchRow(st, st.rel.row(int(pos)), w.env) {
+					continue
+				}
+				w.used = append(w.used, fid(st.pid, pos))
+				w.walk(step + 1)
+				w.used = w.used[:len(w.used)-1]
+				if w.err != nil || w.stop {
+					return
+				}
+			}
+		}
+		if restricted {
+			for pos := w.lo; pos < w.hi; pos++ {
+				if err := w.spend(); err != nil {
+					w.err = err
+					return
+				}
+				if !matchRow(st, st.rel.row(int(pos)), w.env) {
+					continue
+				}
+				w.used = append(w.used, fid(st.pid, pos))
+				w.walk(step + 1)
+				w.used = w.used[:len(w.used)-1]
+				if w.err != nil || w.stop {
+					return
+				}
+			}
+			return
+		}
+		for pos := uint32(0); int(pos) < st.rel.nrows(); pos++ {
+			if err := w.spend(); err != nil {
+				w.err = err
+				return
+			}
+			if !matchRow(st, st.rel.row(int(pos)), w.env) {
+				continue
+			}
+			w.used = append(w.used, fid(st.pid, pos))
+			w.walk(step + 1)
+			w.used = w.used[:len(w.used)-1]
+			if w.err != nil || w.stop {
+				return
+			}
+		}
+	case LNegAtom:
+		if cap(w.rowBuf) < len(st.args) {
+			w.rowBuf = make([]uint32, len(st.args))
+		}
+		row := w.rowBuf[:len(st.args)]
+		for i := range st.args {
+			a := &st.args[i]
+			if a.slot < 0 {
+				row[i] = a.vid
+				continue
+			}
+			v := w.env[a.slot]
+			if v == unboundVid {
+				w.err = fmt.Errorf("datalog: unbound variable %s", a.name)
+				return
+			}
+			row[i] = v
+		}
+		if _, ok := st.rel.findRow(row); !ok {
+			w.walk(step + 1)
+		}
+	case LCmp:
+		lv, err := w.evalExprS(st.lit.L)
+		if err != nil {
+			w.err = err
+			return
+		}
+		rv, err := w.evalExprS(st.lit.R)
+		if err != nil {
+			w.err = err
+			return
+		}
+		ok, err := compare(st.lit.Op, lv, rv)
+		if err != nil {
+			w.err = fmt.Errorf("line %d: %w", w.c.r.Line, err)
+			return
+		}
+		if ok {
+			w.walk(step + 1)
+		}
+	case LAssign:
+		v, err := w.evalExprS(st.lit.AssignE)
+		if err != nil {
+			w.err = err
+			return
+		}
+		if st.preBound {
+			if Equal(w.iv.val(w.env[st.assignSlot]), v) {
+				w.walk(step + 1)
+			}
+			return
+		}
+		w.env[st.assignSlot] = w.ev.db.in.intern(v)
+		w.walk(step + 1)
+	}
+}
+
+func (w *walkCtx) emit() {
+	c := w.c
+	if c.aggLit >= 0 {
+		if err := w.recordAgg(); err != nil {
+			w.err = err
+		}
+		return
+	}
+	if w.buffer != nil {
+		w.bufferEmit()
+		return
+	}
+	n, err := w.sc.emitHeads(c, w.env, w.used)
+	w.derived += n
+	if err != nil {
+		w.err = err
+		return
+	}
+	if c.ground {
+		// All (constant) heads are now present; no further body match can
+		// add anything — stop at the first witness.
+		w.stop = true
+	}
+}
+
+// bufferEmit materializes head rows without inserting them; the partition
+// merge applies them in order. Only parallelOK rules reach this path, so no
+// existential resolution or aggregation happens here.
+func (w *walkCtx) bufferEmit() {
+	c := w.c
+	pe := pendEmit{used: append([]uint64(nil), w.used...), rows: make([][]uint32, len(c.heads))}
+	for hi := range c.heads {
+		h := &c.heads[hi]
+		row := make([]uint32, len(h.args))
+		for i := range h.args {
+			a := &h.args[i]
+			if a.slot < 0 {
+				row[i] = a.vid
+				continue
+			}
+			v := w.env[a.slot]
+			if v == unboundVid {
+				w.err = fmt.Errorf("line %d: %w", c.r.Line, fmt.Errorf("datalog: unbound variable %s", a.name))
+				return
+			}
+			row[i] = v
+		}
+		pe.rows[hi] = row
+	}
+	*w.buffer = append(*w.buffer, pe)
+}
+
+// emitHeads inserts every head under the current environment, minting
+// labelled nulls for existential variables through the run-wide skolem
+// table. Only sequential paths reach the existential branch, which keeps
+// null-id minting deterministic.
+func (sc *stratumCtx) emitHeads(c *cRule, env []uint32, used []uint64) (int, error) {
+	ev := sc.ev
+	if len(c.r.Existential) > 0 {
+		var b strings.Builder
+		b.WriteString(c.skolemPrefix)
+		for i, name := range c.frontier {
+			v := env[c.frontierSlots[i]]
+			if v == unboundVid {
+				continue // the old engine skipped unbound head vars here too
+			}
+			b.WriteString(name)
+			b.WriteByte('=')
+			b.WriteString(sc.iv.key(v))
+			b.WriteByte(';')
+		}
+		base := b.String()
+		for i, x := range c.r.Existential {
+			key := base + "!" + x
+			null, ok := ev.skolem[key]
+			if !ok {
+				ev.nullCtr++
+				null = NullVal(ev.nullCtr)
+				ev.skolem[key] = null
+			}
+			env[c.existSlots[i]] = ev.db.in.intern(ev.resolve(null))
+		}
+	}
+	var usedCopy []uint64
+	copied := false
+	added := 0
+	for hi := range c.heads {
+		h := &c.heads[hi]
+		row := make([]uint32, len(h.args))
+		for i := range h.args {
+			a := &h.args[i]
+			if a.slot < 0 {
+				row[i] = a.vid
+				continue
+			}
+			v := env[a.slot]
+			if v == unboundVid {
+				return added, fmt.Errorf("line %d: %w", c.r.Line, fmt.Errorf("datalog: unbound variable %s", a.name))
+			}
+			row[i] = v
+		}
+		pos, isNew := h.rel.addRow(ev.db, row)
+		if isNew {
+			if !copied {
+				usedCopy = append([]uint64(nil), used...)
+				copied = true
+			}
+			sc.prov[fid(h.pid, pos)] = derivation{rule: c.ri, body: usedCopy}
+			added++
+		}
+	}
+	return added, nil
+}
+
+func (w *walkCtx) recordAgg() error {
+	c := w.c
+	ev := w.ev
+	l := &c.r.Body[c.aggLit]
+
+	w.gkeyBuf = w.gkeyBuf[:0]
+	for i, s := range c.groupSlots {
+		v := w.env[s]
+		if v == unboundVid {
+			return fmt.Errorf("datalog: line %d: head variable %s unbound at aggregate", c.r.Line, c.groupVars[i])
+		}
+		w.gkeyBuf = append(w.gkeyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	st := ev.aggState[c.ri]
+	g, ok := st[string(w.gkeyBuf)]
+	if !ok {
+		g = &aggGroup{contrib: make(map[uint32]Val), groupVids: make([]uint32, len(c.groupSlots))}
+		var b strings.Builder
+		for i, s := range c.groupSlots {
+			g.groupVids[i] = w.env[s]
+			b.WriteString(w.iv.key(w.env[s]))
+			b.WriteByte('|')
+		}
+		g.sortKey = b.String()
+		g.used = append([]uint64(nil), w.used...)
+		st[string(w.gkeyBuf)] = g
+	}
+
+	cv, err := w.evalExprS(l.Agg.Contrib)
+	if err != nil {
+		return err
+	}
+	var contribution Val
+	switch l.Agg.Fn {
+	case AggCount:
+		contribution = Num(1)
+	case AggUnion:
+		v, err := w.evalExprS(l.Agg.Arg)
+		if err != nil {
+			return err
+		}
+		contribution = v
+	default:
+		v, err := w.evalExprS(l.Agg.Arg)
+		if err != nil {
+			return err
+		}
+		if v.k != KNum {
+			return fmt.Errorf("datalog: line %d: %s over non-number %s", c.r.Line, l.Agg.Fn, v)
+		}
+		contribution = v
+	}
+
+	ck := ev.db.in.intern(cv)
+	if old, ok := g.contrib[ck]; ok {
+		if l.Agg.Fn == AggUnion {
+			merged := List(append(old.Elems(), contribution)...)
+			if !Equal(merged, old) {
+				g.contrib[ck] = merged
+				g.dirty = true
+			}
+		} else if Compare(contribution, old) > 0 {
+			g.contrib[ck] = contribution
+			g.dirty = true
+		}
+	} else {
+		if l.Agg.Fn == AggUnion {
+			contribution = List(contribution)
+		}
+		g.contrib[ck] = contribution
+		g.dirty = true
+	}
+	return nil
+}
+
+func (sc *stratumCtx) flushAgg(c *cRule) (int, error) {
+	ev := sc.ev
+	l := &c.r.Body[c.aggLit]
+	st := ev.aggState[c.ri]
+
+	var dirty []*aggGroup
+	for _, g := range st {
+		if g.dirty {
+			dirty = append(dirty, g)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].sortKey < dirty[j].sortKey })
+
+	added := 0
+	for _, g := range dirty {
+		g.dirty = false
+		contrib := make(map[string]Val, len(g.contrib))
+		for vid, v := range g.contrib {
+			contrib[sc.iv.key(vid)] = v
+		}
+		agg, err := foldAgg(l.Agg.Fn, contrib)
+		if err != nil {
+			return added, fmt.Errorf("line %d: %w", c.r.Line, err)
+		}
+		env := make([]uint32, c.nSlots)
+		for i := range env {
+			env[i] = unboundVid
+		}
+		for i, s := range c.groupSlots {
+			env[s] = g.groupVids[i]
+		}
+		switch l.Kind {
+		case LAggAssign:
+			env[c.aggVarSlot] = ev.db.in.intern(agg)
+		case LAggCond:
+			menv := make(map[string]Val, len(c.groupVars))
+			for i, n := range c.groupVars {
+				menv[n] = sc.iv.val(g.groupVids[i])
+			}
+			rhs, err := evalExpr(l.R, menv)
+			if err != nil {
+				return added, err
+			}
+			ok, err := compare(l.Op, agg, rhs)
+			if err != nil {
+				return added, fmt.Errorf("line %d: %w", c.r.Line, err)
+			}
+			if !ok || g.emitted {
+				continue
+			}
+			g.emitted = true
+		}
+		n, err := sc.emitHeads(c, env, g.used)
+		added += n
+		if err != nil {
+			return added, err
+		}
+	}
+	return added, nil
+}
+
+func (sc *stratumCtx) evalRule(c *cRule, restrictLi int, lo, hi uint32) (int, error) {
+	w := walkCtx{
+		ev: sc.ev, sc: sc, c: c,
+		restrictLi: restrictLi, lo: lo, hi: hi,
+		env: make([]uint32, c.nSlots),
+		iv:  &sc.iv,
+	}
+	for i := range w.env {
+		w.env[i] = unboundVid
+	}
+	w.walk(0)
+	if w.err != nil {
+		return w.derived, w.err
+	}
+	if c.aggLit >= 0 {
+		n, err := sc.flushAgg(c)
+		w.derived += n
+		if err != nil {
+			return w.derived, err
+		}
+	}
+	return w.derived, nil
+}
+
+// evalRuleAuto runs one rule pass, applying the cheap static short-circuits
+// (empty required relation, ground heads already present) and escalating to
+// partitioned parallel evaluation when the candidate set is large enough.
+func (sc *stratumCtx) evalRuleAuto(c *cRule, restrictLi int, lo, hi uint32) (int, error) {
+	if c.pureAtoms {
+		for i := range c.steps {
+			st := &c.steps[i]
+			if st.kind == LAtom && st.li != restrictLi && st.rel.nrows() == 0 && !c.headPreds[st.pred] {
+				return 0, nil // a required relation is empty: no body match exists
+			}
+		}
+	}
+	if c.ground {
+		all := true
+		for i := range c.heads {
+			if _, ok := c.heads[i].rel.findRow(c.heads[i].groundRow); !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return 0, nil // every (constant) head already derived
+		}
+	}
+	ev := sc.ev
+	if ev.workers > 1 && c.parallelOK && len(c.steps) > 0 {
+		st0 := &c.steps[0]
+		if st0.kind == LAtom && st0.mask == 0 {
+			var clo, chi uint32
+			if st0.li == restrictLi {
+				clo, chi = lo, hi
+			} else {
+				clo, chi = 0, uint32(st0.rel.nrows())
+			}
+			if int(chi)-int(clo) >= parallelCandidateMin {
+				return sc.evalRuleParallel(c, restrictLi, lo, hi, clo, chi)
+			}
+		}
+	}
+	return sc.evalRule(c, restrictLi, lo, hi)
+}
+
+// chunkOut is one partition's buffered output.
+type chunkOut struct {
+	emits []pendEmit
+	err   error
+	done  bool
+}
+
+// evalRuleParallel evaluates one rule by partitioning the candidate rows of
+// its first step across workers. Partitions buffer their emissions; the
+// merge applies them in partition order, which reproduces the sequential
+// engine's insertion order exactly: the rule's heads are disjoint from its
+// body (parallelOK), so deferring the inserts cannot change any partition's
+// matches.
+func (sc *stratumCtx) evalRuleParallel(c *cRule, restrictLi int, lo, hi, clo, chi uint32) (int, error) {
+	ev := sc.ev
+	st0 := &c.steps[0]
+	bounds := pool.ChunkBounds(int(chi - clo))
+	outs := make([]chunkOut, len(bounds))
+	pool.ForEach(ev.ctx, ev.workers, len(bounds), func(ci int) error {
+		co := &outs[ci]
+		liv := iview{in: ev.db.in}
+		w := walkCtx{
+			ev: ev, sc: sc, c: c,
+			restrictLi: restrictLi, lo: lo, hi: hi,
+			env:    make([]uint32, c.nSlots),
+			iv:     &liv,
+			buffer: &co.emits,
+		}
+		for i := range w.env {
+			w.env[i] = unboundVid
+		}
+		b := bounds[ci]
+		for pos := clo + uint32(b[0]); pos < clo+uint32(b[1]); pos++ {
+			if err := w.spend(); err != nil {
+				co.err = err
+				break
+			}
+			if !matchRow(st0, st0.rel.row(int(pos)), w.env) {
+				continue
+			}
+			w.used = append(w.used[:0], fid(st0.pid, pos))
+			w.walk(1)
+			if w.err != nil {
+				co.err = w.err
+				break
+			}
+		}
+		co.done = true
+		return nil
+	})
+
+	derived := 0
+	for ci := range outs {
+		co := &outs[ci]
+		if !co.done {
+			// Only a cancelled context leaves a partition unattempted.
+			if err := ev.ctxErr(); err != nil {
+				return derived, err
+			}
+			return derived, fmt.Errorf("datalog: internal: partition %d not evaluated", ci)
+		}
+		for _, pe := range co.emits {
+			for hi2, row := range pe.rows {
+				h := &c.heads[hi2]
+				pos, isNew := h.rel.addRow(ev.db, row)
+				if isNew {
+					sc.prov[fid(h.pid, pos)] = derivation{rule: c.ri, body: pe.used}
+					derived++
+				}
+			}
+		}
+		if co.err != nil {
+			// The erroring partition's pre-error emissions are merged above,
+			// matching the sequential engine's state at its first error.
+			return derived, co.err
+		}
+	}
+	return derived, nil
+}
+
+// fixpoint saturates one stratum by semi-naive iteration. The delta for a
+// predicate is a contiguous row range — every insert during a round appends
+// in derivation order, and while this stratum runs no other stratum may
+// write its head relations (the level scheduler keeps write sets disjoint).
+func (sc *stratumCtx) fixpoint(stratum int, rules []*cRule) error {
+	ev := sc.ev
+	headRels := make(map[string]*relation)
+	for _, c := range rules {
+		for i := range c.heads {
+			headRels[c.heads[i].pred] = c.heads[i].rel
+		}
+	}
+	preds := make([]string, 0, len(headRels))
+	for p := range headRels {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	snap := func() map[string]uint32 {
+		m := make(map[string]uint32, len(preds))
+		for _, p := range preds {
+			m[p] = uint32(headRels[p].nrows())
+		}
+		return m
+	}
+
+	before := snap()
+	derived := 0
+	for _, c := range rules {
+		n, err := sc.evalRuleAuto(c, -1, 0, 0)
+		derived += n
+		if err != nil {
+			return err
+		}
+	}
+	after := snap()
+	delta := make(map[string][2]uint32)
+	for _, p := range preds {
+		if after[p] > before[p] {
+			delta[p] = [2]uint32{before[p], after[p]}
+		}
+	}
+	ev.rounds.Add(1)
+	if ev.opt.Trace != nil {
+		fmt.Fprintf(ev.opt.Trace, "stratum %d seed: %d rules, %d facts derived, db %d\n",
+			stratum, len(rules), derived, ev.db.Len())
+	}
+	if err := ev.chargeMemory(); err != nil {
+		return err
+	}
+
+	for round := 0; len(delta) > 0; round++ {
+		if round > ev.opt.MaxRounds {
+			return fmt.Errorf("datalog: stratum %d exceeded %d rounds", stratum, ev.opt.MaxRounds)
+		}
+		if err := ev.ctxErr(); err != nil {
+			return err
+		}
+		if ev.db.Len() > ev.opt.MaxFacts {
+			return fmt.Errorf("datalog: database exceeded %d facts (runaway chase?)", ev.opt.MaxFacts)
+		}
+		if err := ev.chargeMemory(); err != nil {
+			return err
+		}
+		before = snap()
+		roundDerived := 0
+		for _, c := range rules {
+			for li := range c.r.Body {
+				l := &c.r.Body[li]
+				if l.Kind != LAtom {
+					continue
+				}
+				if ev.strata[l.Atom.Pred] != stratum {
+					continue
+				}
+				rng, ok := delta[l.Atom.Pred]
+				if !ok {
+					continue
+				}
+				n, err := sc.evalRuleAuto(c, li, rng[0], rng[1])
+				roundDerived += n
+				if err != nil {
+					return err
+				}
+			}
+		}
+		after = snap()
+		next := make(map[string][2]uint32)
+		for _, p := range preds {
+			if after[p] > before[p] {
+				next[p] = [2]uint32{before[p], after[p]}
+			}
+		}
+		ev.rounds.Add(1)
+		if ev.opt.Trace != nil {
+			fmt.Fprintf(ev.opt.Trace, "stratum %d round %d: %d facts derived, db %d\n",
+				stratum, round+1, roundDerived, ev.db.Len())
+		}
+		delta = next
+	}
+	return nil
+}
+
+// runStrata evaluates every stratum. Sequential mode (one worker, or
+// tracing) runs them in ascending order exactly like the old engine.
+// Parallel mode schedules them by dependency level: two strata share a
+// level only when their read and write predicate sets are fully disjoint —
+// flow, anti and output dependences all force an ordering edge — so strata
+// within a level commute and the merged result is bit-identical to the
+// ascending sequential run. Existential strata additionally order among
+// themselves so labelled-null ids mint in the sequential order.
+func (ev *evaluator) runStrata() error {
+	ruleStratum := make([]int, len(ev.prog.Rules))
+	ev.aggState = make([]map[string]*aggGroup, len(ev.prog.Rules))
+	for i := range ev.prog.Rules {
+		r := &ev.prog.Rules[i]
+		if r.IsEGD || len(r.Body) == 0 {
+			ruleStratum[i] = -1
+			continue
+		}
+		ruleStratum[i] = ev.strata[r.Heads[0].Pred]
+		ev.aggState[i] = make(map[string]*aggGroup)
+	}
+	ev.resolvePlan()
+	byStratum := make([][]*cRule, ev.nStrata)
+	for i, s := range ruleStratum {
+		if s >= 0 {
+			byStratum[s] = append(byStratum[s], ev.crules[i])
+		}
+	}
+	var active []int
+	for s := 0; s < ev.nStrata; s++ {
+		if len(byStratum[s]) > 0 {
+			active = append(active, s)
+		}
+	}
+
+	if ev.workers <= 1 || ev.opt.Trace != nil {
+		for _, s := range active {
+			sc := &stratumCtx{ev: ev, iv: iview{in: ev.db.in}, prov: ev.prov}
+			if err := sc.fixpoint(s, byStratum[s]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	reads := make(map[int]map[string]bool, len(active))
+	writes := make(map[int]map[string]bool, len(active))
+	exist := make(map[int]bool, len(active))
+	for _, s := range active {
+		rs, ws := map[string]bool{}, map[string]bool{}
+		for _, c := range byStratum[s] {
+			for _, l := range c.r.Body {
+				if l.Kind == LAtom || l.Kind == LNegAtom {
+					rs[l.Atom.Pred] = true
+				}
+			}
+			for _, h := range c.r.Heads {
+				ws[h.Pred] = true
+			}
+			if len(c.r.Existential) > 0 {
+				exist[s] = true
+			}
+		}
+		reads[s], writes[s] = rs, ws
+	}
+	overlap := func(a, b map[string]bool) bool {
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		for p := range a {
+			if b[p] {
+				return true
+			}
+		}
+		return false
+	}
+	level := make(map[int]int, len(active))
+	maxLevel := 0
+	for i, t := range active {
+		lv := 0
+		for _, s := range active[:i] {
+			dep := overlap(writes[s], reads[t]) ||
+				overlap(writes[s], writes[t]) ||
+				overlap(reads[s], writes[t]) ||
+				(exist[s] && exist[t]) // null minting must stay in stratum order
+			if dep && level[s]+1 > lv {
+				lv = level[s] + 1
+			}
+		}
+		level[t] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+
+	for lv := 0; lv <= maxLevel; lv++ {
+		var group []int
+		for _, s := range active {
+			if level[s] == lv {
+				group = append(group, s)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		var seqS, parS []int
+		for _, s := range group {
+			if exist[s] {
+				seqS = append(seqS, s)
+			} else {
+				parS = append(parS, s)
+			}
+		}
+		if len(parS) < 2 {
+			seqS = append(seqS, parS...)
+			sort.Ints(seqS)
+			parS = nil
+		}
+
+		ctxs := make(map[int]*stratumCtx, len(group))
+		for _, s := range group {
+			ctxs[s] = &stratumCtx{ev: ev, iv: iview{in: ev.db.in}, prov: make(map[uint64]derivation)}
+		}
+		lvlErr := error(nil)
+		lvlErrStratum := int(^uint(0) >> 1)
+		record := func(s int, err error) {
+			if err != nil && s < lvlErrStratum {
+				lvlErr, lvlErrStratum = err, s
+			}
+		}
+		if len(parS) > 0 {
+			ranP := make([]bool, len(parS))
+			errsP := make([]error, len(parS))
+			pool.ForEach(ev.ctx, ev.workers, len(parS), func(i int) error {
+				ranP[i] = true
+				errsP[i] = ctxs[parS[i]].fixpoint(parS[i], byStratum[parS[i]])
+				return nil
+			})
+			for i, s := range parS {
+				if !ranP[i] {
+					record(s, ev.ctxErr())
+					continue
+				}
+				record(s, errsP[i])
+			}
+			ev.parStrata += len(parS)
+		}
+		for _, s := range seqS {
+			if err := ctxs[s].fixpoint(s, byStratum[s]); err != nil {
+				record(s, err)
+				break
+			}
+		}
+		// Fact ids are globally unique across strata, so the merge order is
+		// immaterial; ascending keeps it visibly deterministic.
+		sort.Ints(group)
+		for _, s := range group {
+			for k, d := range ctxs[s].prov {
+				ev.prov[k] = d
+			}
+		}
+		if lvlErr != nil {
+			return lvlErr
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) chargeMemory() error {
+	b := ev.db.EstimatedBytes()
+	ev.chargeMu.Lock()
+	defer ev.chargeMu.Unlock()
+	if b > ev.peak {
+		ev.peak = b
+	}
+	if ev.opt.Governor == nil {
+		return nil
+	}
+	if b <= ev.charged {
+		return nil
+	}
+	//governcharge:ok incremental charge; RunContext defers ReleaseBytes(ev.charged) for the whole run
+	if err := ev.opt.Governor.ReserveBytes(b - ev.charged); err != nil {
+		return fmt.Errorf("datalog: database estimated at %d bytes: %w", b, err)
+	}
+	ev.charged = b
+	return nil
+}
+
+// runEGDs applies every EGD over the saturated database, unifying labelled
+// nulls and collecting violations between distinct constants. EGDs run on
+// the decoded-tuple path: they fire rarely, on small saturated relations,
+// and the map-environment walk is the exact old-engine semantics.
+func (ev *evaluator) runEGDs() (unified bool, viols []Violation, err error) {
+	factCache := make(map[string][]Tuple)
+	factsFor := func(pred string) []Tuple {
+		if fs, ok := factCache[pred]; ok {
+			return fs
+		}
+		fs := ev.db.insertionFacts(pred)
+		factCache[pred] = fs
+		return fs
+	}
+	for ri := range ev.prog.Rules {
+		r := &ev.prog.Rules[ri]
+		if !r.IsEGD {
+			continue
+		}
+		if err := ev.ctxErr(); err != nil {
+			return false, nil, err
+		}
+		env := make(map[string]Val)
+		var evalErr error
+		order := ev.orders[ri]
+		var walk func(step int)
+		walk = func(step int) {
+			if evalErr != nil {
+				return
+			}
+			if step == len(order) {
+				l, errL := termVal(r.EGDL, env)
+				if errL != nil {
+					evalErr = errL
+					return
+				}
+				rv, errR := termVal(r.EGDR, env)
+				if errR != nil {
+					evalErr = errR
+					return
+				}
+				l, rv = ev.resolve(l), ev.resolve(rv)
+				if Equal(l, rv) {
+					return
+				}
+				switch {
+				case l.k == KNull:
+					ev.subst[l.id] = rv
+					unified = true
+				case rv.k == KNull:
+					ev.subst[rv.id] = l
+					unified = true
+				default:
+					viols = append(viols, Violation{Rule: r.String(), A: l, B: rv})
+				}
+				return
+			}
+			lit := &r.Body[order[step]]
+			switch lit.Kind {
+			case LAtom:
+				for _, f := range factsFor(lit.Atom.Pred) {
+					undo, ok := match(lit.Atom, f, env)
+					if !ok {
+						continue
+					}
+					walk(step + 1)
+					undoBind(env, undo)
+					if evalErr != nil {
+						return
+					}
+				}
+			case LNegAtom:
+				t := make(Tuple, len(lit.Atom.Args))
+				for i, a := range lit.Atom.Args {
+					v, err := termVal(a, env)
+					if err != nil {
+						evalErr = err
+						return
+					}
+					t[i] = v
+				}
+				if !ev.db.Has(lit.Atom.Pred, t...) {
+					walk(step + 1)
+				}
+			case LCmp:
+				lv, errL := evalExpr(lit.L, env)
+				if errL != nil {
+					evalErr = errL
+					return
+				}
+				rv, errR := evalExpr(lit.R, env)
+				if errR != nil {
+					evalErr = errR
+					return
+				}
+				ok, errC := compare(lit.Op, lv, rv)
+				if errC != nil {
+					evalErr = errC
+					return
+				}
+				if ok {
+					walk(step + 1)
+				}
+			case LAssign:
+				v, errA := evalExpr(lit.AssignE, env)
+				if errA != nil {
+					evalErr = errA
+					return
+				}
+				env[lit.Var] = v
+				walk(step + 1)
+				delete(env, lit.Var)
+			default:
+				evalErr = fmt.Errorf("datalog: aggregates are not allowed in EGD bodies")
+			}
+		}
+		walk(0)
+		if evalErr != nil {
+			return false, nil, evalErr
+		}
+	}
+	return unified, viols, nil
+}
+
+// resolve chases the null-substitution map, guarding against cycles, and
+// resolves list elements recursively.
+func (ev *evaluator) resolve(v Val) Val {
+	for i := 0; v.k == KNull; i++ {
+		next, ok := ev.subst[v.id]
+		if !ok {
+			return v
+		}
+		v = next
+		if i > len(ev.subst) {
+			return v
+		}
+	}
+	if v.k == KList {
+		elems := make([]Val, len(v.l))
+		for i, e := range v.l {
+			elems[i] = ev.resolve(e)
+		}
+		return List(elems...)
+	}
+	return v
+}
+
+// applySubst rewrites the database under the current null substitution.
+// The rewrite walks predicates in sorted order and rows in insertion order,
+// remapping fact ids as rows merge; provenance keys are rebuilt with a
+// deterministic (ascending-id, first-wins) tie-break where two old facts
+// collapse into one.
+func (ev *evaluator) applySubst() {
+	old := ev.db
+	nd := &Database{in: old.in, rels: make(map[string]*relation, len(old.rels))}
+	iv := iview{in: old.in}
+	vidMemo := make(map[uint32]uint32)
+	resolveVid := func(v uint32) uint32 {
+		if nv, ok := vidMemo[v]; ok {
+			return nv
+		}
+		nv := old.in.intern(ev.resolve(iv.val(v)))
+		vidMemo[v] = nv
+		return nv
+	}
+	remap := make(map[uint64]uint64)
+	for _, pred := range old.predsInsertionSafe() {
+		r := old.rels[pred]
+		pid := ev.pid(pred)
+		nr := nd.rel(pred)
+		for pos := 0; pos < r.nrows(); pos++ {
+			row := r.row(pos)
+			nrow := make([]uint32, len(row))
+			for i, v := range row {
+				nrow[i] = resolveVid(v)
+			}
+			npos, _ := nr.addRow(nd, nrow)
+			remap[fid(pid, uint32(pos))] = fid(pid, npos)
+		}
+	}
+	ev.db = nd
+
+	keys := make([]uint64, 0, len(ev.prov))
+	for k := range ev.prov {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	np := make(map[uint64]derivation, len(ev.prov))
+	for _, k := range keys {
+		d := ev.prov[k]
+		nk := k
+		if r, ok := remap[k]; ok {
+			nk = r
+		}
+		nb := make([]uint64, len(d.body))
+		for i, f := range d.body {
+			if r, ok := remap[f]; ok {
+				nb[i] = r
+			} else {
+				nb[i] = f
+			}
+		}
+		if _, exists := np[nk]; !exists {
+			np[nk] = derivation{rule: d.rule, body: nb}
+		}
+	}
+	ev.prov = np
+}
+
+// Run evaluates the program over the extensional database and returns the
+// derived result. The input database is not modified.
+func Run(p *Program, edb *Database, opt *Options) (*Result, error) {
+	return RunContext(context.Background(), p, edb, opt)
+}
+
+// RunContext is Run with cancellation: the context is polled at round
+// boundaries and every ctxPollMask match attempts, so a cancelled or
+// deadline-expired context aborts the evaluation within a bounded amount of
+// join work.
+func RunContext(ctx context.Context, p *Program, edb *Database, opt *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	strata, n, err := stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{
+		ctx:     ctx,
+		prog:    p,
+		opt:     opt.withDefaults(),
+		db:      edb.clone(),
+		prov:    make(map[uint64]derivation),
+		strata:  strata,
+		nStrata: n,
+		nullCtr: edb.maxNullID(),
+		skolem:  make(map[string]Val),
+		subst:   make(map[uint64]Val),
+		predIDs: make(map[string]uint32),
+	}
+	ev.workers = ev.opt.Workers
+	if ev.workers <= 0 {
+		ev.workers = runtime.GOMAXPROCS(0)
+	}
+	if ev.opt.Governor != nil {
+		defer func() { ev.opt.Governor.ReleaseBytes(ev.charged) }()
+	}
+	if err := ev.chargeMemory(); err != nil {
+		return nil, err
+	}
+	ev.orders = make([][]int, len(p.Rules))
+	for i := range p.Rules {
+		ord, err := literalOrder(&p.Rules[i])
+		if err != nil {
+			return nil, err
+		}
+		ev.orders[i] = ord
+	}
+	ev.crules = make([]*cRule, len(p.Rules))
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.IsEGD || len(r.Body) == 0 {
+			continue
+		}
+		ev.crules[i] = ev.compileRule(i)
+	}
+
+	baseLen := ev.db.Len()
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.IsEGD || len(r.Body) > 0 {
+			continue
+		}
+		for _, h := range r.Heads {
+			t := make(Tuple, len(h.Args))
+			for j, a := range h.Args {
+				t[j] = a.Val
+			}
+			ev.db.addTuple(h.Pred, t)
+		}
+	}
+
+	var violations []Violation
+	type violKey struct {
+		sid  int
+		a, b uint32
+	}
+	seenViol := make(map[violKey]bool)
+	ruleSID := make(map[string]int)
+	for pass := 0; ; pass++ {
+		if pass > ev.opt.MaxRounds {
+			return nil, fmt.Errorf("datalog: EGD unification did not converge")
+		}
+		if err := ev.ctxErr(); err != nil {
+			return nil, err
+		}
+		if err := ev.runStrata(); err != nil {
+			return nil, err
+		}
+		ev.egdPasses++
+		unified, viols, err := ev.runEGDs()
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range viols {
+			sid, ok := ruleSID[v.Rule]
+			if !ok {
+				sid = len(ruleSID)
+				ruleSID[v.Rule] = sid
+			}
+			k := violKey{sid: sid, a: ev.db.in.intern(v.A), b: ev.db.in.intern(v.B)}
+			if !seenViol[k] {
+				seenViol[k] = true
+				violations = append(violations, v)
+			}
+		}
+		if !unified {
+			break
+		}
+		ev.applySubst()
+	}
+	return &Result{
+		db:         ev.db,
+		prov:       ev.prov,
+		rules:      p.Rules,
+		Violations: violations,
+		pids:       ev.predIDs,
+		preds:      ev.predNames,
+		Stats: EvalStats{
+			Rounds:         int(ev.rounds.Load()),
+			Strata:         ev.nStrata,
+			ParallelStrata: ev.parStrata,
+			DerivedFacts:   ev.db.Len() - baseLen,
+			MatchAttempts:  ev.work.Load(),
+			MaxWork:        ev.opt.MaxWork,
+			PeakBytes:      ev.peak,
+			EGDPasses:      ev.egdPasses,
+			Workers:        ev.workers,
+		},
+	}, nil
+}

@@ -1,30 +1,208 @@
 package datalog
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
+	"sync/atomic"
 )
 
 // Database is a set of ground facts grouped by predicate.
+//
+// Storage is columnar and interned: every constant is interned once into a
+// dense uint32 id (see interner in val.go) and each relation stores its
+// facts as flat rows of ids in one arena. Dedup is an open-addressed set
+// over row hashes, and join acceleration comes from per-column-set hash
+// indexes built on demand by the evaluator's plan layer — there are no
+// per-fact key strings anywhere.
 type Database struct {
-	rels  map[string]*relation
-	bytes int64 // running estimate of heap bytes held, see tupleBytes
+	in     *interner
+	rels   map[string]*relation
+	bytes  atomic.Int64 // structural bytes (rows + dedup set + indexes)
+	nfacts atomic.Int64
 }
 
+// relation holds one predicate's facts as flat rows in insertion order.
+// Mixed arities are allowed (the seed engine allowed them too): offs
+// delimits rows, so row i is data[offs[i]:offs[i+1]].
 type relation struct {
-	facts []Tuple
-	index map[string]int // tuple key -> position in facts
-	// byFirst indexes fact positions by the key of their first argument,
-	// accelerating the most common join pattern (bound first argument).
-	byFirst map[string][]int
+	data []uint32
+	offs []uint32 // len(offs) == nrows+1, offs[0] == 0
+	set  rowSet
+	// structBytes is the row+set footprint, excluding indexes; clones
+	// carry rows but drop indexes, so the two are tracked apart.
+	structBytes int64
+	indexes     []*joinIndex
+}
+
+func newRelation() *relation { return &relation{offs: []uint32{0}} }
+
+func (r *relation) nrows() int { return len(r.offs) - 1 }
+
+func (r *relation) row(i int) []uint32 { return r.data[r.offs[i]:r.offs[i+1]] }
+
+// rowSet is the dedup structure: open addressing over row hashes, storing
+// row positions + 1 (0 marks an empty slot). Collisions are resolved by
+// comparing the actual rows, so hash quality only affects speed.
+type rowSet struct {
+	slots []uint32
+	used  int
+}
+
+func hashRow(row []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range row {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	h ^= uint64(len(row))
+	h *= 1099511628211
+	return h
+}
+
+func rowsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *relation) findRow(row []uint32) (uint32, bool) {
+	if len(r.set.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(r.set.slots) - 1)
+	for i := hashRow(row) & mask; ; i = (i + 1) & mask {
+		s := r.set.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		pos := s - 1
+		if rowsEqual(r.row(int(pos)), row) {
+			return pos, true
+		}
+	}
+}
+
+func (r *relation) growSet() {
+	n := len(r.set.slots) * 2
+	if n == 0 {
+		n = 16
+	}
+	slots := make([]uint32, n)
+	mask := uint64(n - 1)
+	for pos := 0; pos < r.nrows(); pos++ {
+		h := hashRow(r.row(pos)) & mask
+		for slots[h] != 0 {
+			h = (h + 1) & mask
+		}
+		slots[h] = uint32(pos) + 1
+	}
+	r.set.slots = slots
+}
+
+// rowOverhead is the estimated per-row cost beyond the ids themselves:
+// the offs entry plus the amortized dedup-set slot.
+const rowOverhead = 20
+
+// indexEntryOverhead is the estimated per-row cost of one join index:
+// the bucket slice entry plus amortized map bucket space.
+const indexEntryOverhead = 16
+
+// addRow appends a row unless present, returning its position and whether
+// it was added. Every existing index of matching arity is updated
+// synchronously, so facts derived mid-pass are visible to index scans the
+// same way they are to full scans.
+func (r *relation) addRow(db *Database, row []uint32) (uint32, bool) {
+	if pos, ok := r.findRow(row); ok {
+		return pos, false
+	}
+	if (r.set.used+1)*4 >= len(r.set.slots)*3 {
+		r.growSet()
+	}
+	pos := uint32(r.nrows())
+	r.data = append(r.data, row...)
+	r.offs = append(r.offs, uint32(len(r.data)))
+	mask := uint64(len(r.set.slots) - 1)
+	h := hashRow(row) & mask
+	for r.set.slots[h] != 0 {
+		h = (h + 1) & mask
+	}
+	r.set.slots[h] = pos + 1
+	r.set.used++
+	sb := int64(4*len(row) + rowOverhead)
+	r.structBytes += sb
+	grow := sb
+	for _, ix := range r.indexes {
+		if ix.arity == len(row) {
+			ix.add(row, pos)
+			grow += indexEntryOverhead
+		}
+	}
+	db.bytes.Add(grow)
+	db.nfacts.Add(1)
+	return pos, true
+}
+
+// joinIndex maps the hash of a column subset to the row positions carrying
+// those column values, in ascending (= insertion) order. Buckets may mix
+// rows whose key columns merely hash together — the matcher re-verifies
+// every candidate, exactly as the seed engine's byFirst index did — so the
+// index can never change which rows match, only how many are tried.
+type joinIndex struct {
+	arity int
+	mask  uint64 // bit i set: column i is a key column
+	m     map[uint64][]uint32
+}
+
+func (ix *joinIndex) keyOf(row []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for i, v := range row {
+		if ix.mask&(1<<uint(i)) != 0 {
+			h ^= uint64(v)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func (ix *joinIndex) add(row []uint32, pos uint32) {
+	k := ix.keyOf(row)
+	ix.m[k] = append(ix.m[k], pos)
+}
+
+// getIndex returns the relation's index over the given column mask for
+// rows of the given arity, building and back-filling it on first use. Only
+// the evaluator's sequential plan-resolution phase calls this; parallel
+// phases see a frozen index list.
+func (r *relation) getIndex(db *Database, arity int, mask uint64) *joinIndex {
+	for _, ix := range r.indexes {
+		if ix.arity == arity && ix.mask == mask {
+			return ix
+		}
+	}
+	ix := &joinIndex{arity: arity, mask: mask, m: make(map[uint64][]uint32)}
+	n := 0
+	for pos := 0; pos < r.nrows(); pos++ {
+		row := r.row(pos)
+		if len(row) == arity {
+			ix.add(row, uint32(pos))
+			n++
+		}
+	}
+	r.indexes = append(r.indexes, ix)
+	db.bytes.Add(int64(n) * indexEntryOverhead)
+	return ix
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*relation)}
+	return &Database{in: newInterner(), rels: make(map[string]*relation)}
 }
 
 // Add inserts a fact; duplicates are ignored.
@@ -33,55 +211,30 @@ func (db *Database) Add(pred string, args ...Val) {
 }
 
 func (db *Database) addTuple(pred string, t Tuple) bool {
+	row := make([]uint32, len(t))
+	for i, v := range t {
+		row[i] = db.in.intern(v)
+	}
+	_, added := db.rel(pred).addRow(db, row)
+	return added
+}
+
+func (db *Database) rel(pred string) *relation {
 	r, ok := db.rels[pred]
 	if !ok {
-		r = &relation{index: make(map[string]int), byFirst: make(map[string][]int)}
+		r = newRelation()
 		db.rels[pred] = r
 	}
-	k := t.Key()
-	if _, dup := r.index[k]; dup {
-		return false
-	}
-	r.index[k] = len(r.facts)
-	if len(t) > 0 {
-		fk := t[0].Key()
-		r.byFirst[fk] = append(r.byFirst[fk], len(r.facts))
-	}
-	r.facts = append(r.facts, t)
-	db.bytes += tupleBytes(t) + int64(2*len(k)) + 2*mapEntryOverhead
-	return true
+	return r
 }
 
-// Rough per-entry cost of the index and byFirst maps (bucket slot,
-// position int, slice header amortization).
-const mapEntryOverhead = 48
-
-// tupleBytes estimates the heap footprint of one stored tuple: slice
-// header plus, per value, the Val struct and any string or nested list
-// payload. Deliberately an estimate — the point is to bound runaway
-// chases in bytes, not to mirror the allocator.
-func tupleBytes(t Tuple) int64 {
-	n := int64(24) // tuple slice header
-	for _, v := range t {
-		n += valBytes(v)
-	}
-	return n
-}
-
-func valBytes(v Val) int64 {
-	n := int64(48) // Val struct: kind, float, id, string header, slice header
-	n += int64(len(v.s))
-	for _, e := range v.l {
-		n += valBytes(e)
-	}
-	return n
-}
-
-// EstimatedBytes reports the database's running heap-size estimate,
-// maintained incrementally by fact insertion. Governed evaluations
-// charge the growth of this figure against their memory budget every
-// fixpoint round.
-func (db *Database) EstimatedBytes() int64 { return db.bytes }
+// EstimatedBytes reports the database's running heap-size estimate: the
+// structural footprint of the rows, dedup sets and join indexes plus the
+// interned-value arena. Governed evaluations charge the growth of this
+// figure against their memory budget every fixpoint round. Clones share
+// their parent's interner, so the arena component is counted in full on
+// both — a deliberate overestimate that keeps the budget conservative.
+func (db *Database) EstimatedBytes() int64 { return db.bytes.Load() + db.in.bytes.Load() }
 
 // Facts returns the facts of a predicate, sorted.
 func (db *Database) Facts(pred string) []Tuple {
@@ -89,7 +242,11 @@ func (db *Database) Facts(pred string) []Tuple {
 	if r == nil {
 		return nil
 	}
-	out := append([]Tuple(nil), r.facts...)
+	iv := iview{in: db.in}
+	out := make([]Tuple, r.nrows())
+	for i := range out {
+		out[i] = decodeRow(&iv, r.row(i))
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := 0; k < len(a) && k < len(b); k++ {
@@ -102,30 +259,40 @@ func (db *Database) Facts(pred string) []Tuple {
 	return out
 }
 
+func decodeRow(iv *iview, row []uint32) Tuple {
+	t := make(Tuple, len(row))
+	for i, v := range row {
+		t[i] = iv.val(v)
+	}
+	return t
+}
+
 // Has reports whether the fact is present.
 func (db *Database) Has(pred string, args ...Val) bool {
 	r := db.rels[pred]
 	if r == nil {
 		return false
 	}
-	_, ok := r.index[Tuple(args).Key()]
+	row := make([]uint32, len(args))
+	for i, v := range args {
+		id, ok := db.in.lookup(v)
+		if !ok {
+			return false // a never-interned value cannot be in any fact
+		}
+		row[i] = id
+	}
+	_, ok := r.findRow(row)
 	return ok
 }
 
 // Len returns the total number of facts.
-func (db *Database) Len() int {
-	n := 0
-	for _, r := range db.rels {
-		n += len(r.facts)
-	}
-	return n
-}
+func (db *Database) Len() int { return int(db.nfacts.Load()) }
 
 // Predicates returns the sorted predicate names with at least one fact.
 func (db *Database) Predicates() []string {
 	var out []string
 	for p, r := range db.rels {
-		if len(r.facts) > 0 {
+		if r.nrows() > 0 {
 			out = append(out, p)
 		}
 	}
@@ -133,30 +300,53 @@ func (db *Database) Predicates() []string {
 	return out
 }
 
+// predsInsertionSafe returns the sorted predicate names with facts; used by
+// deterministic whole-database walks (applySubst, the seed-compatibility
+// conversion in tests).
+func (db *Database) predsInsertionSafe() []string { return db.Predicates() }
+
+// insertionFacts decodes a predicate's facts in insertion order — the order
+// observable through provenance firsts and labelled-null minting.
+func (db *Database) insertionFacts(pred string) []Tuple {
+	r := db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	iv := iview{in: db.in}
+	out := make([]Tuple, r.nrows())
+	for i := range out {
+		out[i] = decodeRow(&iv, r.row(i))
+	}
+	return out
+}
+
+// clone copies the rows (sharing the interner) and drops the join indexes:
+// an evaluation run rebuilds exactly the indexes its plan needs.
 func (db *Database) clone() *Database {
-	c := NewDatabase()
+	c := &Database{in: db.in, rels: make(map[string]*relation, len(db.rels))}
+	var bytes int64
 	for p, r := range db.rels {
 		nr := &relation{
-			facts:   make([]Tuple, len(r.facts)),
-			index:   make(map[string]int, len(r.index)),
-			byFirst: make(map[string][]int, len(r.byFirst)),
-		}
-		copy(nr.facts, r.facts)
-		for k, v := range r.index {
-			nr.index[k] = v
-		}
-		for k, v := range r.byFirst {
-			nr.byFirst[k] = append([]int(nil), v...)
+			data:        append([]uint32(nil), r.data...),
+			offs:        append([]uint32(nil), r.offs...),
+			set:         rowSet{slots: append([]uint32(nil), r.set.slots...), used: r.set.used},
+			structBytes: r.structBytes,
 		}
 		c.rels[p] = nr
+		bytes += r.structBytes
 	}
-	c.bytes = db.bytes
+	c.bytes.Store(bytes)
+	c.nfacts.Store(db.nfacts.Load())
 	return c
 }
 
 // maxNullID returns the largest labelled-null id appearing in the database.
+// It scans the stored rows rather than the interner: the interner is shared
+// with the parent database and sibling clones, and may hold nulls that do
+// not occur in this database's facts.
 func (db *Database) maxNullID() uint64 {
 	var maxID uint64
+	iv := iview{in: db.in}
 	var scan func(v Val)
 	scan = func(v Val) {
 		switch v.k {
@@ -170,10 +360,12 @@ func (db *Database) maxNullID() uint64 {
 			}
 		}
 	}
+	seen := make(map[uint32]bool)
 	for _, r := range db.rels {
-		for _, t := range r.facts {
-			for _, v := range t {
-				scan(v)
+		for _, v := range r.data {
+			if !seen[v] {
+				seen[v] = true
+				scan(iv.val(v))
 			}
 		}
 	}
@@ -199,11 +391,20 @@ type Options struct {
 	// MaxWork caps the total number of fact-match attempts across the
 	// whole run (default 1e9): the guard against join explosions that
 	// burn CPU inside a single evaluation pass, where the per-round fact
-	// and round caps never trigger.
+	// and round caps never trigger. Join indexes prune non-matching
+	// candidates before they are attempted, so the same program consumes
+	// less of this budget than it did on the pre-index engine.
 	MaxWork int64
+	// Workers caps the goroutines used for parallel evaluation of
+	// independent strata and of large delta partitions within a stratum:
+	// 0 means GOMAXPROCS, 1 forces fully sequential evaluation. Results
+	// are bit-identical across worker counts — parallelism changes wall
+	// clock, never derived facts, provenance or null identities.
+	Workers int
 	// Trace, when set, receives one line per stratum fixpoint round with
 	// the number of facts derived — the operational visibility a
-	// production reasoner needs.
+	// production reasoner needs. Tracing forces strata to run
+	// sequentially so the line order matches the stratum order.
 	Trace io.Writer
 	// Governor, when set, is charged the growth of the database's
 	// estimated byte size at every fixpoint-round boundary and refunded
@@ -234,19 +435,56 @@ func (o *Options) withDefaults() Options {
 		if o.MaxWork > 0 {
 			out.MaxWork = o.MaxWork
 		}
+		out.Workers = o.Workers
 		out.Trace = o.Trace
 		out.Governor = o.Governor
 	}
 	return out
 }
 
+// EvalStats describes what one reasoning run actually did — the
+// observability block behind the paper's interactive-latency claim. All
+// figures are exact except MatchAttempts under parallel evaluation, where
+// partitions that lose the insertion race may retry, and PeakBytes, which
+// is sampled at fixpoint-round boundaries.
+type EvalStats struct {
+	// Rounds counts fixpoint rounds across all strata and EGD passes,
+	// the seed passes included.
+	Rounds int `json:"rounds"`
+	// Strata is the number of strata the program stratified into.
+	Strata int `json:"strata"`
+	// ParallelStrata counts strata that ran concurrently with at least
+	// one other stratum.
+	ParallelStrata int `json:"parallel_strata"`
+	// DerivedFacts is the number of facts the run added beyond the
+	// extensional database.
+	DerivedFacts int `json:"derived_facts"`
+	// MatchAttempts is the total fact-match work performed, the figure
+	// MaxWork bounds.
+	MatchAttempts int64 `json:"match_attempts"`
+	// MaxWork echoes the effective work budget the run was held to.
+	MaxWork int64 `json:"max_work"`
+	// PeakBytes is the highest database size estimate observed at a
+	// round boundary — the figure charged to the memory governor.
+	PeakBytes int64 `json:"peak_bytes"`
+	// EGDPasses counts outer chase passes (strata saturation + EGD
+	// application); 1 for programs without EGDs.
+	EGDPasses int `json:"egd_passes"`
+	// Workers is the effective worker cap the run used.
+	Workers int `json:"workers"`
+}
+
 // Result is the outcome of a reasoning run: the derived database (input facts
 // included) plus any EGD violations encountered.
 type Result struct {
 	db         *Database
-	prov       map[string]derivation
+	prov       map[uint64]derivation
 	rules      []Rule
+	pids       map[string]uint32 // predicate name -> dense id (provenance keys)
+	preds      []string          // dense id -> predicate name
 	Violations []Violation
+	// Stats describes the work the run performed.
+	Stats EvalStats
 }
 
 // Facts returns the derived facts of a predicate, sorted.
@@ -258,156 +496,13 @@ func (r *Result) Has(pred string, args ...Val) bool { return r.db.Has(pred, args
 // DB exposes the derived database.
 func (r *Result) DB() *Database { return r.db }
 
-type factRef struct {
-	pred string
-	t    Tuple
-}
-
-func (f factRef) key() string { return f.pred + "/" + f.t.Key() }
-
-func (f factRef) String() string { return f.pred + f.t.String() }
-
+// derivation records how a fact was first derived: the producing rule and
+// the interned ids of the body facts it matched. Fact ids — pred id in the
+// high word, row position in the low — replace the pred+Key() strings the
+// seed engine concatenated for every provenance and violation lookup.
 type derivation struct {
 	rule int // index into rules; -1 for extensional facts
-	body []factRef
-}
-
-// evaluator carries the mutable state of one reasoning run.
-type evaluator struct {
-	ctx      context.Context
-	prog     *Program
-	opt      Options
-	db       *Database
-	prov     map[string]derivation
-	strata   map[string]int
-	nStrata  int
-	nullCtr  uint64
-	skolem   map[string]Val // rule/var/frontier -> invented null
-	orders   [][]int        // literal evaluation order per rule
-	work     int64          // fact-match attempts so far (vs opt.MaxWork)
-	charged  int64          // db bytes already reserved with opt.Governor
-	aggState []map[string]*aggGroup
-	subst    map[uint64]Val // labelled-null unification from EGDs
-}
-
-// chargeMemory reserves the growth of the database's estimated size
-// since the last charge. The figure only ratchets up during a run;
-// everything is released in one step when the run returns.
-func (ev *evaluator) chargeMemory() error {
-	if ev.opt.Governor == nil {
-		return nil
-	}
-	b := ev.db.EstimatedBytes()
-	if b <= ev.charged {
-		return nil
-	}
-	//governcharge:ok incremental charge; RunContext defers ReleaseBytes(ev.charged) for the whole run
-	if err := ev.opt.Governor.ReserveBytes(b - ev.charged); err != nil {
-		return fmt.Errorf("datalog: database estimated at %d bytes: %w", b, err)
-	}
-	ev.charged = b
-	return nil
-}
-
-type aggGroup struct {
-	env     map[string]Val // representative binding of the group variables
-	used    []factRef
-	contrib map[string]Val // contributor key -> best contribution
-	emitted bool           // for LAggCond: head already produced
-	dirty   bool           // contribution changed since the last flush
-}
-
-// Run evaluates the program over the extensional database and returns the
-// derived database. The input database is not modified.
-func Run(p *Program, edb *Database, opt *Options) (*Result, error) {
-	return RunContext(context.Background(), p, edb, opt)
-}
-
-// RunContext is Run with cancellation support: the evaluator polls ctx at
-// every fixpoint-round boundary and every few thousand fact-match attempts,
-// so a cancelled or expired context stops a runaway chase promptly instead
-// of burning CPU until the MaxWork budget trips. The returned error wraps
-// ctx.Err(), so callers can errors.Is against context.Canceled and
-// context.DeadlineExceeded.
-func RunContext(ctx context.Context, p *Program, edb *Database, opt *Options) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	strata, n, err := stratify(p)
-	if err != nil {
-		return nil, err
-	}
-	ev := &evaluator{
-		ctx:     ctx,
-		prog:    p,
-		opt:     opt.withDefaults(),
-		db:      edb.clone(),
-		prov:    make(map[string]derivation),
-		strata:  strata,
-		nStrata: n,
-		nullCtr: edb.maxNullID(),
-		skolem:  make(map[string]Val),
-		subst:   make(map[uint64]Val),
-	}
-	if ev.opt.Governor != nil {
-		defer func() { ev.opt.Governor.ReleaseBytes(ev.charged) }()
-	}
-	if err := ev.chargeMemory(); err != nil { // the cloned input database
-		return nil, err
-	}
-	ev.orders = make([][]int, len(p.Rules))
-	for i := range p.Rules {
-		ord, err := literalOrder(&p.Rules[i])
-		if err != nil {
-			return nil, err
-		}
-		ev.orders[i] = ord
-	}
-
-	// Facts (empty-body rules) are extensional.
-	for i := range p.Rules {
-		r := &p.Rules[i]
-		if r.IsEGD || len(r.Body) > 0 {
-			continue
-		}
-		for _, h := range r.Heads {
-			t := make(Tuple, len(h.Args))
-			for j, a := range h.Args {
-				t[j] = a.Val
-			}
-			ev.db.addTuple(h.Pred, t)
-		}
-	}
-
-	var violations []Violation
-	seenViol := make(map[string]bool)
-	for pass := 0; ; pass++ {
-		if pass > ev.opt.MaxRounds {
-			return nil, fmt.Errorf("datalog: EGD unification did not converge")
-		}
-		if err := ev.ctxErr(); err != nil {
-			return nil, err
-		}
-		if err := ev.runStrata(); err != nil {
-			return nil, err
-		}
-		unified, viols, err := ev.runEGDs()
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range viols {
-			k := v.Rule + "|" + v.A.Key() + "|" + v.B.Key()
-			if !seenViol[k] {
-				seenViol[k] = true
-				violations = append(violations, v)
-			}
-		}
-		if !unified {
-			break
-		}
-		ev.applySubst()
-	}
-	return &Result{db: ev.db, prov: ev.prov, rules: p.Rules, Violations: violations}, nil
+	body []uint64
 }
 
 // literalOrder picks an evaluation order for a rule body: at each step the
@@ -498,343 +593,16 @@ func btoi(b bool) int {
 	return 0
 }
 
-// runStrata evaluates all strata bottom-up to fixpoint.
-func (ev *evaluator) runStrata() error {
-	// Group rule indexes by stratum (stratum of the rule's head preds;
-	// the stratifier forces all heads of one rule into one stratum).
-	ruleStratum := make([]int, len(ev.prog.Rules))
-	ev.aggState = make([]map[string]*aggGroup, len(ev.prog.Rules))
-	for i := range ev.prog.Rules {
-		r := &ev.prog.Rules[i]
-		if r.IsEGD || len(r.Body) == 0 {
-			ruleStratum[i] = -1
-			continue
-		}
-		ruleStratum[i] = ev.strata[r.Heads[0].Pred]
-		ev.aggState[i] = make(map[string]*aggGroup)
-	}
-	for s := 0; s < ev.nStrata; s++ {
-		var rules []int
-		for i, rs := range ruleStratum {
-			if rs == s {
-				rules = append(rules, i)
-			}
-		}
-		if len(rules) == 0 {
-			continue
-		}
-		if err := ev.fixpoint(s, rules); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// fixpoint saturates one stratum with semi-naive evaluation. Rules with
-// aggregates are re-evaluated in full each round: their per-group contributor
-// state makes repeated evaluation idempotent and monotone.
-func (ev *evaluator) fixpoint(stratum int, rules []int) error {
-	delta := make(map[string][]Tuple)
-	collect := func(added []factRef) {
-		for _, f := range added {
-			delta[f.pred] = append(delta[f.pred], f.t)
-		}
-	}
-
-	// Seed round: full evaluation of every rule.
-	var added []factRef
-	for _, ri := range rules {
-		a, err := ev.evalRule(ri, -1, nil)
-		if err != nil {
-			return err
-		}
-		added = append(added, a...)
-	}
-	collect(added)
-	if ev.opt.Trace != nil {
-		fmt.Fprintf(ev.opt.Trace, "stratum %d seed: %d rules, %d facts derived, db %d\n",
-			stratum, len(rules), len(added), ev.db.Len())
-	}
-	if err := ev.chargeMemory(); err != nil {
-		return err
-	}
-
-	for round := 0; len(delta) > 0; round++ {
-		if round > ev.opt.MaxRounds {
-			return fmt.Errorf("datalog: stratum %d exceeded %d rounds", stratum, ev.opt.MaxRounds)
-		}
-		if err := ev.ctxErr(); err != nil {
-			return err
-		}
-		if ev.db.Len() > ev.opt.MaxFacts {
-			return fmt.Errorf("datalog: database exceeded %d facts (runaway chase?)", ev.opt.MaxFacts)
-		}
-		if err := ev.chargeMemory(); err != nil {
-			return err
-		}
-		next := make(map[string][]Tuple)
-		for _, ri := range rules {
-			r := &ev.prog.Rules[ri]
-			// Semi-naive: one pass per recursive body-atom occurrence,
-			// with that occurrence restricted to the last delta. This is
-			// sound for aggregate-condition rules too: their per-group
-			// contributor state persists across rounds and accumulates
-			// monotonically, and any genuinely new binding must involve
-			// at least one delta fact.
-			for li, l := range r.Body {
-				if l.Kind != LAtom {
-					continue
-				}
-				if ev.strata[l.Atom.Pred] != stratum {
-					continue
-				}
-				d := delta[l.Atom.Pred]
-				if len(d) == 0 {
-					continue
-				}
-				a, err := ev.evalRule(ri, li, d)
-				if err != nil {
-					return err
-				}
-				for _, f := range a {
-					next[f.pred] = append(next[f.pred], f.t)
-				}
-			}
-		}
-		if ev.opt.Trace != nil {
-			derived := 0
-			for _, fs := range next {
-				derived += len(fs)
-			}
-			fmt.Fprintf(ev.opt.Trace, "stratum %d round %d: %d facts derived, db %d\n",
-				stratum, round+1, derived, ev.db.Len())
-		}
-		delta = next
-	}
-	return nil
-}
-
-// evalRule evaluates one rule. If restrict >= 0, the positive body atom at
-// that literal index only matches tuples from restrictTo. It returns the
-// newly derived facts.
-func (ev *evaluator) evalRule(ri, restrict int, restrictTo []Tuple) ([]factRef, error) {
-	r := &ev.prog.Rules[ri]
-	var out []factRef
-	env := make(map[string]Val)
-	var used []factRef
-	var evalErr error
-
-	var emit func()
-	aggLit := -1
-	for i, l := range r.Body {
-		if l.Kind == LAggAssign || l.Kind == LAggCond {
-			aggLit = i
-		}
-	}
-
-	if aggLit == -1 {
-		emit = func() {
-			refs, err := ev.emitHeads(ri, env, used)
-			if err != nil {
-				evalErr = err
-				return
-			}
-			out = append(out, refs...)
-		}
-	} else {
-		emit = func() {
-			if err := ev.recordAgg(ri, aggLit, env, used); err != nil {
-				evalErr = err
-			}
-		}
-	}
-
-	order := ev.orders[ri]
-	var walk func(step int)
-	walk = func(step int) {
-		if evalErr != nil {
-			return
-		}
-		if step == len(order) || (aggLit >= 0 && order[step] == aggLit) {
-			emit()
-			return
-		}
-		l := &r.Body[order[step]]
-		switch l.Kind {
-		case LAtom:
-			if order[step] == restrict {
-				for _, f := range restrictTo {
-					if err := ev.spend(); err != nil {
-						evalErr = err
-						return
-					}
-					undo, ok := match(l.Atom, f, env)
-					if !ok {
-						continue
-					}
-					used = append(used, factRef{l.Atom.Pred, f})
-					walk(step + 1)
-					used = used[:len(used)-1]
-					undoBind(env, undo)
-					if evalErr != nil {
-						return
-					}
-				}
-				return
-			}
-			rel := ev.db.rels[l.Atom.Pred]
-			if rel == nil {
-				return
-			}
-			// Bound first argument: walk only the matching bucket. The
-			// bucket slice may grow while we iterate (rules can derive
-			// into the relation they read); indexing by position keeps
-			// newly added facts visible, as the full scan would.
-			if len(l.Atom.Args) > 0 {
-				if fv, ok := boundTermVal(l.Atom.Args[0], env); ok {
-					bucket := rel.byFirst[fv.Key()]
-					for bi := 0; bi < len(bucket); bi++ {
-						if err := ev.spend(); err != nil {
-							evalErr = err
-							return
-						}
-						f := rel.facts[bucket[bi]]
-						undo, ok := match(l.Atom, f, env)
-						if !ok {
-							continue
-						}
-						used = append(used, factRef{l.Atom.Pred, f})
-						walk(step + 1)
-						used = used[:len(used)-1]
-						undoBind(env, undo)
-						if evalErr != nil {
-							return
-						}
-						bucket = rel.byFirst[fv.Key()]
-					}
-					return
-				}
-			}
-			for fi := 0; fi < len(rel.facts); fi++ {
-				if err := ev.spend(); err != nil {
-					evalErr = err
-					return
-				}
-				f := rel.facts[fi]
-				undo, ok := match(l.Atom, f, env)
-				if !ok {
-					continue
-				}
-				used = append(used, factRef{l.Atom.Pred, f})
-				walk(step + 1)
-				used = used[:len(used)-1]
-				undoBind(env, undo)
-				if evalErr != nil {
-					return
-				}
-			}
-		case LNegAtom:
-			t := make(Tuple, len(l.Atom.Args))
-			for i, a := range l.Atom.Args {
-				v, err := termVal(a, env)
-				if err != nil {
-					evalErr = err
-					return
-				}
-				t[i] = v
-			}
-			if !ev.db.Has(l.Atom.Pred, t...) {
-				walk(step + 1)
-			}
-		case LCmp:
-			lv, err := evalExpr(l.L, env)
-			if err != nil {
-				evalErr = err
-				return
-			}
-			rv, err := evalExpr(l.R, env)
-			if err != nil {
-				evalErr = err
-				return
-			}
-			ok, err := compare(l.Op, lv, rv)
-			if err != nil {
-				evalErr = fmt.Errorf("line %d: %w", r.Line, err)
-				return
-			}
-			if ok {
-				walk(step + 1)
-			}
-		case LAssign:
-			v, err := evalExpr(l.AssignE, env)
-			if err != nil {
-				evalErr = err
-				return
-			}
-			if old, bound := env[l.Var]; bound {
-				if Equal(old, v) {
-					walk(step + 1)
-				}
-				return
-			}
-			env[l.Var] = v
-			walk(step + 1)
-			delete(env, l.Var)
-		}
-	}
-	walk(0)
-	if evalErr != nil {
-		return nil, evalErr
-	}
-
-	if aggLit >= 0 {
-		refs, err := ev.flushAgg(ri, aggLit)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, refs...)
-	}
-	return out, nil
-}
-
 // ctxPollMask throttles cancellation polling inside the innermost join
 // loops: the context is checked every 8192 fact-match attempts, cheap enough
 // to be invisible next to the matching work while still bounding the latency
 // between cancellation and the evaluator unwinding.
 const ctxPollMask = 8192 - 1
 
-// spend consumes one unit of the work budget; it returns a non-nil error
-// when the budget is exhausted or the run's context is done.
-func (ev *evaluator) spend() error {
-	ev.work++
-	if ev.work > ev.opt.MaxWork {
-		return fmt.Errorf("datalog: exceeded the work budget of %d match attempts (join explosion?)", ev.opt.MaxWork)
-	}
-	if ev.work&ctxPollMask == 0 {
-		return ev.ctxErr()
-	}
-	return nil
-}
-
-// ctxErr reports a cancelled or expired run context, wrapping ctx.Err() so
-// errors.Is sees context.Canceled / context.DeadlineExceeded.
-func (ev *evaluator) ctxErr() error {
-	if err := ev.ctx.Err(); err != nil {
-		return fmt.Errorf("datalog: evaluation cancelled after %d match attempts: %w", ev.work, err)
-	}
-	return nil
-}
-
-func (ev *evaluator) factsFor(pred string) []Tuple {
-	r := ev.db.rels[pred]
-	if r == nil {
-		return nil
-	}
-	return r.facts
-}
-
 // match unifies an atom pattern against a fact under env, returning the list
-// of variables newly bound (to undo) and whether it matched.
+// of variables newly bound (to undo) and whether it matched. The compiled
+// engine matches on interned ids; this Tuple-level form remains for the EGD
+// walk and provenance queries, where rows are already decoded.
 func match(a *Atom, f Tuple, env map[string]Val) ([]string, bool) {
 	if len(a.Args) != len(f) {
 		return nil, false
@@ -971,226 +739,6 @@ func compare(op string, l, r Val) (bool, error) {
 	return false, fmt.Errorf("unknown comparison %q", op)
 }
 
-// emitHeads instantiates the rule heads under env, inventing labelled nulls
-// for existential variables, and records provenance for new facts.
-func (ev *evaluator) emitHeads(ri int, env map[string]Val, used []factRef) ([]factRef, error) {
-	r := &ev.prog.Rules[ri]
-	var cleanup []string
-	if len(r.Existential) > 0 {
-		// Skolem key: rule id + frontier (bound head variables).
-		var b strings.Builder
-		fmt.Fprintf(&b, "r%d|", ri)
-		var frontier []string
-		for _, h := range r.Heads {
-			for _, t := range h.Args {
-				if t.Kind == TVar {
-					if _, ok := env[t.Name]; ok {
-						frontier = append(frontier, t.Name)
-					}
-				}
-			}
-		}
-		sort.Strings(frontier)
-		for _, v := range frontier {
-			b.WriteString(v)
-			b.WriteByte('=')
-			b.WriteString(env[v].Key())
-			b.WriteByte(';')
-		}
-		base := b.String()
-		for _, x := range r.Existential {
-			key := base + "!" + x
-			null, ok := ev.skolem[key]
-			if !ok {
-				ev.nullCtr++
-				null = NullVal(ev.nullCtr)
-				ev.skolem[key] = null
-			}
-			// A previously minted null may have been unified away by an
-			// EGD; emit its resolved value so re-derivations after
-			// unification converge instead of resurrecting the old null.
-			env[x] = ev.resolve(null)
-			cleanup = append(cleanup, x)
-		}
-	}
-	defer undoBind(env, cleanup)
-
-	var out []factRef
-	usedCopy := append([]factRef(nil), used...)
-	for _, h := range r.Heads {
-		t := make(Tuple, len(h.Args))
-		for i, a := range h.Args {
-			v, err := termVal(a, env)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", r.Line, err)
-			}
-			t[i] = v
-		}
-		if ev.db.addTuple(h.Pred, t) {
-			ref := factRef{h.Pred, t}
-			ev.prov[ref.key()] = derivation{rule: ri, body: usedCopy}
-			out = append(out, ref)
-		}
-	}
-	return out, nil
-}
-
-// recordAgg folds one body binding into the rule's aggregate state.
-func (ev *evaluator) recordAgg(ri, aggLit int, env map[string]Val, used []factRef) error {
-	r := &ev.prog.Rules[ri]
-	l := &r.Body[aggLit]
-
-	// Group key: head variables bound by the body (excludes the aggregate
-	// result variable and existential variables).
-	groupVars := ev.groupVars(r, l)
-	var b strings.Builder
-	genv := make(map[string]Val, len(groupVars))
-	for _, v := range groupVars {
-		val, ok := env[v]
-		if !ok {
-			return fmt.Errorf("datalog: line %d: head variable %s unbound at aggregate", r.Line, v)
-		}
-		genv[v] = val
-		b.WriteString(val.Key())
-		b.WriteByte('|')
-	}
-	gkey := b.String()
-
-	st := ev.aggState[ri]
-	g, ok := st[gkey]
-	if !ok {
-		g = &aggGroup{env: genv, used: append([]factRef(nil), used...), contrib: make(map[string]Val)}
-		st[gkey] = g
-	}
-
-	cv, err := evalExpr(l.Agg.Contrib, env)
-	if err != nil {
-		return err
-	}
-	var contribution Val
-	switch l.Agg.Fn {
-	case AggCount:
-		contribution = Num(1)
-	case AggUnion:
-		v, err := evalExpr(l.Agg.Arg, env)
-		if err != nil {
-			return err
-		}
-		contribution = v
-	default:
-		v, err := evalExpr(l.Agg.Arg, env)
-		if err != nil {
-			return err
-		}
-		if v.k != KNum {
-			return fmt.Errorf("datalog: line %d: %s over non-number %s", r.Line, l.Agg.Fn, v)
-		}
-		contribution = v
-	}
-
-	ck := cv.Key()
-	if old, ok := g.contrib[ck]; ok {
-		// Monotonic contributor semantics: a later version of the same
-		// contributor replaces the earlier one; we keep the maximal
-		// contribution so the aggregate never regresses.
-		if l.Agg.Fn == AggUnion {
-			merged := List(append(old.Elems(), contribution)...)
-			if !Equal(merged, old) {
-				g.contrib[ck] = merged
-				g.dirty = true
-			}
-		} else if Compare(contribution, old) > 0 {
-			g.contrib[ck] = contribution
-			g.dirty = true
-		}
-	} else {
-		if l.Agg.Fn == AggUnion {
-			contribution = List(contribution)
-		}
-		g.contrib[ck] = contribution
-		g.dirty = true
-	}
-	return nil
-}
-
-// groupVars lists, in deterministic order, the head variables that form the
-// aggregation group of rule r.
-func (ev *evaluator) groupVars(r *Rule, l *Literal) []string {
-	skip := map[string]bool{}
-	if l.Kind == LAggAssign {
-		skip[l.Var] = true
-	}
-	for _, x := range r.Existential {
-		skip[x] = true
-	}
-	seen := map[string]bool{}
-	var out []string
-	for _, h := range r.Heads {
-		for _, t := range h.Args {
-			if t.Kind == TVar && !skip[t.Name] && !seen[t.Name] {
-				seen[t.Name] = true
-				out = append(out, t.Name)
-			}
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// flushAgg computes aggregate values per group and emits head facts.
-func (ev *evaluator) flushAgg(ri, aggLit int) ([]factRef, error) {
-	r := &ev.prog.Rules[ri]
-	l := &r.Body[aggLit]
-	var out []factRef
-
-	// Only groups whose contributions changed since the last flush can
-	// produce new heads; skipping the rest keeps long fixpoints linear in
-	// the work actually done.
-	gkeys := make([]string, 0, len(ev.aggState[ri]))
-	for k, g := range ev.aggState[ri] {
-		if g.dirty {
-			gkeys = append(gkeys, k)
-		}
-	}
-	sort.Strings(gkeys)
-
-	for _, gk := range gkeys {
-		g := ev.aggState[ri][gk]
-		g.dirty = false
-		agg, err := foldAgg(l.Agg.Fn, g.contrib)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", r.Line, err)
-		}
-		env := make(map[string]Val, len(g.env)+1)
-		for k, v := range g.env {
-			env[k] = v
-		}
-		switch l.Kind {
-		case LAggAssign:
-			env[l.Var] = agg
-		case LAggCond:
-			rhs, err := evalExpr(l.R, env)
-			if err != nil {
-				return nil, err
-			}
-			ok, err := compare(l.Op, agg, rhs)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", r.Line, err)
-			}
-			if !ok || g.emitted {
-				continue
-			}
-			g.emitted = true
-		}
-		refs, err := ev.emitHeads(ri, env, g.used)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, refs...)
-	}
-	return out, nil
-}
-
 func foldAgg(fn AggFn, contrib map[string]Val) (Val, error) {
 	keys := make([]string, 0, len(contrib))
 	for k := range contrib {
@@ -1220,181 +768,4 @@ func foldAgg(fn AggFn, contrib map[string]Val) (Val, error) {
 		return List(all...), nil
 	}
 	return Val{}, fmt.Errorf("unknown aggregate %s", fn)
-}
-
-// runEGDs evaluates equality-generating dependencies over the saturated
-// database. Null-constant and null-null pairs are unified; constant-constant
-// conflicts are reported as violations.
-func (ev *evaluator) runEGDs() (unified bool, viols []Violation, err error) {
-	for ri := range ev.prog.Rules {
-		r := &ev.prog.Rules[ri]
-		if !r.IsEGD {
-			continue
-		}
-		if err := ev.ctxErr(); err != nil {
-			return false, nil, err
-		}
-		env := make(map[string]Val)
-		var evalErr error
-		order := ev.orders[ri]
-		var walk func(step int)
-		walk = func(step int) {
-			if evalErr != nil {
-				return
-			}
-			if step == len(order) {
-				l, errL := termVal(r.EGDL, env)
-				if errL != nil {
-					evalErr = errL
-					return
-				}
-				rv, errR := termVal(r.EGDR, env)
-				if errR != nil {
-					evalErr = errR
-					return
-				}
-				l, rv = ev.resolve(l), ev.resolve(rv)
-				if Equal(l, rv) {
-					return
-				}
-				switch {
-				case l.k == KNull:
-					ev.subst[l.id] = rv
-					unified = true
-				case rv.k == KNull:
-					ev.subst[rv.id] = l
-					unified = true
-				default:
-					viols = append(viols, Violation{Rule: r.String(), A: l, B: rv})
-				}
-				return
-			}
-			lit := &r.Body[order[step]]
-			switch lit.Kind {
-			case LAtom:
-				for _, f := range ev.factsFor(lit.Atom.Pred) {
-					undo, ok := match(lit.Atom, f, env)
-					if !ok {
-						continue
-					}
-					walk(step + 1)
-					undoBind(env, undo)
-					if evalErr != nil {
-						return
-					}
-				}
-			case LNegAtom:
-				t := make(Tuple, len(lit.Atom.Args))
-				for i, a := range lit.Atom.Args {
-					v, err := termVal(a, env)
-					if err != nil {
-						evalErr = err
-						return
-					}
-					t[i] = v
-				}
-				if !ev.db.Has(lit.Atom.Pred, t...) {
-					walk(step + 1)
-				}
-			case LCmp:
-				lv, errL := evalExpr(lit.L, env)
-				if errL != nil {
-					evalErr = errL
-					return
-				}
-				rv, errR := evalExpr(lit.R, env)
-				if errR != nil {
-					evalErr = errR
-					return
-				}
-				ok, errC := compare(lit.Op, lv, rv)
-				if errC != nil {
-					evalErr = errC
-					return
-				}
-				if ok {
-					walk(step + 1)
-				}
-			case LAssign:
-				v, errA := evalExpr(lit.AssignE, env)
-				if errA != nil {
-					evalErr = errA
-					return
-				}
-				env[lit.Var] = v
-				walk(step + 1)
-				delete(env, lit.Var)
-			default:
-				evalErr = fmt.Errorf("datalog: aggregates are not allowed in EGD bodies")
-			}
-		}
-		walk(0)
-		if evalErr != nil {
-			return false, nil, evalErr
-		}
-	}
-	return unified, viols, nil
-}
-
-// resolve chases the null-substitution map.
-func (ev *evaluator) resolve(v Val) Val {
-	for i := 0; v.k == KNull; i++ {
-		next, ok := ev.subst[v.id]
-		if !ok {
-			return v
-		}
-		v = next
-		if i > len(ev.subst) {
-			// Cycle guard; cycles cannot arise because we always map a
-			// null to a value resolved first, but stay safe.
-			return v
-		}
-	}
-	if v.k == KList {
-		elems := make([]Val, len(v.l))
-		for i, e := range v.l {
-			elems[i] = ev.resolve(e)
-		}
-		return List(elems...)
-	}
-	return v
-}
-
-// applySubst rewrites the whole database (and provenance keys) under the
-// null substitution, then clears per-run derived state so strata re-run.
-func (ev *evaluator) applySubst() {
-	rewritten := NewDatabase()
-	remap := make(map[string]string) // old fact key -> new fact key
-	for pred, rel := range ev.db.rels {
-		for _, t := range rel.facts {
-			nt := make(Tuple, len(t))
-			for i, v := range t {
-				nt[i] = ev.resolve(v)
-			}
-			oldKey := factRef{pred, t}.key()
-			newKey := factRef{pred, nt}.key()
-			remap[oldKey] = newKey
-			rewritten.addTuple(pred, nt)
-		}
-	}
-	ev.db = rewritten
-	newProv := make(map[string]derivation, len(ev.prov))
-	for k, d := range ev.prov {
-		nk := k
-		if r, ok := remap[k]; ok {
-			nk = r
-		}
-		nb := make([]factRef, len(d.body))
-		for i, f := range d.body {
-			nt := make(Tuple, len(f.t))
-			for j, v := range f.t {
-				nt[j] = ev.resolve(v)
-			}
-			nb[i] = factRef{f.pred, nt}
-		}
-		if _, exists := newProv[nk]; !exists {
-			newProv[nk] = derivation{rule: d.rule, body: nb}
-		}
-	}
-	ev.prov = newProv
 }

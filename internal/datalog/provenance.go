@@ -5,6 +5,40 @@ import (
 	"strings"
 )
 
+// findFact returns the row position of a fact, or false when absent or when
+// any argument was never interned (in which case no stored fact can equal it).
+func (db *Database) findFact(pred string, t Tuple) (uint32, bool) {
+	r := db.rels[pred]
+	if r == nil {
+		return 0, false
+	}
+	row := make([]uint32, len(t))
+	for i, v := range t {
+		id, ok := db.in.lookup(v)
+		if !ok {
+			return 0, false
+		}
+		row[i] = id
+	}
+	return r.findRow(row)
+}
+
+// factID resolves a fact to its provenance id. The second result is false
+// for facts whose predicate the run never assigned an id — possible only for
+// extensional predicates no rule mentions, which by construction have no
+// provenance entry.
+func (r *Result) factID(pred string, t Tuple) (uint64, bool) {
+	pid, ok := r.pids[pred]
+	if !ok {
+		return 0, false
+	}
+	pos, ok := r.db.findFact(pred, t)
+	if !ok {
+		return 0, false
+	}
+	return fid(pid, pos), true
+}
+
 // Explain renders the derivation tree of a fact: which rule produced it and
 // from which body facts, recursively down to the extensional component. This
 // is the “full explainability by standard logic entailment” property the
@@ -17,26 +51,33 @@ func (r *Result) Explain(pred string, args ...Val) (string, error) {
 		return "", fmt.Errorf("datalog: fact %s%s is not derived", pred, Tuple(args))
 	}
 	var b strings.Builder
-	seen := make(map[string]bool)
-	r.explain(&b, factRef{pred, Tuple(args)}, 0, seen)
+	f, ok := r.factID(pred, Tuple(args))
+	if !ok {
+		// Present but outside the rule universe: extensional by definition.
+		b.WriteString(pred + Tuple(args).String() + "   [extensional]\n")
+		return b.String(), nil
+	}
+	seen := make(map[uint64]bool)
+	r.explain(&b, f, 0, seen)
 	return b.String(), nil
 }
 
-func (r *Result) explain(b *strings.Builder, f factRef, depth int, seen map[string]bool) {
-	indent := strings.Repeat("  ", depth)
-	b.WriteString(indent)
-	b.WriteString(f.String())
-	key := f.key()
-	d, derived := r.prov[key]
+func (r *Result) explain(b *strings.Builder, f uint64, depth int, seen map[uint64]bool) {
+	pred := r.preds[uint32(f>>32)]
+	iv := iview{in: r.db.in}
+	t := decodeRow(&iv, r.db.rels[pred].row(int(uint32(f))))
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(pred + t.String())
+	d, derived := r.prov[f]
 	switch {
 	case !derived:
 		b.WriteString("   [extensional]\n")
 		return
-	case seen[key]:
+	case seen[f]:
 		b.WriteString("   [see above]\n")
 		return
 	}
-	seen[key] = true
+	seen[f] = true
 	b.WriteString(fmt.Sprintf("   [rule %d: %s]\n", d.rule, r.rules[d.rule].String()))
 	for _, bf := range d.body {
 		r.explain(b, bf, depth+1, seen)
@@ -50,7 +91,11 @@ func (r *Result) ProvenanceRule(pred string, args ...Val) (int, bool) {
 	if !r.db.Has(pred, args...) {
 		return 0, false
 	}
-	d, derived := r.prov[factRef{pred, Tuple(args)}.key()]
+	f, ok := r.factID(pred, Tuple(args))
+	if !ok {
+		return -1, true
+	}
+	d, derived := r.prov[f]
 	if !derived {
 		return -1, true
 	}

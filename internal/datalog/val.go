@@ -10,9 +10,12 @@ package datalog
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind discriminates runtime values.
@@ -215,4 +218,238 @@ func (t Tuple) String() string {
 		parts[i] = v.String()
 	}
 	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Value interning
+//
+// The columnar fact store (eval.go) does not hold Val structs: every constant
+// is interned once into a dense uint32 id (vid), and facts become flat rows
+// of vids. Interning gives the join layer O(1) equality (vid comparison),
+// hash keys without string building, and a single place where the canonical
+// Key() encoding — still needed for the seed-compatible orderings of
+// aggregation folds and Skolem keys — is computed exactly once per distinct
+// value instead of once per match attempt.
+//
+// Identity follows Compare/Equal: +0 and -0 intern to one vid, every NaN
+// payload interns to one vid, labelled nulls intern by id, and lists intern
+// by their element vids (List() already canonicalizes order and duplicates).
+// Two values are Equal iff they intern to the same vid.
+//
+// The interner is shared by a database and all its clones: evaluation runs
+// against a cloned EDB reuse the interned constants instead of re-encoding
+// them, and concurrent runs over clones of one EDB are safe — all mutation
+// happens under mu. Readers use an iview snapshot for lock-free access on
+// the hot match path; a snapshot is refreshed (under mu) only when it sees a
+// vid newer than itself, which can only happen after a happens-before edge
+// through the same mutex.
+
+// unboundVid marks an empty slot in a compiled-rule environment.
+const unboundVid = ^uint32(0)
+
+// canonNaN is the single bit pattern all NaN payloads intern to.
+const canonNaN = 0x7ff8000000000001
+
+func numBits(n float64) uint64 {
+	if n == 0 {
+		return 0 // collapse -0 into +0: Compare treats them as equal
+	}
+	if n != n {
+		return canonNaN // collapse NaN payloads: Compare treats NaNs as equal
+	}
+	return math.Float64bits(n)
+}
+
+type interner struct {
+	mu    sync.Mutex
+	vals  []Val
+	keys  []string // seed-format Key() per vid, computed at intern time
+	strs  map[string]uint32
+	nums  map[uint64]uint32
+	nulls map[uint64]uint32
+	lists map[string]uint32
+	bytes atomic.Int64 // estimated heap footprint of the interned values
+}
+
+func newInterner() *interner {
+	return &interner{
+		strs:  make(map[string]uint32),
+		nums:  make(map[uint64]uint32),
+		nulls: make(map[uint64]uint32),
+		lists: make(map[string]uint32),
+	}
+}
+
+// valBytes estimates the heap footprint of one value: the Val struct and any
+// string or nested list payload. Deliberately an estimate — the point is to
+// bound runaway chases in bytes, not to mirror the allocator.
+func valBytes(v Val) int64 {
+	n := int64(48) // Val struct: kind, float, id, string header, slice header
+	n += int64(len(v.s))
+	for _, e := range v.l {
+		n += valBytes(e)
+	}
+	return n
+}
+
+// internEntryOverhead is the rough per-vid cost beyond the value payload:
+// the vals/keys slice entries, the kind map entry, and the cached key string
+// header.
+const internEntryOverhead = 96
+
+// intern returns the dense id of v, inserting it if new.
+func (in *interner) intern(v Val) uint32 {
+	in.mu.Lock()
+	id := in.internLocked(v)
+	in.mu.Unlock()
+	return id
+}
+
+func (in *interner) internLocked(v Val) uint32 {
+	switch v.k {
+	case KStr:
+		if id, ok := in.strs[v.s]; ok {
+			return id
+		}
+		id := in.appendLocked(v)
+		in.strs[v.s] = id
+		return id
+	case KNum:
+		b := numBits(v.n)
+		if id, ok := in.nums[b]; ok {
+			return id
+		}
+		id := in.appendLocked(Num(math.Float64frombits(b)))
+		in.nums[b] = id
+		return id
+	case KNull:
+		if id, ok := in.nulls[v.id]; ok {
+			return id
+		}
+		id := in.appendLocked(v)
+		in.nulls[v.id] = id
+		return id
+	case KList:
+		k := in.listKeyLocked(v)
+		if id, ok := in.lists[k]; ok {
+			return id
+		}
+		id := in.appendLocked(v)
+		in.lists[k] = id
+		return id
+	default:
+		panic("datalog: bad kind")
+	}
+}
+
+// listKeyLocked interns the elements of a list and returns the byte string
+// of their vids — the list's identity under Compare, since List() already
+// sorted and deduplicated the elements.
+func (in *interner) listKeyLocked(v Val) string {
+	b := make([]byte, 0, 4*len(v.l))
+	for _, e := range v.l {
+		ev := in.internLocked(e)
+		b = append(b, byte(ev), byte(ev>>8), byte(ev>>16), byte(ev>>24))
+	}
+	return string(b)
+}
+
+func (in *interner) appendLocked(v Val) uint32 {
+	id := uint32(len(in.vals))
+	key := v.Key()
+	in.vals = append(in.vals, v)
+	in.keys = append(in.keys, key)
+	in.bytes.Add(valBytes(v) + int64(len(key)) + internEntryOverhead)
+	return id
+}
+
+// lookup returns the vid of v without inserting. The second result is false
+// when v was never interned — in which case no stored fact can contain it.
+func (in *interner) lookup(v Val) (uint32, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	switch v.k {
+	case KStr:
+		id, ok := in.strs[v.s]
+		return id, ok
+	case KNum:
+		id, ok := in.nums[numBits(v.n)]
+		return id, ok
+	case KNull:
+		id, ok := in.nulls[v.id]
+		return id, ok
+	case KList:
+		for _, e := range v.l {
+			if _, ok := in.lookupElemLocked(e); !ok {
+				return 0, false
+			}
+		}
+		id, ok := in.lists[in.peekListKeyLocked(v)]
+		return id, ok
+	default:
+		panic("datalog: bad kind")
+	}
+}
+
+func (in *interner) lookupElemLocked(v Val) (uint32, bool) {
+	switch v.k {
+	case KStr:
+		id, ok := in.strs[v.s]
+		return id, ok
+	case KNum:
+		id, ok := in.nums[numBits(v.n)]
+		return id, ok
+	case KNull:
+		id, ok := in.nulls[v.id]
+		return id, ok
+	case KList:
+		id, ok := in.lists[in.peekListKeyLocked(v)]
+		return id, ok
+	default:
+		panic("datalog: bad kind")
+	}
+}
+
+// peekListKeyLocked is listKeyLocked without inserting missing elements; a
+// missing element yields a key that cannot be present in lists.
+func (in *interner) peekListKeyLocked(v Val) string {
+	b := make([]byte, 0, 4*len(v.l))
+	for _, e := range v.l {
+		ev, ok := in.lookupElemLocked(e)
+		if !ok {
+			return "\x00missing"
+		}
+		b = append(b, byte(ev), byte(ev>>8), byte(ev>>16), byte(ev>>24))
+	}
+	return string(b)
+}
+
+// iview is a goroutine-local read snapshot of an interner. val and key are
+// lock-free for any vid the goroutine legitimately holds; the snapshot is
+// refreshed under the interner lock when it is too short.
+type iview struct {
+	in   *interner
+	vals []Val
+	keys []string
+}
+
+func (v *iview) refresh() {
+	v.in.mu.Lock()
+	v.vals = v.in.vals
+	v.keys = v.in.keys
+	v.in.mu.Unlock()
+}
+
+func (v *iview) val(id uint32) Val {
+	if int(id) >= len(v.vals) {
+		v.refresh()
+	}
+	return v.vals[id]
+}
+
+func (v *iview) key(id uint32) string {
+	if int(id) >= len(v.keys) {
+		v.refresh()
+	}
+	return v.keys[id]
 }

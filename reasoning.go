@@ -26,6 +26,11 @@ type (
 	Val = datalog.Val
 	// ReasoningOptions bounds a run (fact and round caps).
 	ReasoningOptions = datalog.Options
+	// ReasoningStats describes the work one evaluation performed: fixpoint
+	// rounds, derived facts, match attempts against the work budget, peak
+	// governed bytes, and the parallelism the run used. Every
+	// ReasoningResult carries one as its Stats field.
+	ReasoningStats = datalog.EvalStats
 )
 
 // ParseProgram parses a reasoning program in the Vadalog-flavoured syntax:

@@ -65,6 +65,39 @@ func Annotated(g *gvn, n int64) error {
 	return g.ReserveBytes(n)
 }
 
+// arena mirrors the datalog engine's columnar fact store: row inserts
+// charge their byte delta incrementally, and the evaluation entry point
+// releases the whole accumulated footprint with one deferred bulk release.
+type arena struct {
+	g       *gvn
+	charged int64
+}
+
+// GrowLeak is the incremental-charge shape without the waiver: the
+// analyzer cannot see the caller's bulk release, so it must flag it.
+func (a *arena) GrowLeak(delta int64) error {
+	return a.g.ReserveBytes(delta) // want `govern charge may leak: ReserveBytes on a.g`
+}
+
+// GrowWaived is the sanctioned shape (engine.go chargeMemory): the charge
+// is trued up in a counter and the run entry point defers the bulk
+// release, which the annotation documents.
+func (a *arena) GrowWaived(delta int64) error {
+	//governcharge:ok incremental arena charge; RunScoped defers ReleaseBytes(a.charged)
+	if err := a.g.ReserveBytes(delta); err != nil {
+		return err
+	}
+	a.charged += delta
+	return nil
+}
+
+// RunScoped owns the arena lifetime: one deferred bulk release pairs
+// every incremental charge GrowWaived took during the run.
+func (a *arena) RunScoped() error {
+	defer a.g.ReleaseBytes(a.charged)
+	return a.GrowWaived(64)
+}
+
 // NotAGovernor calls an unrelated method: clean.
 func NotAGovernor(q queue) {
 	q.Push(1)
